@@ -1,0 +1,48 @@
+"""Benchmark-suite plumbing: collect paper-vs-measured reports.
+
+Every experiment bench renders an :class:`ExperimentReport` and appends it
+to the session sink; the terminal summary prints all of them after the
+pytest-benchmark tables, and a copy is persisted to
+``benchmarks/bench_reports.txt`` so EXPERIMENTS.md can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_REPORTS: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def report_sink() -> list[str]:
+    return _REPORTS
+
+
+@pytest.fixture(scope="session")
+def full_config():
+    from repro.config import groq_tsp_v1
+
+    return groq_tsp_v1()
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    from repro.config import small_test_chip
+
+    return small_test_chip()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured experiment reports")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    path = os.path.join(os.path.dirname(__file__), "bench_reports.txt")
+    with open(path, "w") as handle:
+        handle.write("\n\n".join(_REPORTS) + "\n")
+    terminalreporter.write_line(f"\n(reports saved to {path})")

@@ -1,0 +1,105 @@
+"""E17 — chip-to-chip bandwidth and deterministic multi-chip scale-out.
+
+Section II item 6: sixteen x4 links at 30 Gb/s per lane in each direction
+give 3.84 Tb/s of off-chip bandwidth for building "high-radix
+interconnection networks of TSPs for large-scale systems".  We verify the
+budget, move vectors between simulated chips in lockstep, and show the
+determinism property survives the multi-chip boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import Hemisphere
+from repro.bench import ExperimentReport
+from repro.isa import IcuId, Nop, Program, Receive
+from repro.sim import DEFAULT_LINK_LATENCY, LinkSpec, MultiChipSystem
+
+
+def _transfer_once(config, seed):
+    from repro.arch import Direction
+    from repro.isa import Deskew, Read, Send
+
+    system = MultiChipSystem(
+        config, 2, [LinkSpec(0, Hemisphere.EAST, 0, 1, Hemisphere.WEST, 0)]
+    )
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+    system.chips[0].load_memory(Hemisphere.EAST, 0, 4, data)
+
+    fp = system.chips[0].floorplan
+    hops = fp.delta(fp.mem_slice(Hemisphere.EAST, 0), fp.c2c(Hemisphere.EAST))
+    program0 = Program()
+    mem = IcuId(fp.mem_slice(Hemisphere.EAST, 0))
+    c2c = IcuId(fp.c2c(Hemisphere.EAST), 0)
+    program0.add(mem, Read(address=4, stream=0, direction=Direction.EASTWARD))
+    program0.add(c2c, Deskew(link=0))
+    program0.add(c2c, Nop(4 + hops - 1))
+    program0.add(c2c, Send(link=0, stream=0, direction=Direction.EASTWARD))
+    capture = 5 + hops
+
+    program1 = Program()
+    c2c1 = IcuId(system.chips[1].floorplan.c2c(Hemisphere.WEST), 0)
+    program1.add(c2c1, Nop(capture + DEFAULT_LINK_LATENCY))
+    program1.add(c2c1, Receive(link=0, mem_slice=1, address=6))
+
+    results = system.run([program0, program1])
+    landed = system.chips[1].read_memory(Hemisphere.WEST, 1, 6)[0]
+    return data[0], landed, results
+
+
+def test_c2c_bandwidth_and_transfer(report_sink, full_config, small_config,
+                                    benchmark):
+    def transfer():
+        return _transfer_once(small_config, seed=5)
+
+    sent, landed, results = benchmark(transfer)
+
+    report = ExperimentReport("E17", "C2C links and multi-chip scale-out")
+    report.add("off-chip pin bandwidth", 3.84, full_config.c2c_tbps,
+               "Tb/s", note="16 x4 links x 30 Gb/s x 2 dir")
+    report.add("links per chip", 16, full_config.c2c_links)
+    report.add("vector transferred intact", "yes",
+               "yes" if np.array_equal(sent, landed) else "NO")
+    report.add("lockstep cycle counts equal", "yes",
+               "yes" if results[0].cycles == results[1].cycles else "NO")
+    report.add("link latency (model)", "—", DEFAULT_LINK_LATENCY, "cycles",
+               note="fixed: no flow control or arbitration")
+    report_sink.append(report.render())
+
+    assert np.array_equal(sent, landed)
+    assert full_config.c2c_tbps == pytest.approx(3.84)
+
+
+def test_multichip_determinism(small_config, benchmark):
+    """The deterministic-timing contract extends across chips: repeated
+    two-chip transfers take identical cycles and move identical bytes."""
+
+    def repeated():
+        outcomes = []
+        for _ in range(3):
+            sent, landed, results = _transfer_once(small_config, seed=7)
+            outcomes.append(
+                (results[0].cycles, landed.tobytes())
+            )
+        return outcomes
+
+    outcomes = benchmark(repeated)
+    assert len(set(outcomes)) == 1
+
+
+def test_ring_topology_bandwidth(small_config, full_config, benchmark):
+    """A ring of chips — the high-radix building block — wires cleanly."""
+
+    def build_ring():
+        system = MultiChipSystem.ring(small_config, 4)
+        return sum(
+            1
+            for chip in system.chips
+            for hemisphere in (Hemisphere.WEST, Hemisphere.EAST)
+            for link in chip.c2c_unit(hemisphere).links
+            if link.peer is not None
+        )
+
+    connected = benchmark(build_ring)
+    assert connected == 8  # 4 chips x (1 east + 1 west) endpoints

@@ -1,0 +1,79 @@
+"""E13 — quantization strategies (Section IV-D).
+
+The paper's layer-based symmetric int8 strategy (quantize conv/matmul
+inputs, accumulate int32, keep inter-layer math in higher precision) lost
+only ~0.5% accuracy versus quantizing every operation.  The planned
+axis-based approach reduces the loss further.  ImageNet is substituted by
+the synthetic shape task (DESIGN.md); the quantization machinery is
+identical.
+"""
+
+import pytest
+
+from repro.bench import ExperimentReport
+from repro.nn import Strategy, make_shapes, make_small_cnn, train
+
+
+def test_quantization_strategy_study(report_sink, benchmark):
+    data = make_shapes(
+        n_train=300, n_test=100, image_size=16, n_classes=3, noise=0.08,
+        seed=5,
+    )
+    model = make_small_cnn(3, channels=8, image_size=16, seed=5)
+    result = train(model, data, epochs=10, lr=0.1, seed=5)
+
+    def evaluate_all():
+        scores = {"fp32": result.model.accuracy(data.x_test, data.y_test)}
+        for strategy in Strategy:
+            scores[strategy.value] = result.model.accuracy(
+                data.x_test, data.y_test, strategy=strategy
+            )
+        return scores
+
+    scores = benchmark(evaluate_all)
+    loss_layer = scores["fp32"] - scores["layer"]
+    loss_per_op = scores["fp32"] - scores["per_op"]
+    loss_axis = scores["fp32"] - scores["per_axis"]
+
+    report = ExperimentReport(
+        "E13", "Post-training int8 quantization (Section IV-D)"
+    )
+    report.add("fp32 test accuracy", "—", round(scores["fp32"], 3))
+    report.add(
+        "layer-based int8 accuracy loss", 0.005, round(loss_layer, 3),
+        note="paper: ~0.5% on ResNet50/ImageNet",
+    )
+    report.add("per-op int8 accuracy loss", "> layer-based",
+               round(loss_per_op, 3))
+    report.add(
+        "axis-based loss (planned improvement)", "<= layer-based",
+        round(loss_axis, 3),
+    )
+    report_sink.append(report.render())
+
+    # the paper's ordering: layer-based is (weakly) better than per-op,
+    # axis-based at least as good as layer-based
+    assert loss_layer <= loss_per_op + 1e-9
+    assert loss_axis <= loss_layer + 1e-9
+    # and the absolute degradation is small (sub-2% on this task)
+    assert loss_layer <= 0.02 + 1e-9
+
+
+def test_int32_accumulation_precision(benchmark):
+    """Between matmuls the TSP keeps int32/fp32 precision — quantization
+    error comes only from the int8 edges, not the accumulation."""
+    import numpy as np
+
+    from repro.nn.quantize import Strategy, quantized_matmul
+
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((64, 256))
+    w = rng.standard_normal((256, 128))
+
+    def relative_error():
+        exact = x @ w
+        approx = quantized_matmul(x, w, Strategy.LAYER_BASED)
+        return float(np.abs(approx - exact).mean() / np.abs(exact).mean())
+
+    error = benchmark(relative_error)
+    assert error < 0.02

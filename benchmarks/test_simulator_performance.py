@@ -1,0 +1,82 @@
+"""Simulator-quality bench: host throughput of the cycle model itself.
+
+Not a paper experiment — standard housekeeping for a simulator release:
+how many simulated cycles per host-second the model sustains on
+representative programs, so users can size their experiments.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentReport
+from repro.compiler import StreamProgramBuilder, execute, load_compiled
+from repro.sim import TspChip
+
+
+def build_busy_program(config, n=48):
+    g = StreamProgramBuilder(config)
+    rng = np.random.default_rng(0)
+    x = g.constant_tensor("x", rng.integers(-9, 9, (n, 64)).astype(np.int8))
+    y = g.constant_tensor("y", rng.integers(-9, 9, (n, 64)).astype(np.int8))
+    z = g.relu(g.add(x, y))
+    g.write_back(z, name="z")
+    w = rng.integers(-6, 6, (64, 64)).astype(np.int8)
+    a = rng.integers(-6, 6, (8, 64)).astype(np.int8)
+    g.write_back(g.matmul(w, g.constant_tensor("a", a)), name="mm")
+    return g.compile()
+
+
+def test_simulated_cycles_per_second(report_sink, small_config, benchmark):
+    compiled = build_busy_program(small_config)
+
+    def run_once():
+        chip = TspChip(small_config)
+        load_compiled(chip, compiled)
+        return chip.run(compiled.program).cycles
+
+    cycles = benchmark(run_once)
+    mean_seconds = benchmark.stats.stats.mean
+    rate = cycles / mean_seconds
+
+    report = ExperimentReport(
+        "housekeeping", "Simulator host performance (64-lane test chip)"
+    )
+    report.add("simulated cycles per run", "—", cycles)
+    report.add("host time per run", "—", round(mean_seconds * 1e3, 2), "ms")
+    report.add("simulated cycles / host second", "—", round(rate))
+    report_sink.append(report.render())
+
+    assert rate > 1_000  # the model must stay usable for experiments
+
+
+def test_full_chip_simulation_rate(report_sink, full_config, benchmark):
+    """The 320-lane chip: heavier state, still practical."""
+    compiled = build_busy_program_full(full_config)
+
+    def run_once():
+        chip = TspChip(full_config)
+        load_compiled(chip, compiled)
+        return chip.run(compiled.program).cycles
+
+    cycles = benchmark(run_once)
+    mean_seconds = benchmark.stats.stats.mean
+    rate = cycles / mean_seconds
+    report = ExperimentReport(
+        "housekeeping", "Simulator host performance (full 320-lane chip)"
+    )
+    report.add("simulated cycles per run", "—", cycles)
+    report.add("simulated cycles / host second", "—", round(rate))
+    report_sink.append(report.render())
+    assert rate > 200
+
+
+def build_busy_program_full(config):
+    g = StreamProgramBuilder(config)
+    rng = np.random.default_rng(0)
+    x = g.constant_tensor(
+        "x", rng.integers(-9, 9, (16, 320)).astype(np.int8)
+    )
+    y = g.constant_tensor(
+        "y", rng.integers(-9, 9, (16, 320)).astype(np.int8)
+    )
+    g.write_back(g.relu(g.add(x, y)), name="z")
+    return g.compile()

@@ -1,0 +1,85 @@
+"""E01 — Table I: the instruction summary for each functional slice.
+
+Regenerates the paper's Table I from the ISA registry and verifies every
+row is implemented, encodable, and timed.
+"""
+
+from repro.arch.geometry import SliceKind
+from repro.arch.timing import TimingModel
+from repro.bench import ExperimentReport
+from repro.isa import INSTRUCTION_REGISTRY, encode, instructions_for_slice
+
+#: The paper's Table I rows, by functional area.
+PAPER_TABLE_1 = {
+    "ICU": ["NOP", "Ifetch", "Sync", "Notify", "Config", "Repeat"],
+    "MEM": ["Read", "Write", "Gather", "Scatter"],
+    "VXM": ["UnaryOp", "BinaryOp", "Convert"],
+    "MXM": ["LW", "IW", "ABC", "ACC"],
+    "SXM": ["Shift", "Select", "Permute", "Distribute", "Rotate", "Transpose"],
+    "C2C": ["Deskew", "Send", "Receive"],
+}
+
+
+def render_table_1() -> str:
+    """The regenerated Table I."""
+    lines = ["Function  Instruction   Description"]
+    lines.append("-" * 78)
+    area_of = {
+        m: area for area, ms in PAPER_TABLE_1.items() for m in ms
+    }
+    for mnemonic, cls in INSTRUCTION_REGISTRY.items():
+        area = area_of.get(mnemonic, "?")
+        description = cls.description[:58]
+        lines.append(f"{area:<9} {mnemonic:<13} {description}")
+    return "\n".join(lines)
+
+
+def test_table1_full_coverage(report_sink, benchmark):
+    timing = TimingModel()
+    missing = [
+        m
+        for ms in PAPER_TABLE_1.values()
+        for m in ms
+        if m not in INSTRUCTION_REGISTRY
+    ]
+    assert not missing, f"Table I rows not implemented: {missing}"
+
+    # every instruction constructs, encodes, and carries timing metadata
+    def build_and_encode():
+        total = 0
+        for cls in INSTRUCTION_REGISTRY.values():
+            instance = cls()
+            total += len(encode(instance))
+            timing.functional_delay(instance.timing_mnemonic)
+        return total
+
+    total_bytes = benchmark(build_and_encode)
+    assert total_bytes > 0
+
+    report = ExperimentReport("E01", "Table I — ISA per functional slice")
+    paper_rows = sum(len(v) for v in PAPER_TABLE_1.values())
+    report.add("instruction mnemonics", paper_rows, len(INSTRUCTION_REGISTRY))
+    for area, mnemonics in PAPER_TABLE_1.items():
+        implemented = sum(
+            1 for m in mnemonics if m in INSTRUCTION_REGISTRY
+        )
+        report.add(f"{area} rows implemented", len(mnemonics), implemented)
+    report_sink.append(report.render() + "\n\n" + render_table_1())
+
+
+def test_slice_instruction_scoping(report_sink, benchmark):
+    """Each slice executes its own family plus the ICU-common set."""
+
+    def scope_counts():
+        return {
+            kind.value: len(instructions_for_slice(kind))
+            for kind in SliceKind
+        }
+
+    counts = benchmark(scope_counts)
+    # ICU-common (6) + family-specific sizes
+    assert counts["MEM"] == 6 + 4
+    assert counts["VXM"] == 6 + 3
+    assert counts["MXM"] == 6 + 4
+    assert counts["SXM"] == 6 + 6
+    assert counts["C2C"] == 6 + 3

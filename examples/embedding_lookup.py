@@ -1,0 +1,53 @@
+"""Stream-indirect addressing: an embedding-table lookup via Gather.
+
+Section III-B: "Indirect addressing uses the contents of a stream to
+specify an address map for a gather ... the physical address comes from
+the stream value, providing a layer of indirection in the memory
+referencing."  This is the recommendation-model pattern the paper's
+introduction motivates: per-lane embedding lookups at stream rate.
+
+    python examples/embedding_lookup.py
+"""
+
+import numpy as np
+
+from repro.arch import DType
+from repro.compiler import StreamProgramBuilder, execute
+from repro.config import small_test_chip
+
+
+def main() -> None:
+    config = small_test_chip()
+    rng = np.random.default_rng(0)
+
+    vocabulary, dims = 32, config.n_lanes
+    # one embedding table row per vocabulary entry, one byte per lane
+    table = rng.integers(-100, 100, (vocabulary, dims)).astype(np.int8)
+
+    g = StreamProgramBuilder(config)
+    # token ids arrive at run time, one id per lane per query vector
+    ids = g.input_tensor("token_ids", (4, dims), dtype=DType.UINT8)
+    embeddings = g.gather(table, ids, name="embedding_table")
+    # a small amount of on-chip post-processing: ReLU the embeddings
+    activated = g.relu(embeddings)
+    g.write_back(activated, name="embeddings")
+    compiled = g.compile()
+    print(f"compiled embedding lookup: {compiled.stats.instructions} "
+          f"instructions, makespan {compiled.stats.makespan} cycles")
+
+    token_ids = rng.integers(0, vocabulary, (4, dims)).astype(np.uint8)
+    result = execute(compiled, inputs={"token_ids": token_ids})
+
+    lanes = np.arange(dims)
+    expected = np.maximum(
+        np.stack([table[token_ids[j], lanes] for j in range(4)]), 0
+    ).astype(np.int8)
+    assert np.array_equal(result["embeddings"], expected)
+    print(f"4 query vectors x {dims} lanes looked up and activated in "
+          f"{result.run.cycles} cycles — one Gather per vector, addresses "
+          "taken from the passing id stream")
+    print("per-lane indirection verified against the host oracle")
+
+
+if __name__ == "__main__":
+    main()

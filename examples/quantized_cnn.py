@@ -1,0 +1,56 @@
+"""The Section IV-D/IV-E studies on the synthetic shape task.
+
+Trains a small CNN (the ImageNet substitution documented in DESIGN.md),
+then compares quantization strategies — fp32, the paper's layer-based
+symmetric int8, per-op int8, and the planned axis-based variant — and
+shows the model-capacity effect of widening channels.
+
+    python examples/quantized_cnn.py
+"""
+
+from repro.nn import Strategy, make_shapes, make_small_cnn, train
+
+
+def main() -> None:
+    data = make_shapes(
+        n_train=300, n_test=100, image_size=16, n_classes=3, noise=0.08,
+        seed=5,
+    )
+    print(f"synthetic shape task: {data.x_train.shape[0]} train / "
+          f"{data.x_test.shape[0]} test images, "
+          f"{data.n_classes} classes\n")
+
+    model = make_small_cnn(3, channels=8, image_size=16, seed=5)
+    result = train(model, data, epochs=10, lr=0.1, seed=5)
+    print(f"trained {len(result.losses)} batches, final loss "
+          f"{result.losses[-1]:.3f}")
+
+    fp32 = result.model.accuracy(data.x_test, data.y_test)
+    print(f"\n{'strategy':<28} {'accuracy':>9} {'loss vs fp32':>13}")
+    print(f"{'fp32 reference':<28} {fp32:>8.1%} {'—':>13}")
+    for strategy in Strategy:
+        accuracy = result.model.accuracy(
+            data.x_test, data.y_test, strategy=strategy
+        )
+        print(f"{strategy.value + ' int8':<28} {accuracy:>8.1%} "
+              f"{fp32 - accuracy:>12.1%}")
+    print("\npaper (ResNet50/ImageNet): layer-based lost only ~0.5% vs "
+          "quantizing each operation")
+
+    # -- Section IV-E: capacity at fixed tile cost --------------------------
+    print("\nmodel capacity (Section IV-E): widening channels")
+    for channels in (4, 8, 12):
+        wide = train(
+            make_small_cnn(3, channels=channels, image_size=16, seed=5),
+            data, epochs=10, lr=0.1, seed=5,
+        )
+        params = sum(p.size for p, _ in wide.model.params_and_grads())
+        print(f"  channels={channels:<3} params={params:<6} "
+              f"test accuracy={wide.test_accuracy:.1%}")
+    print("the paper's 320-wide ResNet50 gained 1.6% Top-1 'for the same "
+          "computational cost and latency' because the MXM tiles were "
+          "already padded")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro — a reproduction of the Groq Tensor Streaming Processor (ISCA 2020).
+
+The package provides four layers:
+
+* :mod:`repro.arch` / :mod:`repro.isa` — the architecture and instruction
+  set as the paper defines them (geometry, streams, timing metadata,
+  Table I instructions with binary encoding);
+* :mod:`repro.sim` — a deterministic, cycle-accurate functional simulator
+  of one or more TSP chips;
+* :mod:`repro.compiler` — a producer-consumer stream compiler with a
+  ``groq.api``-style frontend that schedules instructions in time and space;
+* :mod:`repro.nn` / :mod:`repro.baselines` — the ResNet50/101/152 mapping,
+  quantization machinery, deterministic performance model, and the baseline
+  accelerator models used by the paper's evaluation.
+"""
+
+from .config import ArchConfig, groq_tsp_v1, small_test_chip
+from .errors import (
+    AllocationError,
+    BankConflictError,
+    CompileError,
+    ConfigError,
+    EncodingError,
+    IqUnderflowError,
+    IsaError,
+    MemoryFaultError,
+    ScheduleError,
+    SimulationError,
+    StreamContentionError,
+    TspError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationError",
+    "ArchConfig",
+    "BankConflictError",
+    "CompileError",
+    "ConfigError",
+    "EncodingError",
+    "IqUnderflowError",
+    "IsaError",
+    "MemoryFaultError",
+    "ScheduleError",
+    "SimulationError",
+    "StreamContentionError",
+    "TspError",
+    "__version__",
+    "groq_tsp_v1",
+    "small_test_chip",
+]

@@ -1,0 +1,35 @@
+"""Architectural models: floorplan geometry, streams, timing, power, area.
+
+These modules describe the chip as the *compiler* sees it — slice positions,
+stream-register locations, per-instruction timing metadata — and as the
+*evaluation* sees it — energy per operation and silicon-area budgets.
+"""
+
+from .geometry import (
+    Direction,
+    Floorplan,
+    Hemisphere,
+    SliceAddress,
+    SliceKind,
+)
+from .streams import DType, StreamId, stream_group, streams_for_dtype
+from .timing import TimingModel, instruction_time
+from .power import PowerModel, ActivityCounts
+from .area import AreaModel
+
+__all__ = [
+    "ActivityCounts",
+    "AreaModel",
+    "Direction",
+    "DType",
+    "Floorplan",
+    "Hemisphere",
+    "PowerModel",
+    "SliceAddress",
+    "SliceKind",
+    "StreamId",
+    "TimingModel",
+    "instruction_time",
+    "stream_group",
+    "streams_for_dtype",
+]

@@ -1,0 +1,78 @@
+"""Silicon-area budget and the paper's transistor-efficiency metric.
+
+The conclusion frames the TSP's "conversion rate" as deep-learning ops per
+second per transistor: 820 TeraOps/s from 26.8 B transistors is ~30 K
+ops/s/transistor, versus Volta V100's 130 TeraFlops from 21.1 B transistors
+(~6.2 K).  Section II also claims the ICU accounts for less than 3% of die
+area thanks to the removal of dynamic scheduling.  This module reproduces
+both as checked properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ArchConfig
+from ..errors import ConfigError
+from .geometry import SliceKind
+
+
+#: Area fractions per slice family.  The paper publishes only the ICU bound
+#: ("less than 3% of the area"); the rest is apportioned by structure count
+#: and typical 14 nm cell areas (MACC arrays and SRAM dominate).
+DEFAULT_AREA_FRACTIONS: dict[SliceKind, float] = {
+    SliceKind.MXM: 0.34,
+    SliceKind.MEM: 0.38,
+    SliceKind.VXM: 0.14,
+    SliceKind.SXM: 0.07,
+    SliceKind.C2C: 0.04,
+}
+ICU_AREA_FRACTION = 0.029  # the paper's "< 3%" claim
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Die-area decomposition and transistor-efficiency figures."""
+
+    config: ArchConfig
+    fractions: dict[SliceKind, float] = field(
+        default_factory=lambda: dict(DEFAULT_AREA_FRACTIONS)
+    )
+    icu_fraction: float = ICU_AREA_FRACTION
+
+    def __post_init__(self) -> None:
+        total = sum(self.fractions.values()) + self.icu_fraction
+        if not 0.98 <= total <= 1.02:
+            raise ConfigError(
+                f"area fractions must sum to ~1.0 (got {total:.3f})"
+            )
+
+    def area_mm2(self, kind: SliceKind) -> float:
+        """Die area attributed to a slice family."""
+        return self.config.die_area_mm2 * self.fractions[kind]
+
+    def icu_area_mm2(self) -> float:
+        return self.config.die_area_mm2 * self.icu_fraction
+
+    def icu_area_under_3_percent(self) -> bool:
+        """The paper's claim that the ICU is < 3% of die area."""
+        return self.icu_fraction < 0.03
+
+    # ------------------------------------------------------------------
+    # Transistor-efficiency comparison (conclusion)
+    # ------------------------------------------------------------------
+    def tsp_ops_per_transistor(self, clock_ghz: float = 1.0) -> float:
+        """Deep-learning ops/s per transistor for this TSP config."""
+        return self.config.ops_per_second_per_transistor(clock_ghz)
+
+    @staticmethod
+    def comparator_ops_per_transistor(
+        peak_teraops: float, transistors: float
+    ) -> float:
+        """Same metric for a comparator chip from published figures."""
+        return peak_teraops * 1e12 / transistors
+
+    def efficiency_vs(self, peak_teraops: float, transistors: float) -> float:
+        """How many times more ops/transistor the TSP achieves."""
+        other = self.comparator_ops_per_transistor(peak_teraops, transistors)
+        return self.tsp_ops_per_transistor() / other

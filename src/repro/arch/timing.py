@@ -1,0 +1,131 @@
+"""Per-instruction timing metadata: d_func, d_skew, and Equation 4.
+
+Section III of the paper: the ISA exposes two temporal parameters per
+instruction —
+
+* ``d_func`` (functional delay): cycles from instruction dispatch until its
+  result appears on the architecturally visible stream register adjacent to
+  the producing slice;
+* ``d_skew`` (instruction-operand skew): cycles between instruction dispatch
+  and the moment its stream operands must be present at the slice.
+
+The execution time of an instruction is then (Equation 4)::
+
+    T = N + d_func + delta(j, i)
+
+where ``N`` is the number of tiles in the slice (the vertical SIMD pipeline
+depth, 20 on the full chip) and ``delta(j, i)`` is the stream transit delay
+from the producer's stream register to the consumer's.
+
+The concrete delays of the Groq silicon are unpublished; the values here are
+self-consistent engineering estimates (SRAM access ~ 5 cycles, a vector ALU
+op ~ 1–4 cycles, the MXM's systolic accumulate ~ plane height / 16 + drain).
+Every simulator unit honours exactly these numbers, and the compiler
+schedules with exactly these numbers, so the timing *contract* — the thing
+the paper is about — is enforced end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import ArchConfig
+from ..errors import IsaError
+
+#: Default functional delay (cycles) per instruction mnemonic.
+DEFAULT_DFUNC: dict[str, int] = {
+    # ICU
+    "NOP": 0,
+    "Ifetch": 8,
+    "Sync": 0,
+    "Notify": 0,
+    "Config": 1,
+    "Repeat": 0,
+    # MEM
+    "Read": 5,
+    "Write": 1,
+    "Gather": 7,
+    "Scatter": 3,
+    # VXM (point-wise, one ALU stage)
+    "UnaryOp": 1,
+    "BinaryOp": 1,
+    "Convert": 2,
+    "ReLU": 1,
+    "TanH": 4,
+    "Exp": 4,
+    "RSqrt": 4,
+    # MXM
+    "LW": 2,
+    "IW": 2,
+    "ABC": 1,
+    "ACC": 3,
+    # SXM
+    "Shift": 2,
+    "Select": 1,
+    "Permute": 2,
+    "Distribute": 2,
+    "Rotate": 2,
+    "Transpose": 4,
+    # C2C
+    "Deskew": 4,
+    "Send": 6,
+    "Receive": 6,
+}
+
+#: Default instruction-operand skew (cycles) per mnemonic.  Most instructions
+#: expect operands the cycle they dispatch; stores and weight loads sample
+#: their operand stream one cycle after dispatch.
+DEFAULT_DSKEW: dict[str, int] = {
+    "Write": 1,
+    "Scatter": 1,
+    "LW": 1,
+    "IW": 1,
+    "ABC": 1,
+    "Send": 1,
+}
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Timing metadata shared by the compiler and the simulator."""
+
+    dfunc: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_DFUNC))
+    dskew: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_DSKEW))
+    #: Additional cycles per systolic accumulation row group in the MXM.
+    mxm_rows_per_cycle: int = 16
+
+    def functional_delay(self, mnemonic: str) -> int:
+        try:
+            return self.dfunc[mnemonic]
+        except KeyError:
+            raise IsaError(f"no d_func registered for {mnemonic!r}")
+
+    def operand_skew(self, mnemonic: str) -> int:
+        return self.dskew.get(mnemonic, 0)
+
+    def mxm_pipeline_depth(self, plane_rows: int) -> int:
+        """Cycles for a full dot-product to traverse the systolic plane.
+
+        Partial sums hop one 16-row supercell per cycle (Section III-D), so a
+        320-row plane needs 20 accumulation hops plus the ACC stage.
+        """
+        return plane_rows // self.mxm_rows_per_cycle
+
+
+def instruction_time(
+    config: ArchConfig,
+    timing: TimingModel,
+    mnemonic: str,
+    transit_delay: int,
+) -> int:
+    """Equation 4: ``T = N + d_func + delta(j, i)``.
+
+    ``N`` is the tile count of the slice (vertical pipeline depth) and
+    ``transit_delay`` is ``delta(j, i)`` between producer and consumer
+    stream registers.
+    """
+    return (
+        config.tiles_per_slice
+        + timing.functional_delay(mnemonic)
+        + transit_delay
+    )

@@ -1,0 +1,17 @@
+"""Baseline models: the roofline, a batch-oriented GPU-style accelerator,
+and the published comparator specifications the paper cites."""
+
+from .gpu import GpuModel
+from .roofline import Roofline, RooflinePoint
+from .specs import ALL_COMPARATORS, GOYA, TPU_V3, V100, AcceleratorSpec
+
+__all__ = [
+    "ALL_COMPARATORS",
+    "AcceleratorSpec",
+    "GOYA",
+    "GpuModel",
+    "Roofline",
+    "RooflinePoint",
+    "TPU_V3",
+    "V100",
+]

@@ -1,0 +1,111 @@
+"""Roofline model (Figure 9 of the paper).
+
+Throughput is bounded by the lower of two ceilings: arithmetic peak (820
+TeraOps/s at 1 GHz) and on-chip memory bandwidth times operational
+intensity.  For the TSP the bandwidth bound is the *weight-load* path —
+"the sloped region indicates where the TSP becomes memory bandwidth bound
+loading weights into the MXM array" — at the 32-streams-per-direction
+operand bandwidth into the MXMs (10 TiB/s of operand stream bandwidth,
+Section V-b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig
+from ..nn.mapper import map_layer
+from ..nn.perfmodel import estimate_layer
+from ..nn.resnet import LayerKind, LayerSpec
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload plotted on the roofline."""
+
+    name: str
+    intensity: float  # ops per byte moved
+    achieved_teraops: float
+    bound: str  # "memory" or "compute"
+
+
+class Roofline:
+    """The TSP's two-ceiling performance envelope."""
+
+    def __init__(
+        self, config: ArchConfig, clock_ghz: float | None = None
+    ) -> None:
+        self.config = config
+        self.clock_ghz = clock_ghz or config.clock_ghz
+        # operand stream bandwidth into the MXMs: 32 streams x 320 lanes
+        # per hemisphere = 10,240 B/cycle ("10 TiB/s" in paper units)
+        self.mxm_operand_bytes_per_cycle = (
+            config.streams_per_direction * config.n_lanes
+        )
+
+    @property
+    def peak_teraops(self) -> float:
+        return self.config.peak_teraops(self.clock_ghz)
+
+    @property
+    def memory_bw_bytes_per_s(self) -> float:
+        return self.mxm_operand_bytes_per_cycle * self.clock_ghz * 1e9
+
+    def ridge_intensity(self) -> float:
+        """Ops/byte where the memory slope meets the compute roof."""
+        return self.peak_teraops * 1e12 / self.memory_bw_bytes_per_s
+
+    def attainable_teraops(self, intensity: float) -> float:
+        """The roofline itself: min(peak, BW x intensity)."""
+        memory_bound = self.memory_bw_bytes_per_s * intensity / 1e12
+        return min(self.peak_teraops, memory_bound)
+
+    def bound_for(self, intensity: float) -> str:
+        return (
+            "memory" if intensity < self.ridge_intensity() else "compute"
+        )
+
+    # ------------------------------------------------------------------
+    def matmul_point(self, k: int, m: int, n: int, name: str = "") -> RooflinePoint:
+        """Plot one K x M x N matmul as the performance model executes it."""
+        size = max(int(round(n ** 0.5)), 1)
+        spec = LayerSpec(
+            name or f"matmul_{k}x{m}x{n}",
+            LayerKind.FC if n == 1 else LayerKind.CONV,
+            in_channels=k,
+            out_channels=m,
+            kernel=1,
+            stride=1,
+            in_size=size,
+            out_size=size,
+        )
+        estimate = estimate_layer(
+            map_layer(spec, self.config), self.config, optimized=True
+        )
+        seconds = estimate.cycles / (self.clock_ghz * 1e9)
+        ops = 2 * spec.macs
+        achieved = ops / seconds / 1e12
+        intensity = self.intensity_of(k, m, n)
+        return RooflinePoint(
+            name=spec.name,
+            intensity=intensity,
+            achieved_teraops=min(achieved, self.peak_teraops),
+            bound=self.bound_for(intensity),
+        )
+
+    @staticmethod
+    def intensity_of(k: int, m: int, n: int) -> float:
+        """Ops per byte for an int8 K x M x N matmul.
+
+        Bytes moved: weights (K x M) + activations (N x K) + int32 results
+        (N x M x 4).
+        """
+        ops = 2 * k * m * n
+        data = k * m + n * k + 4 * n * m
+        return ops / data
+
+    def series(
+        self, intensities: list[float]
+    ) -> list[tuple[float, float]]:
+        """(intensity, attainable TeraOps/s) pairs for plotting the roof."""
+        return [(i, self.attainable_teraops(i)) for i in intensities]

@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by every experiment bench."""
+
+from .reporting import ExperimentReport, PaperComparison, ascii_series
+
+__all__ = ["ExperimentReport", "PaperComparison", "ascii_series"]

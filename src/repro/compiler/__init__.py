@@ -1,0 +1,71 @@
+"""The TSP stream compiler.
+
+Pushes all scheduling complexity out of (simulated) hardware and into
+software, exactly as the paper prescribes: a ``groq.api``-style frontend
+builds a dataflow graph, and the back-end solves the two-dimensional
+scheduling of instructions and data in time and space, tracking stream
+positions with ``delta(j, i)`` and instruction timing with
+``d_func``/``d_skew``.
+"""
+
+from .api import StreamProgramBuilder, TensorHandle
+from .graph import Graph, Node, OpKind
+from .allocator import (
+    MemoryAllocator,
+    StreamAllocator,
+    StreamGrant,
+    TensorLayout,
+    WordPlacement,
+)
+from .passes import insert_ifetch
+from .runner import ExecutionResult, execute, fetch_output, load_compiled
+from .textlayout import (
+    TextLayout,
+    TextPlacement,
+    layout_program_text,
+    materialize_text,
+    recover_program_text,
+    reserved_dispatch_slices,
+)
+from .scheduler import (
+    CompiledProgram,
+    MemWord,
+    ScheduleStats,
+    Scheduler,
+    StreamValue,
+    TensorSpec,
+    pack_tensor,
+    unpack_tensor,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "ExecutionResult",
+    "Graph",
+    "MemWord",
+    "MemoryAllocator",
+    "Node",
+    "OpKind",
+    "ScheduleStats",
+    "Scheduler",
+    "StreamAllocator",
+    "StreamGrant",
+    "StreamProgramBuilder",
+    "StreamValue",
+    "TextLayout",
+    "TextPlacement",
+    "TensorHandle",
+    "TensorLayout",
+    "TensorSpec",
+    "WordPlacement",
+    "execute",
+    "fetch_output",
+    "insert_ifetch",
+    "layout_program_text",
+    "materialize_text",
+    "recover_program_text",
+    "reserved_dispatch_slices",
+    "load_compiled",
+    "pack_tensor",
+    "unpack_tensor",
+]

@@ -1,0 +1,301 @@
+"""Stream and memory allocation (Sections IV-A, IV-B of the paper).
+
+Two resources are allocated here:
+
+* **MEM words** — tensors live in byte-plane layout: a dtype of ``b`` bytes
+  occupies ``b`` distinct MEM slices (so its ``b`` streams can be fed
+  concurrently), each holding one word per tensor row at consecutive
+  addresses.  *Parallel* layout instead spreads rows across slices — one
+  word per slice — so 16 rows can be read in the same cycle, which the
+  16-stream transpose requires.  The allocator separates producers and
+  consumers by SRAM bank: program *inputs* sit in bank 0 (even word
+  addresses) and *results* in bank 1 (odd), so a slice can stream operands
+  out of one bank while results land in the other — the concurrency trick
+  of Section IV-A.
+
+* **Streams** — 32 per direction, granted as naturally aligned groups
+  (int32 needs an aligned quad).  Allocation is interval-based in the
+  stream's *moving frame*: an eastward value's ``c = t - position`` is
+  invariant as it flows one hop per cycle, so two values on the same stream
+  collide exactly when their ``c`` windows overlap.  This books precisely
+  the slots a value occupies — values launched behind one another on the
+  same stream never conflict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.geometry import Direction, Hemisphere
+from ..config import ArchConfig
+from ..errors import AllocationError
+
+#: bank policy: program inputs/constants in bank 0, results in bank 1
+INPUT_BANK = 0
+RESULT_BANK = 1
+
+
+@dataclass(frozen=True)
+class WordPlacement:
+    """One byte-plane of a tensor in one MEM slice."""
+
+    hemisphere: Hemisphere
+    slice_index: int
+    base_address: int
+    n_words: int
+    stride: int = 2  # bank-interleaved allocation steps by 2
+
+
+@dataclass
+class TensorLayout:
+    """Where a tensor lives in MEM.
+
+    ``planes[b]`` is the placement of byte-plane ``b`` (sequential layout);
+    ``parallel[j]`` is the placement of row ``j`` (parallel layout, int8
+    only).  Exactly one of the two lists is populated.
+    """
+
+    planes: list[WordPlacement] = field(default_factory=list)
+    parallel: list[WordPlacement] = field(default_factory=list)
+
+    @property
+    def is_parallel(self) -> bool:
+        return bool(self.parallel)
+
+    def address_of(self, plane: int, row: int) -> tuple[Hemisphere, int, int]:
+        """(hemisphere, slice, word address) of one row of one byte-plane."""
+        if self.is_parallel:
+            p = self.parallel[row]
+            return p.hemisphere, p.slice_index, p.base_address
+        p = self.planes[plane]
+        return (
+            p.hemisphere,
+            p.slice_index,
+            p.base_address + row * p.stride,
+        )
+
+
+class MemoryAllocator:
+    """Bank-interleaved bump allocation across all MEM slices."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+        # next free address per (hemisphere, slice, bank); bank b starts at b
+        self._cursor: dict[tuple[Hemisphere, int, int], int] = {}
+        for hemisphere in (Hemisphere.WEST, Hemisphere.EAST):
+            for s in range(config.mem_slices_per_hemisphere):
+                self._cursor[(hemisphere, s, 0)] = 0
+                self._cursor[(hemisphere, s, 1)] = 1
+        self._rotation: dict[Hemisphere, int] = {
+            Hemisphere.WEST: 0,
+            Hemisphere.EAST: 0,
+        }
+        # contiguous blocks (gather tables) grow down from the slice top
+        self._top: dict[tuple[Hemisphere, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _take(
+        self, hemisphere: Hemisphere, slice_index: int, bank: int, n_words: int
+    ) -> int:
+        key = (hemisphere, slice_index, bank)
+        base = self._cursor[key]
+        end = base + 2 * (n_words - 1)
+        if end >= self.config.mem_words_per_slice_tile:
+            raise AllocationError(
+                f"MEM_{hemisphere.value}{slice_index} bank {bank} is full"
+            )
+        self._cursor[key] = end + 2
+        return base
+
+    def _next_slices(
+        self,
+        hemisphere: Hemisphere,
+        count: int,
+        near_index: int | None = None,
+        spread: int = 8,
+    ) -> list[int]:
+        """Pick ``count`` distinct slices for concurrent streams.
+
+        With ``near_index`` given, slices are chosen from the ``spread``
+        closest to that MEM index — the paper's Section V-b guidance that
+        tensors be laid out "so that data transit from memory slice MEM_i
+        to MXM is minimized" — rotating within that neighbourhood to spread
+        load.  Without it, a plain round-robin over the hemisphere.
+        """
+        n = self.config.mem_slices_per_hemisphere
+        if count > n:
+            raise AllocationError(
+                f"need {count} concurrent slices, hemisphere has {n}"
+            )
+        if near_index is None:
+            start = self._rotation[hemisphere]
+            self._rotation[hemisphere] = (start + count) % n
+            return [(start + k) % n for k in range(count)]
+        window = max(count, min(spread, n))
+        candidates = sorted(range(n), key=lambda s: abs(s - near_index))
+        neighbourhood = sorted(candidates[:window])
+        start = self._rotation[hemisphere] % window
+        self._rotation[hemisphere] += count
+        return [
+            neighbourhood[(start + k) % window] for k in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    def alloc_sequential(
+        self,
+        hemisphere: Hemisphere,
+        n_planes: int,
+        n_words: int,
+        bank: int = INPUT_BANK,
+        near_index: int | None = None,
+    ) -> TensorLayout:
+        """One slice per byte-plane, rows at consecutive (bank-strided)
+        addresses."""
+        slices = self._next_slices(hemisphere, n_planes, near_index)
+        planes = [
+            WordPlacement(
+                hemisphere, s, self._take(hemisphere, s, bank, n_words),
+                n_words,
+            )
+            for s in slices
+        ]
+        return TensorLayout(planes=planes)
+
+    def alloc_parallel(
+        self,
+        hemisphere: Hemisphere,
+        n_rows: int,
+        bank: int = INPUT_BANK,
+        near_index: int | None = None,
+    ) -> TensorLayout:
+        """One slice per row — all rows readable in the same cycle."""
+        slices = self._next_slices(hemisphere, n_rows, near_index)
+        rows = [
+            WordPlacement(
+                hemisphere, s, self._take(hemisphere, s, bank, 1), 1
+            )
+            for s in slices
+        ]
+        return TensorLayout(parallel=rows)
+
+    def alloc_contiguous(
+        self,
+        hemisphere: Hemisphere,
+        n_words: int,
+        near_index: int | None = None,
+    ) -> WordPlacement:
+        """A stride-1 block in one slice, for stream-indirect tables.
+
+        Gather offsets address consecutive words, so the table cannot use
+        the bank-interleaved stride; contiguous blocks grow down from the
+        top of the slice, away from both bank cursors.
+        """
+        (slice_index,) = self._next_slices(hemisphere, 1, near_index)
+        top_key = (hemisphere, slice_index)
+        top = self._top.get(top_key, self.config.mem_words_per_slice_tile)
+        base = top - n_words
+        used = max(
+            self._cursor[(hemisphere, slice_index, 0)],
+            self._cursor[(hemisphere, slice_index, 1)],
+        )
+        if base < used:
+            raise AllocationError(
+                f"MEM_{hemisphere.value}{slice_index} cannot fit a "
+                f"{n_words}-word contiguous table"
+            )
+        self._top[top_key] = base
+        return WordPlacement(
+            hemisphere, slice_index, base, n_words, stride=1
+        )
+
+    def alloc_weight_feed(
+        self, hemisphere: Hemisphere, n_streams: int, words_per_slice: int
+    ) -> TensorLayout:
+        """Weight staging for MXM install: ``n_streams`` slices, each
+        holding every ``n_streams``-th 320-byte chunk of the weight tile so
+        all streams can be fed simultaneously.  Placed near the outboard
+        edge of the hemisphere, adjacent to the MXM."""
+        outer = self.config.mem_slices_per_hemisphere - 1
+        return self.alloc_sequential(
+            hemisphere,
+            n_streams,
+            words_per_slice,
+            bank=INPUT_BANK,
+            near_index=outer,
+        )
+
+
+@dataclass(frozen=True)
+class StreamGrant:
+    """An allocated, naturally aligned stream group."""
+
+    direction: Direction
+    base: int
+    width: int
+    t_start: int
+    t_end: int
+
+    @property
+    def streams(self) -> list[int]:
+        return list(range(self.base, self.base + self.width))
+
+
+class StreamAllocator:
+    """Interval allocation of the 32+32 logical streams."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+        self._grants: dict[Direction, list[StreamGrant]] = {
+            Direction.EASTWARD: [],
+            Direction.WESTWARD: [],
+        }
+
+    def _free(
+        self, direction: Direction, base: int, width: int, t0: int, t1: int
+    ) -> bool:
+        for grant in self._grants[direction]:
+            if grant.base + grant.width <= base or base + width <= grant.base:
+                continue  # disjoint stream ranges
+            if grant.t_end < t0 or t1 < grant.t_start:
+                continue  # disjoint time windows
+            return False
+        return True
+
+    def allocate(
+        self, direction: Direction, width: int, t_start: int, t_end: int
+    ) -> StreamGrant:
+        """Grant an aligned group of ``width`` streams for a window.
+
+        The window is expressed in moving-frame coordinates (which may be
+        negative).  ``width`` must be a power-of-two group size (1, 2, 4)
+        or 16 for the transpose group; alignment follows the SG rules of
+        Section I-B.
+        """
+        if t_end < t_start:
+            raise AllocationError("stream window ends before it starts")
+        align = width if width in (1, 2, 4, 8, 16) else 4
+        limit = self.config.streams_per_direction
+        bases = list(range(0, limit - width + 1, align))
+        if width < 8:
+            # narrow grants pack from the top so wide aligned groups
+            # (weight feeds, transpose groups) keep the low blocks free
+            bases.reverse()
+        for base in bases:
+            if self._free(direction, base, width, t_start, t_end):
+                grant = StreamGrant(direction, base, width, t_start, t_end)
+                self._grants[direction].append(grant)
+                return grant
+        raise AllocationError(
+            f"no {width}-wide {direction.value} stream group free during "
+            f"[{t_start}, {t_end}] — program needs more stream parallelism "
+            "than the chip has"
+        )
+
+    def release(self, grant: StreamGrant) -> None:
+        """Return a grant (used when a tentative schedule is rolled back)."""
+        self._grants[grant.direction].remove(grant)
+
+    def utilization(self) -> dict[str, int]:
+        return {
+            d.value: len(grants) for d, grants in self._grants.items()
+        }

@@ -1,0 +1,143 @@
+"""Dataflow-graph IR for the stream compiler.
+
+The frontend (:mod:`repro.compiler.api`) builds a DAG of :class:`Node`
+objects; the scheduler walks it in topological order and lowers each node to
+instructions placed in time and space.  Tensors are rank-2 — ``(n_vectors,
+length)`` with one hardware vector per row — matching the paper's
+graph-lowering contract that higher-rank tensors are lowered to rank-2 over
+hardware-supported types before reaching the backend.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.streams import DType
+from ..errors import CompileError
+from ..isa.vxm import AluOp
+
+
+class OpKind(enum.Enum):
+    """Node varieties the scheduler knows how to lower."""
+
+    CONSTANT = "constant"  # host data resident in MEM before execution
+    INPUT = "input"  # like CONSTANT, but bound at run time
+    UNARY = "unary"  # VXM point-wise, 1 operand
+    BINARY = "binary"  # VXM point-wise, 2 operands
+    CONVERT = "convert"  # VXM type conversion / requantization
+    TEMPORAL_SHIFT = "temporal_shift"  # delay rows: out[j] = in[j-k]
+    GATHER = "gather"  # MEM stream-indirect read: out[l] = table[idx[l]][l]
+    MATMUL = "matmul"  # MXM: weights (constant) x activations
+    TRANSPOSE16 = "transpose16"  # SXM 16x16 stream transpose
+    ROTATE = "rotate"  # SXM n x n rotation generation
+    SHIFT = "shift"  # SXM lane shift
+    PERMUTE = "permute"  # SXM bijective lane permute
+    DISTRIBUTE = "distribute"  # SXM per-superlane remap
+    SELECT = "select"  # SXM per-lane select between two streams
+    WRITE = "write"  # commit a stream to MEM (program output)
+
+
+@dataclass
+class Node:
+    """One dataflow operation."""
+
+    id: int
+    kind: OpKind
+    inputs: list[int]
+    dtype: DType
+    n_vectors: int
+    length: int  # elements per vector (<= lanes)
+    name: str = ""
+    #: op-specific parameters (alu op, scale, mapping, shift amount, ...)
+    params: dict = field(default_factory=dict)
+    #: host data for CONSTANT nodes
+    data: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_vectors, self.length)
+
+    def __str__(self) -> str:
+        srcs = ",".join(f"n{i}" for i in self.inputs)
+        return (
+            f"n{self.id}: {self.kind.value}({srcs}) "
+            f"{self.dtype.label}[{self.n_vectors}x{self.length}]"
+        )
+
+
+class Graph:
+    """A DAG of nodes with helpers for construction and traversal."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, Node] = {}
+        self._next_id = 0
+        self.outputs: list[int] = []  # WRITE node ids, in creation order
+
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        kind: OpKind,
+        inputs: list[int],
+        dtype: DType,
+        n_vectors: int,
+        length: int,
+        name: str = "",
+        params: dict | None = None,
+        data: np.ndarray | None = None,
+    ) -> Node:
+        for i in inputs:
+            if i not in self.nodes:
+                raise CompileError(f"node input n{i} does not exist")
+        node = Node(
+            id=self._next_id,
+            kind=kind,
+            inputs=list(inputs),
+            dtype=dtype,
+            n_vectors=n_vectors,
+            length=length,
+            name=name or f"{kind.value}_{self._next_id}",
+            params=params or {},
+            data=data,
+        )
+        self.nodes[node.id] = node
+        self._next_id += 1
+        if kind is OpKind.WRITE:
+            self.outputs.append(node.id)
+        return node
+
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def consumers(self, node_id: int) -> list[Node]:
+        return [n for n in self.nodes.values() if node_id in n.inputs]
+
+    def topological_order(self) -> list[Node]:
+        """Kahn's algorithm; raises on cycles (the frontend cannot make
+        them, but hand-built graphs could)."""
+        in_degree = {i: len(n.inputs) for i, n in self.nodes.items()}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: list[Node] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(self.nodes[current])
+            for consumer in self.consumers(current):
+                # multi-edges: a node consuming the same value twice
+                in_degree[consumer.id] -= consumer.inputs.count(current)
+                if in_degree[consumer.id] == 0:
+                    ready.append(consumer.id)
+            ready.sort()
+        if len(order) != len(self.nodes):
+            raise CompileError("dataflow graph has a cycle")
+        return order
+
+    def validate(self) -> None:
+        if not self.outputs:
+            raise CompileError(
+                "program has no outputs — call write_back() on at least one "
+                "value"
+            )
+        self.topological_order()

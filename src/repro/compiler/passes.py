@@ -1,0 +1,151 @@
+"""Post-scheduling program passes.
+
+The main pass reproduces the paper's *omniscient prefetching* (Section
+III-A3): the compiler inserts ``Ifetch`` instructions into every queue's
+idle (NOP) cycles so that no IQ ever runs dry — "it is imperative that IQs
+never go empty so that a precise notion of logical time is maintained
+across the chip."  An Ifetch occupies exactly one dispatch cycle that would
+otherwise be idle, so inserting it never perturbs the schedule.
+
+The byte accounting below is *identical* to the simulator's
+:class:`~repro.sim.icu.IcuQueue`: a queue starts with ``min(total_text,
+capacity)`` bytes buffered, every dispatched instruction consumes its
+encoded size, and each Ifetch tops the buffer up with the next 640-byte
+chunk after its functional delay.  Because inserted Ifetches are themselves
+program text, the pass iterates to a fixed point.
+"""
+
+from __future__ import annotations
+
+from ..config import ArchConfig
+from ..errors import CompileError
+from ..isa.base import Instruction
+from ..isa.icu import Ifetch, Nop
+from ..isa.program import IcuId, Program
+
+
+def _simulate_occupancy(
+    instructions: list[Instruction],
+    capacity: int,
+    fetch_bytes: int,
+    latency: int,
+) -> tuple[int, int] | None:
+    """Replay the IQ byte model; return (failing index, dispatch time) or
+    None if the queue never underflows."""
+    total = sum(i.encoded_size() for i in instructions)
+    buffer_bytes = min(total, capacity)
+    unfetched = total - buffer_bytes
+    pending: list[int] = []  # arrival cycles of issued fetches
+    t = 0
+    for index, instruction in enumerate(instructions):
+        arrived = sorted(a for a in pending if a <= t)
+        pending = [a for a in pending if a > t]
+        for _arrival in arrived:
+            take = max(
+                min(fetch_bytes, unfetched, capacity - buffer_bytes), 0
+            )
+            unfetched -= take
+            buffer_bytes += take
+        size = instruction.encoded_size()
+        if buffer_bytes < size:
+            return index, t
+        buffer_bytes -= size
+        if isinstance(instruction, Ifetch):
+            pending.append(t + latency)
+        t += instruction.issue_cycles()
+    return None
+
+
+def _idle_spans(instructions: list[Instruction]) -> list[tuple[int, int, int]]:
+    """(instruction index, start cycle, length) of every NOP span."""
+    spans = []
+    t = 0
+    for index, instruction in enumerate(instructions):
+        if isinstance(instruction, Nop):
+            spans.append((index, t, instruction.count))
+        t += instruction.issue_cycles()
+    return spans
+
+
+def _insert_in_nop(
+    instructions: list[Instruction], span_index: int, at_cycle: int,
+    span_start: int,
+) -> list[Instruction]:
+    """Split one NOP so an Ifetch dispatches at ``at_cycle``."""
+    nop = instructions[span_index]
+    assert isinstance(nop, Nop)
+    pre = at_cycle - span_start
+    post = nop.count - pre - 1
+    replacement: list[Instruction] = []
+    if pre > 0:
+        replacement.append(Nop(pre))
+    replacement.append(Ifetch())
+    if post > 0:
+        replacement.append(Nop(post))
+    return (
+        instructions[:span_index]
+        + replacement
+        + instructions[span_index + 1 :]
+    )
+
+
+def insert_ifetch(
+    program: Program, config: ArchConfig, ifetch_latency: int | None = None
+) -> Program:
+    """Insert Ifetch instructions so every queue survives strict mode.
+
+    Raises :class:`CompileError` when a queue has no idle cycle early
+    enough — such a program genuinely cannot keep its IQ fed.
+    """
+    from ..arch.timing import DEFAULT_DFUNC
+
+    latency = (
+        DEFAULT_DFUNC["Ifetch"] if ifetch_latency is None else ifetch_latency
+    )
+    out = Program()
+    for icu in program.icus:
+        instructions = list(program.queue(icu))
+        for _iteration in range(256):
+            failure = _simulate_occupancy(
+                instructions,
+                config.iq_capacity_bytes,
+                config.ifetch_bytes,
+                latency,
+            )
+            if failure is None:
+                break
+            _index, fail_time = failure
+            deadline = fail_time - latency
+            placed = False
+            for span_index, start, length in reversed(
+                _idle_spans(instructions)
+            ):
+                if start > deadline:
+                    continue
+                latest = min(deadline, start + length - 1)
+                for at in range(latest, start - 1, -1):
+                    candidate = _insert_in_nop(
+                        instructions, span_index, at, start
+                    )
+                    # only accept insertions that move the failure later
+                    new_failure = _simulate_occupancy(
+                        candidate,
+                        config.iq_capacity_bytes,
+                        config.ifetch_bytes,
+                        latency,
+                    )
+                    if new_failure is None or new_failure[1] > fail_time:
+                        instructions = candidate
+                        placed = True
+                        break
+                if placed:
+                    break
+            if not placed:
+                raise CompileError(
+                    f"{icu}: no idle cycle before t={fail_time} to place an "
+                    "Ifetch — the queue cannot be kept fed"
+                )
+        else:
+            raise CompileError(f"{icu}: Ifetch insertion did not converge")
+        out.extend(icu, instructions)
+    return out

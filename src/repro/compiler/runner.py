@@ -1,0 +1,100 @@
+"""Execute compiled programs on the simulator and marshal host tensors.
+
+The runner is the "host side" of the system: it emplaces the memory image
+(model weights and constants) over the simulated PCIe DMA path, binds input
+tensors, runs the chip, and reads results back out of MEM into numpy
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..sim.chip import RunResult, TspChip
+from .scheduler import CompiledProgram, TensorSpec, pack_tensor, unpack_tensor
+
+
+@dataclass
+class ExecutionResult:
+    """Host-visible outcome: output tensors plus cycle-exact run facts."""
+
+    outputs: dict[str, np.ndarray]
+    run: RunResult
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.outputs[name]
+
+
+def load_compiled(chip: TspChip, compiled: CompiledProgram) -> None:
+    """Emplace the memory image (weights, constants) into chip SRAM."""
+    for word in compiled.memory_image:
+        chip.load_memory(
+            word.hemisphere, word.slice_index, word.address, word.data[None, :]
+        )
+
+
+def bind_input(
+    chip: TspChip, spec: TensorSpec, data: np.ndarray
+) -> None:
+    """Write one host input tensor into its compiled MEM placement."""
+    planes = pack_tensor(data, spec.dtype, chip.config.n_lanes)
+    if planes.shape[1] != spec.n_vectors:
+        raise SimulationError(
+            f"input {spec.name}: expected {spec.n_vectors} vectors, got "
+            f"{planes.shape[1]}"
+        )
+    n_planes = 1 if spec.layout.is_parallel else spec.dtype.n_bytes
+    for p in range(n_planes):
+        for j in range(spec.n_vectors):
+            hemisphere, s, a = spec.layout.address_of(p, j)
+            chip.load_memory(hemisphere, s, a, planes[p, j][None, :])
+
+
+def fetch_output(chip: TspChip, spec: TensorSpec) -> np.ndarray:
+    """Read one output tensor back out of MEM."""
+    lanes = chip.config.n_lanes
+    if spec.layout.is_parallel:
+        planes = np.zeros((1, spec.n_vectors, lanes), dtype=np.uint8)
+        for j in range(spec.n_vectors):
+            hemisphere, s, a = spec.layout.address_of(0, j)
+            planes[0, j] = chip.read_memory(hemisphere, s, a)[0]
+    else:
+        b = spec.dtype.n_bytes
+        planes = np.zeros((b, spec.n_vectors, lanes), dtype=np.uint8)
+        for p in range(b):
+            for j in range(spec.n_vectors):
+                hemisphere, s, a = spec.layout.address_of(p, j)
+                planes[p, j] = chip.read_memory(hemisphere, s, a)[0]
+    return unpack_tensor(planes, spec.dtype, spec.length)
+
+
+def execute(
+    compiled: CompiledProgram,
+    chip: TspChip | None = None,
+    inputs: dict[str, np.ndarray] | None = None,
+    max_cycles: int = 1_000_000,
+    warmup_barrier: bool = False,
+) -> ExecutionResult:
+    """Load, bind, run, and read back a compiled program."""
+    if chip is None:
+        chip = TspChip(compiled.config)
+    load_compiled(chip, compiled)
+    inputs = inputs or {}
+    for name, spec in compiled.inputs.items():
+        if name not in inputs:
+            raise SimulationError(f"input {name!r} was not bound")
+        bind_input(chip, spec, inputs[name])
+    unknown = set(inputs) - set(compiled.inputs)
+    if unknown:
+        raise SimulationError(f"unknown inputs bound: {sorted(unknown)}")
+    run = chip.run(
+        compiled.program, max_cycles=max_cycles, warmup_barrier=warmup_barrier
+    )
+    outputs = {
+        name: fetch_output(chip, spec)
+        for name, spec in compiled.outputs.items()
+    }
+    return ExecutionResult(outputs=outputs, run=run)

@@ -1,0 +1,1619 @@
+"""The two-dimensional (time x space) instruction scheduler.
+
+This is the compiler back-end the paper describes in Sections II and III:
+it "precisely tracks the chip's architectural state" — where every stream
+value is on every cycle — and places instructions so that the vertically
+flowing instruction and the horizontally flowing operands "properly
+intersect in time and space".  Concretely, for every node of the dataflow
+graph it:
+
+1. picks a functional unit (MEM slices for tensors, a VXM ALU slot for
+   point-wise ops, an MXM plane for matmuls, an SXM unit for reshapes);
+2. computes when each operand's vector 0 can be present at that unit's
+   stream-register position, using ``t_drive + delta(j, i)`` (Equation 4);
+3. finds dispatch cells in the unit's instruction queue satisfying
+   ``t_dispatch + d_skew = operand arrival``, searching later start times
+   when queues or streams are contended;
+4. reserves stream groups for the result with interval allocation, and
+   records where/when the result will flow so downstream nodes repeat the
+   process.
+
+Tensors stream one vector per cycle, so a whole (n, L) tensor is scheduled
+by reasoning about vector 0 and issuing n back-to-back instructions.
+
+Physical constraints honoured here and enforced by the simulator: a stream
+value cannot be delayed once driven (a consumer must sample it exactly when
+it passes); MEM tensors are placed near their consumer (Section V-b); reads
+come from bank 0 and results land in bank 1 so one slice can do both in a
+cycle (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.geometry import Direction, Floorplan, Hemisphere
+from ..arch.streams import DType
+from ..arch.timing import TimingModel
+from ..config import ArchConfig
+from ..errors import AllocationError, CompileError, ScheduleError
+from ..isa import (
+    Accumulate,
+    ActivationBufferControl,
+    AluOp,
+    BinaryOp,
+    Convert,
+    IcuId,
+    InstallWeights,
+    Instruction,
+    Nop,
+    Program,
+    Read,
+    Select,
+    Shift,
+    Transpose,
+    UnaryOp,
+    Write,
+)
+from ..isa.program import SXM_UNITS
+from ..isa.sxm import Distribute, Permute, Rotate
+from .allocator import (
+    INPUT_BANK,
+    RESULT_BANK,
+    MemoryAllocator,
+    StreamAllocator,
+    StreamGrant,
+    TensorLayout,
+)
+from .graph import Graph, Node, OpKind
+
+#: How many candidate start cycles to try before giving up on a node.
+SEARCH_LIMIT = 4096
+
+
+@dataclass
+class StreamValue:
+    """A value in flight: where and when its vectors are on streams.
+
+    ``parallel`` values put each row on its own stream simultaneously
+    (transpose/rotate groups); sequential values stagger rows one cycle
+    apart on a single aligned group.
+    """
+
+    grant: StreamGrant
+    position: int
+    t0: int  # drive cycle of vector 0 (row 0) at `position`
+    n_vectors: int
+    dtype: DType
+    length: int
+    parallel: bool = False
+
+    @property
+    def direction(self) -> Direction:
+        return self.grant.direction
+
+    def reaches(self, position: int) -> bool:
+        dx = position - self.position
+        if dx == 0:
+            return True
+        flow = Direction.EASTWARD if dx > 0 else Direction.WESTWARD
+        return flow is self.direction
+
+    def arrival_at(self, position: int) -> int:
+        """Cycle vector 0 is present at ``position`` (Equation 4 transit)."""
+        if not self.reaches(position):
+            raise ScheduleError(
+                f"value flowing {self.direction.value} from position "
+                f"{self.position} can never reach position {position}"
+            )
+        return self.t0 + abs(position - self.position)
+
+
+@dataclass
+class MemWord:
+    """One initialized 320-byte MEM word of the memory image."""
+
+    hemisphere: Hemisphere
+    slice_index: int
+    address: int
+    data: np.ndarray  # (lanes,) uint8
+
+
+@dataclass
+class TensorSpec:
+    """Host-visible description of a MEM-resident tensor."""
+
+    name: str
+    layout: TensorLayout
+    n_vectors: int
+    length: int
+    dtype: DType
+
+
+@dataclass
+class ScheduleStats:
+    """Compiler-reported schedule facts (printed by benches)."""
+
+    nodes: int = 0
+    instructions: int = 0
+    nops_inserted: int = 0
+    makespan: int = 0
+    stream_grants: dict = field(default_factory=dict)
+
+
+@dataclass
+class CompiledProgram:
+    """Everything needed to execute a compiled graph on a chip."""
+
+    config: ArchConfig
+    program: Program
+    memory_image: list[MemWord]
+    inputs: dict[str, TensorSpec]
+    outputs: dict[str, TensorSpec]
+    stats: ScheduleStats
+
+
+@dataclass
+class _Delivery:
+    """How one operand reaches a consumer: stream base + pending reads."""
+
+    base_stream: int
+    direction: Direction
+    reads: list[tuple[IcuId, int, Read]] = field(default_factory=list)
+    grant: StreamGrant | None = None
+
+
+class QueueBuilder:
+    """Time-indexed dispatch cells for one ICU, NOP-padded at assembly."""
+
+    def __init__(self, icu: IcuId) -> None:
+        self.icu = icu
+        self.cells: dict[int, Instruction] = {}
+        self.notes: dict[int, str] = {}
+
+    def is_free(self, t: int, n: int = 1) -> bool:
+        if t < 0:
+            return False
+        return all(t + k not in self.cells for k in range(n))
+
+    def reserve(self, t: int, instruction: Instruction, note: str = "") -> None:
+        if t in self.cells:
+            raise ScheduleError(
+                f"{self.icu}: dispatch cell {t} is already taken"
+            )
+        if t < 0:
+            raise ScheduleError(f"{self.icu}: dispatch before cycle 0")
+        self.cells[t] = instruction
+        if note:
+            self.notes[t] = note
+
+    def emit(self, program: Program) -> tuple[int, int]:
+        """Write NOP-padded instructions into ``program``.
+
+        Returns (instructions, nops) emitted.
+        """
+        cursor = 0
+        nops = 0
+        for t in sorted(self.cells):
+            gap = t - cursor
+            while gap > 0:
+                chunk = min(gap, 0xFFFF)
+                program.add(self.icu, Nop(chunk))
+                nops += 1
+                gap -= chunk
+            program.add(self.icu, self.cells[t], note=self.notes.get(t))
+            cursor = t + 1
+        return len(self.cells), nops
+
+
+class Scheduler:
+    """Lowers a dataflow graph into a placed, timed instruction program."""
+
+    def __init__(
+        self, config: ArchConfig, timing: TimingModel | None = None
+    ) -> None:
+        self.config = config
+        self.timing = timing or TimingModel()
+        self.floorplan = Floorplan(config)
+        self.mem = MemoryAllocator(config)
+        self.streams = StreamAllocator(config)
+        self.queues: dict[IcuId, QueueBuilder] = {}
+        self.memory_image: list[MemWord] = []
+        self.values: dict[int, StreamValue] = {}
+        self.layouts: dict[int, TensorLayout] = {}
+        self.inputs: dict[str, TensorSpec] = {}
+        self.outputs: dict[str, TensorSpec] = {}
+        self._mxm_rr = 0
+        self._hemisphere_rr = 0
+        self._transpose_rr = 0
+        self._fp16_hemispheres: set[Hemisphere] = set()
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def queue(self, icu: IcuId) -> QueueBuilder:
+        if icu not in self.queues:
+            self.queues[icu] = QueueBuilder(icu)
+        return self.queues[icu]
+
+    def dfunc(self, mnemonic: str) -> int:
+        return self.timing.functional_delay(mnemonic)
+
+    def dskew(self, mnemonic: str) -> int:
+        return self.timing.operand_skew(mnemonic)
+
+    def _edge_distance(self, position: int, direction: Direction) -> int:
+        """Hops from a position to the die edge in the flow direction."""
+        if direction is Direction.EASTWARD:
+            return self.floorplan.n_positions - 1 - position
+        return position
+
+    def _grant_for_drive(
+        self,
+        direction: Direction,
+        width: int,
+        t0: int,
+        n_vectors: int,
+        parallel: bool,
+        position: int,
+    ) -> StreamGrant:
+        """Allocate streams for a value present at ``position`` from ``t0``.
+
+        Intervals are booked in the *moving frame* of the stream: for an
+        eastward value, ``c = t - position`` is invariant as it flows (it
+        advances one position per cycle), so two values on the same stream
+        collide iff their ``c`` windows overlap — regardless of where they
+        were driven.  This is exact: a value driven behind another on the
+        same stream never catches up.
+        """
+        c0 = t0 - position if direction is Direction.EASTWARD else t0 + position
+        span = 0 if parallel else n_vectors - 1
+        return self.streams.allocate(direction, width, c0, c0 + span)
+
+    def _slice_position(self, hemisphere: Hemisphere, index: int) -> int:
+        return self.floorplan.position(
+            self.floorplan.mem_slice(hemisphere, index)
+        )
+
+    def _nearest_mem_index(
+        self, hemisphere: Hemisphere, position: int
+    ) -> int:
+        """The MEM slice index in ``hemisphere`` closest to a position."""
+        best, best_d = 0, None
+        for i in range(self.config.mem_slices_per_hemisphere):
+            d = abs(self._slice_position(hemisphere, i) - position)
+            if best_d is None or d < best_d:
+                best, best_d = i, d
+        return best
+
+    def _pick_hemisphere(self) -> Hemisphere:
+        hemisphere = (
+            Hemisphere.EAST if self._hemisphere_rr % 2 == 0 else Hemisphere.WEST
+        )
+        self._hemisphere_rr += 1
+        return hemisphere
+
+    # ------------------------------------------------------------------
+    # tensor residence
+    # ------------------------------------------------------------------
+    def ensure_layout(
+        self,
+        node: Node,
+        hemisphere: Hemisphere,
+        parallel: bool,
+        near_position: int | None = None,
+    ) -> TensorLayout:
+        """Place a CONSTANT/INPUT tensor in MEM on first use."""
+        if node.id in self.layouts:
+            layout = self.layouts[node.id]
+            if layout.is_parallel != parallel:
+                raise CompileError(
+                    f"{node.name} is consumed both as a parallel stream "
+                    "group and as a sequential stream — duplicate the "
+                    "tensor instead"
+                )
+            return layout
+        near = (
+            None
+            if near_position is None
+            else self._nearest_mem_index(hemisphere, near_position)
+        )
+        if parallel:
+            if node.dtype.n_bytes != 1:
+                raise CompileError(
+                    "parallel (transpose-group) tensors must be 1-byte types"
+                )
+            layout = self.mem.alloc_parallel(
+                hemisphere, node.n_vectors, bank=INPUT_BANK, near_index=near
+            )
+        else:
+            layout = self.mem.alloc_sequential(
+                hemisphere, node.dtype.n_bytes, node.n_vectors,
+                bank=INPUT_BANK, near_index=near,
+            )
+        self.layouts[node.id] = layout
+        spec = TensorSpec(
+            node.name, layout, node.n_vectors, node.length, node.dtype
+        )
+        if node.kind is OpKind.CONSTANT:
+            self._materialize(node, layout)
+        elif node.kind is OpKind.INPUT:
+            self.inputs[node.name] = spec
+        return layout
+
+    def _materialize(self, node: Node, layout: TensorLayout) -> None:
+        """Append a constant tensor's words to the memory image."""
+        planes = pack_tensor(node.data, node.dtype, self.config.n_lanes)
+        n_planes = 1 if layout.is_parallel else node.dtype.n_bytes
+        for p in range(n_planes):
+            for j in range(node.n_vectors):
+                hemisphere, s, a = layout.address_of(p, j)
+                self.memory_image.append(
+                    MemWord(hemisphere, s, a, planes[p, j])
+                )
+
+    # ------------------------------------------------------------------
+    # operand delivery
+    # ------------------------------------------------------------------
+    def _operand_min_arrival(self, node_in: Node, position: int) -> int:
+        """Earliest possible arrival of an operand's vector 0 at a position.
+
+        In-flight values arrive exactly when they arrive (fixed); MEM
+        tensors can arrive any time >= read dispatch at cycle 0 plus
+        transit.
+        """
+        if node_in.id in self.values:
+            return self.values[node_in.id].arrival_at(position)
+        layout = self.layouts.get(node_in.id)
+        dfunc = self.dfunc("Read")
+        if layout is None:
+            return dfunc + 1  # nearest slice is 1 hop away
+        positions = [
+            self._slice_position(p.hemisphere, p.slice_index)
+            for p in (layout.parallel or layout.planes)
+        ]
+        return max(dfunc + abs(position - p) for p in positions)
+
+    def _deliver_operand(
+        self,
+        node_in: Node,
+        position: int,
+        arrival_t0: int,
+        parallel_consumer: bool,
+        hemisphere_hint: Hemisphere,
+    ) -> _Delivery | None:
+        """Arrange for an operand to be on streams at ``position`` at
+        ``arrival_t0``.  Returns None when that exact timing is infeasible
+        (the caller tries a later start)."""
+        if node_in.id in self.values:
+            value = self.values[node_in.id]
+            if not value.reaches(position):
+                raise ScheduleError(
+                    f"{node_in.name} flows {value.direction.value} and "
+                    f"cannot reach position {position}"
+                )
+            if value.arrival_at(position) != arrival_t0:
+                return None
+            if parallel_consumer and not value.parallel:
+                raise CompileError(
+                    f"{node_in.name}: this consumer needs a parallel "
+                    "stream group"
+                )
+            return _Delivery(value.grant.base, value.direction)
+
+        layout = self.ensure_layout(
+            node_in, hemisphere_hint, parallel_consumer, near_position=position
+        )
+        placements = layout.parallel or layout.planes
+        ref_pos = self._slice_position(
+            placements[0].hemisphere, placements[0].slice_index
+        )
+        if position == ref_pos:
+            direction = Direction.inward_for(placements[0].hemisphere)
+        else:
+            direction = (
+                Direction.EASTWARD if position > ref_pos else Direction.WESTWARD
+            )
+        reads = self._plan_reads(
+            node_in, layout, direction, position, arrival_t0, parallel_consumer
+        )
+        if reads is None:
+            return None
+        width = (
+            node_in.n_vectors if parallel_consumer else node_in.dtype.n_bytes
+        )
+        # every byte-plane read is timed so the group is aligned at the
+        # consumer, which means they all share one moving-frame window
+        try:
+            grant = self._grant_for_drive(
+                direction,
+                width,
+                arrival_t0,
+                1 if parallel_consumer else node_in.n_vectors,
+                parallel_consumer,
+                position,
+            )
+        except AllocationError:
+            return None
+        reads = [
+            (
+                icu,
+                t,
+                Read(
+                    address=r.address,
+                    stream=grant.base + r.stream,
+                    direction=r.direction,
+                ),
+            )
+            for (icu, t, r) in reads
+        ]
+        return _Delivery(grant.base, direction, reads, grant)
+
+    def _plan_reads(
+        self,
+        node: Node,
+        layout: TensorLayout,
+        direction: Direction,
+        consumer_position: int,
+        arrival_t0: int,
+        parallel_consumer: bool,
+    ) -> list[tuple[IcuId, int, Read]] | None:
+        """Plan Read instructions delivering a tensor to a consumer.
+
+        Stream fields are *relative* (plane index / 0); the caller rebases
+        them onto the allocated grant.  Returns None if any dispatch cell is
+        taken or would precede cycle 0.
+        """
+        dfunc = self.dfunc("Read")
+        reads: list[tuple[IcuId, int, Read]] = []
+        taken: set[tuple[IcuId, int]] = set()
+
+        def plan_one(
+            hemisphere: Hemisphere,
+            slice_index: int,
+            address: int,
+            stream: int,
+            arrival: int,
+        ) -> bool:
+            slice_pos = self._slice_position(hemisphere, slice_index)
+            dx = consumer_position - slice_pos
+            if dx != 0:
+                flow = Direction.EASTWARD if dx > 0 else Direction.WESTWARD
+                if flow is not direction:
+                    return False
+            t_dispatch = arrival - abs(dx) - dfunc
+            icu = IcuId(self.floorplan.mem_slice(hemisphere, slice_index))
+            if t_dispatch < 0 or not self.queue(icu).is_free(t_dispatch):
+                return False
+            if (icu, t_dispatch) in taken:
+                return False
+            taken.add((icu, t_dispatch))
+            reads.append(
+                (
+                    icu,
+                    t_dispatch,
+                    Read(address=address, stream=stream, direction=direction),
+                )
+            )
+            return True
+
+        if layout.is_parallel:
+            for j in range(node.n_vectors):
+                hemisphere, s, a = layout.address_of(0, j)
+                stream = j if parallel_consumer else 0
+                arrival = arrival_t0 if parallel_consumer else arrival_t0 + j
+                if not plan_one(hemisphere, s, a, stream, arrival):
+                    return None
+        else:
+            if parallel_consumer and node.n_vectors > 1:
+                raise CompileError(
+                    f"{node.name} is stored sequentially but is consumed as "
+                    "a parallel stream group — store it parallel"
+                )
+            for p in range(node.dtype.n_bytes):
+                for j in range(node.n_vectors):
+                    hemisphere, s, a = layout.address_of(p, j)
+                    if not plan_one(hemisphere, s, a, p, arrival_t0 + j):
+                        return None
+        return reads
+
+    def _commit_delivery(self, delivery: _Delivery) -> None:
+        for icu, t, instruction in delivery.reads:
+            self.queue(icu).reserve(t, instruction)
+
+    def _commit_deliveries(self, deliveries: list[_Delivery]) -> None:
+        committed: set[int] = set()
+        for delivery in deliveries:
+            if id(delivery) in committed:
+                continue
+            committed.add(id(delivery))
+            self._commit_delivery(delivery)
+
+    def _release_deliveries(self, deliveries: list[_Delivery]) -> None:
+        released: set[int] = set()
+        for d in deliveries:
+            if d.grant is not None and id(d) not in released:
+                released.add(id(d))
+                self.streams.release(d.grant)
+
+    # ------------------------------------------------------------------
+    # the public entry point
+    # ------------------------------------------------------------------
+    def schedule(self, graph: Graph) -> CompiledProgram:
+        graph.validate()
+        for node in graph.topological_order():
+            self._schedule_node(graph, node)
+        program = Program()
+        instructions = 0
+        nops = 0
+        for icu in sorted(self.queues, key=IcuId.sort_key):
+            i, n = self.queues[icu].emit(program)
+            instructions += i
+            nops += n
+        stats = ScheduleStats(
+            nodes=len(graph.nodes),
+            instructions=instructions,
+            nops_inserted=nops,
+            makespan=max(
+                (max(q.cells) + 1 for q in self.queues.values() if q.cells),
+                default=0,
+            ),
+            stream_grants=self.streams.utilization(),
+        )
+        return CompiledProgram(
+            config=self.config,
+            program=program,
+            memory_image=self.memory_image,
+            inputs=self.inputs,
+            outputs=self.outputs,
+            stats=stats,
+        )
+
+    # ------------------------------------------------------------------
+    def _schedule_node(self, graph: Graph, node: Node) -> None:
+        if node.kind in (OpKind.CONSTANT, OpKind.INPUT):
+            return  # placed lazily by the first consumer
+        if node.kind in (OpKind.UNARY, OpKind.BINARY, OpKind.CONVERT):
+            self._schedule_vxm(graph, node)
+        elif node.kind is OpKind.TEMPORAL_SHIFT:
+            self._schedule_temporal_shift(graph, node)
+        elif node.kind is OpKind.GATHER:
+            self._schedule_gather(graph, node)
+        elif node.kind is OpKind.MATMUL:
+            self._schedule_matmul(graph, node)
+        elif node.kind in (
+            OpKind.SHIFT,
+            OpKind.PERMUTE,
+            OpKind.DISTRIBUTE,
+            OpKind.SELECT,
+            OpKind.TRANSPOSE16,
+            OpKind.ROTATE,
+        ):
+            self._schedule_sxm(graph, node)
+        elif node.kind is OpKind.WRITE:
+            self._schedule_write(graph, node)
+        else:
+            raise CompileError(f"cannot lower {node.kind.value}")
+
+    # ------------------------------------------------------------------
+    # VXM point-wise nodes
+    # ------------------------------------------------------------------
+    def _vxm_mnemonic(self, node: Node) -> str:
+        if node.kind is OpKind.UNARY:
+            op: AluOp = node.params["op"]
+            return {
+                AluOp.RELU: "ReLU",
+                AluOp.TANH: "TanH",
+                AluOp.EXP: "Exp",
+                AluOp.RSQRT: "RSqrt",
+            }.get(op, "UnaryOp")
+        if node.kind is OpKind.BINARY:
+            return "BinaryOp"
+        return "Convert"
+
+    def _schedule_vxm(self, graph: Graph, node: Node) -> None:
+        position = self.floorplan.position(self.floorplan.vxm())
+        mnemonic = self._vxm_mnemonic(node)
+        inputs = [graph.node(i) for i in node.inputs]
+        hemisphere = self._pick_hemisphere()
+        t_min = max(
+            self._operand_min_arrival(n_in, position) for n_in in inputs
+        )
+        for t_exec in range(t_min, t_min + SEARCH_LIMIT):
+            if self._try_vxm_at(
+                node, inputs, position, t_exec, hemisphere, mnemonic
+            ):
+                return
+        raise ScheduleError(
+            f"could not place {node.name} within the search window — "
+            "in-flight operands may be misaligned (stage one through "
+            "memory with write_back)"
+        )
+
+    #: Largest stream retiming (in chained-COPY cycles) the scheduler will
+    #: synthesize to align two in-flight operands.
+    MAX_DELAY_CHAIN = 64
+
+    def _plan_delay_chain(
+        self,
+        value: StreamValue,
+        target_arrival: int,
+        position: int,
+        taken: set[tuple[IcuId, int]],
+    ):
+        """Retime an in-flight value to arrive at ``position`` at
+        ``target_arrival`` by chaining COPY ops through VXM ALUs.
+
+        A stream cannot be stalled, but a VXM ALU at the same position can
+        re-drive it one ``d_func`` later — the compiler's retiming idiom.
+        Returns (delayed StreamValue, reservations, grants) or None.
+        """
+        arrival = value.arrival_at(position)
+        delay = target_arrival - arrival
+        if delay < 0 or delay > self.MAX_DELAY_CHAIN:
+            return None
+        reservations: list[tuple[IcuId, int, Instruction]] = []
+        grants: list[StreamGrant] = []
+        n = value.n_vectors
+        current = value
+        for _step in range(delay):
+            t_exec = current.arrival_at(position)
+            alu = None
+            for candidate in range(16):
+                icu = IcuId(self.floorplan.vxm(), candidate)
+                if not self.queue(icu).is_free(t_exec, n):
+                    continue
+                if any((icu, t_exec + k) in taken for k in range(n)):
+                    continue
+                alu = candidate
+                break
+            if alu is None:
+                for g in grants:
+                    self.streams.release(g)
+                return None
+            try:
+                grant = self._grant_for_drive(
+                    Direction.EASTWARD, current.dtype.n_bytes, t_exec + 1,
+                    n, False, position,
+                )
+            except AllocationError:
+                for g in grants:
+                    self.streams.release(g)
+                return None
+            grants.append(grant)
+            icu = IcuId(self.floorplan.vxm(), alu)
+            instr = UnaryOp(
+                op=AluOp.COPY,
+                src_stream=current.grant.base,
+                src_direction=current.direction,
+                dst_stream=grant.base,
+                dst_direction=grant.direction,
+                dtype=current.dtype,
+                alu=alu,
+            )
+            for k in range(n):
+                taken.add((icu, t_exec + k))
+                reservations.append((icu, t_exec + k, instr))
+            current = StreamValue(
+                grant, position, t_exec + 1, n, current.dtype,
+                current.length,
+            )
+        return current, reservations, grants
+
+    def _try_vxm_at(
+        self, node, inputs, position, t_exec, hemisphere, mnemonic
+    ) -> bool:
+        n = node.n_vectors
+        taken: set[tuple[IcuId, int]] = set()
+        chain_reservations: list[tuple[IcuId, int, Instruction]] = []
+        chain_grants: list[StreamGrant] = []
+        overrides: dict[int, StreamValue] = {}
+
+        def fail() -> bool:
+            for g in chain_grants:
+                self.streams.release(g)
+            self._release_deliveries(deliveries)
+            return False
+
+        deliveries: list[_Delivery] = []
+        # retime any in-flight operand that would arrive too early
+        for n_in in inputs:
+            if n_in.id not in self.values or n_in.id in overrides:
+                continue
+            value = self.values[n_in.id]
+            if not value.reaches(position):
+                raise ScheduleError(
+                    f"{n_in.name} cannot reach the VXM from its position"
+                )
+            if value.arrival_at(position) == t_exec:
+                continue
+            planned = self._plan_delay_chain(value, t_exec, position, taken)
+            if planned is None:
+                return fail()
+            delayed, reservations, grants = planned
+            overrides[n_in.id] = delayed
+            chain_reservations.extend(reservations)
+            chain_grants.extend(grants)
+
+        alu = None
+        for candidate in range(16):
+            icu = IcuId(self.floorplan.vxm(), candidate)
+            if not self.queue(icu).is_free(t_exec, n):
+                continue
+            if any((icu, t_exec + k) in taken for k in range(n)):
+                continue
+            alu = candidate
+            break
+        if alu is None:
+            return fail()
+
+        seen: dict[int, _Delivery] = {}
+        for n_in in inputs:
+            if n_in.id in seen:
+                # the same value consumed twice (e.g. add(x, x)): one
+                # stream carries it to both operand ports
+                deliveries.append(seen[n_in.id])
+                continue
+            if n_in.id in overrides:
+                value = overrides[n_in.id]
+                delivery = _Delivery(value.grant.base, value.direction)
+            else:
+                delivery = self._deliver_operand(
+                    n_in, position, t_exec, False, hemisphere
+                )
+            if delivery is None:
+                return fail()
+            deliveries.append(delivery)
+            seen[n_in.id] = delivery
+
+        dfunc = self.dfunc(mnemonic)
+        t_drive = t_exec + dfunc
+        try:
+            out_grant = self._grant_for_drive(
+                Direction.EASTWARD, node.dtype.n_bytes, t_drive, n, False,
+                position,
+            )
+        except AllocationError:
+            return fail()
+
+        self._commit_deliveries(deliveries)
+        for icu, t, instr in chain_reservations:
+            self.queue(icu).reserve(t, instr, note="retime")
+        icu = IcuId(self.floorplan.vxm(), alu)
+        instr = self._vxm_instruction(node, inputs, deliveries, out_grant, alu)
+        for k in range(n):
+            self.queue(icu).reserve(
+                t_exec + k, instr, note=node.name if k == 0 else ""
+            )
+        self.values[node.id] = StreamValue(
+            out_grant, position, t_drive, n, node.dtype, node.length
+        )
+        return True
+
+    def _vxm_instruction(
+        self, node, inputs, deliveries: list[_Delivery],
+        out_grant: StreamGrant, alu: int,
+    ) -> Instruction:
+        if node.kind is OpKind.UNARY:
+            return UnaryOp(
+                op=node.params["op"],
+                src_stream=deliveries[0].base_stream,
+                src_direction=deliveries[0].direction,
+                dst_stream=out_grant.base,
+                dst_direction=out_grant.direction,
+                dtype=inputs[0].dtype,
+                alu=alu,
+            )
+        if node.kind is OpKind.BINARY:
+            return BinaryOp(
+                op=node.params["op"],
+                src1_stream=deliveries[0].base_stream,
+                src1_direction=deliveries[0].direction,
+                src2_stream=deliveries[1].base_stream,
+                src2_direction=deliveries[1].direction,
+                dst_stream=out_grant.base,
+                dst_direction=out_grant.direction,
+                dtype=inputs[0].dtype,
+                alu=alu,
+            )
+        return Convert(
+            src_stream=deliveries[0].base_stream,
+            src_direction=deliveries[0].direction,
+            dst_stream=out_grant.base,
+            dst_direction=out_grant.direction,
+            from_dtype=inputs[0].dtype,
+            to_dtype=node.dtype,
+            scale=node.params.get("scale", 1.0),
+            alu=alu,
+        )
+
+    # ------------------------------------------------------------------
+    # gather (stream-indirect addressing, Section III-B)
+    # ------------------------------------------------------------------
+    def _schedule_gather(self, graph: Graph, node: Node) -> None:
+        """Stream-indirect read: the MEM slice holding the table services
+        one Gather per index vector, with per-lane addresses taken from
+        the passing map stream."""
+        from ..isa.mem import Gather
+
+        table = graph.node(node.inputs[0])
+        indices = graph.node(node.inputs[1])
+        if table.kind is not OpKind.CONSTANT:
+            raise CompileError("gather tables must be constant tensors")
+        hemisphere = self._pick_hemisphere()
+        if table.id in self.layouts:
+            raise CompileError(
+                f"{table.name} is already placed; gather tables need their "
+                "own contiguous placement"
+            )
+        placement = self.mem.alloc_contiguous(
+            hemisphere, table.n_vectors,
+            near_index=0,  # near the VXM so results flow far
+        )
+        self.layouts[table.id] = TensorLayout(
+            planes=[placement]
+        )
+        # materialize the table rows contiguously
+        planes = pack_tensor(table.data, table.dtype, self.config.n_lanes)
+        for j in range(table.n_vectors):
+            self.memory_image.append(
+                MemWord(
+                    placement.hemisphere,
+                    placement.slice_index,
+                    placement.base_address + j,
+                    planes[0, j],
+                )
+            )
+
+        slice_addr = self.floorplan.mem_slice(
+            placement.hemisphere, placement.slice_index
+        )
+        position = self.floorplan.position(slice_addr)
+        icu = IcuId(slice_addr)
+        inward = Direction.inward_for(placement.hemisphere)
+        n = node.n_vectors
+        dfunc = self.dfunc("Gather")
+        t_min = self._operand_min_arrival(indices, position)
+
+        for t_exec in range(t_min, t_min + SEARCH_LIMIT):
+            if not self.queue(icu).is_free(t_exec, n):
+                continue
+            delivery = self._deliver_operand(
+                indices, position, t_exec, False, placement.hemisphere
+            )
+            if delivery is None:
+                continue
+            try:
+                out_grant = self._grant_for_drive(
+                    inward, 1, t_exec + dfunc, n, False, position
+                )
+            except AllocationError:
+                if delivery.grant is not None:
+                    self.streams.release(delivery.grant)
+                continue
+            self._commit_delivery(delivery)
+            instr = Gather(
+                stream=out_grant.base,
+                map_stream=delivery.base_stream,
+                direction=inward,
+                map_direction=delivery.direction,
+                base=placement.base_address,
+            )
+            for j in range(n):
+                self.queue(icu).reserve(
+                    t_exec + j, instr, note=node.name if j == 0 else ""
+                )
+            self.values[node.id] = StreamValue(
+                out_grant, position, t_exec + dfunc, n, node.dtype,
+                node.length,
+            )
+            return
+        raise ScheduleError(
+            f"could not place {node.name} within the search window"
+        )
+
+    # ------------------------------------------------------------------
+    # temporal shift (streaming-window delay)
+    # ------------------------------------------------------------------
+    def _schedule_temporal_shift(self, graph: Graph, node: Node) -> None:
+        """``out[j] = in[j-k]``: re-drive the stream k cycles later, then
+        declare its row alignment k rows earlier.
+
+        Physically a chain of k VXM copies; rows j < k sample the stream
+        before the first drive and read zeros.  The final grant's window
+        is widened to cover those early (empty) slots so no other value
+        can be scheduled into them.
+        """
+        position = self.floorplan.position(self.floorplan.vxm())
+        k = node.params["k"]
+        n = node.n_vectors
+        source = graph.node(node.inputs[0])
+        hemisphere = self._pick_hemisphere()
+        t_min = self._operand_min_arrival(source, position)
+
+        for t_exec in range(t_min, t_min + SEARCH_LIMIT):
+            delivery = self._deliver_operand(
+                source, position, t_exec, False, hemisphere
+            )
+            if delivery is None:
+                continue
+            taken: set[tuple[IcuId, int]] = set()
+            reservations: list[tuple[IcuId, int, Instruction]] = []
+            grants: list[StreamGrant] = []
+            current_base = delivery.base_stream
+            current_dir = delivery.direction
+            ok = True
+            for step in range(k):
+                cap_t = t_exec + step
+                alu = None
+                for candidate in range(16):
+                    icu = IcuId(self.floorplan.vxm(), candidate)
+                    if not self.queue(icu).is_free(cap_t, n):
+                        continue
+                    if any(
+                        (icu, cap_t + j) in taken for j in range(n)
+                    ):
+                        continue
+                    alu = candidate
+                    break
+                if alu is None:
+                    ok = False
+                    break
+                drive_t = cap_t + 1
+                last = step == k - 1
+                c0 = drive_t - position
+                try:
+                    if last:
+                        # cover the k declared-but-empty leading slots too
+                        grant = self.streams.allocate(
+                            Direction.EASTWARD,
+                            node.dtype.n_bytes,
+                            c0 - k,
+                            c0 + n - 1,
+                        )
+                    else:
+                        grant = self._grant_for_drive(
+                            Direction.EASTWARD, node.dtype.n_bytes,
+                            drive_t, n, False, position,
+                        )
+                except AllocationError:
+                    ok = False
+                    break
+                grants.append(grant)
+                icu = IcuId(self.floorplan.vxm(), alu)
+                instr = UnaryOp(
+                    op=AluOp.COPY,
+                    src_stream=current_base,
+                    src_direction=current_dir,
+                    dst_stream=grant.base,
+                    dst_direction=grant.direction,
+                    dtype=node.dtype,
+                    alu=alu,
+                )
+                for j in range(n):
+                    taken.add((icu, cap_t + j))
+                    reservations.append((icu, cap_t + j, instr))
+                current_base = grant.base
+                current_dir = grant.direction
+            if not ok:
+                for g in grants:
+                    self.streams.release(g)
+                if delivery.grant is not None:
+                    self.streams.release(delivery.grant)
+                continue
+            self._commit_delivery(delivery)
+            for icu, t, instr in reservations:
+                self.queue(icu).reserve(
+                    t, instr, note=f"{node.name} delay"
+                )
+            # declared alignment: row j of the output is sampled where
+            # row j of the *input* was sampled, but physically carries
+            # input row j-k (the data was re-driven k cycles later)
+            self.values[node.id] = StreamValue(
+                grants[-1], position, t_exec, n, node.dtype, node.length
+            )
+            return
+        raise ScheduleError(
+            f"could not place {node.name} within the search window"
+        )
+
+    # ------------------------------------------------------------------
+    # MXM matmul
+    # ------------------------------------------------------------------
+    def _schedule_matmul(self, graph: Graph, node: Node) -> None:
+        lanes = self.config.n_lanes
+        weight_node = graph.node(node.inputs[0])
+        act_nodes = [graph.node(i) for i in node.inputs[1:]]
+        if weight_node.kind is not OpKind.CONSTANT:
+            raise CompileError("matmul weights must be a constant tensor")
+        m = node.params["m"]
+        if m > lanes:
+            raise CompileError(
+                f"matmul output width {m} exceeds a {lanes}-wide plane; "
+                "tile the M dimension at the API level"
+            )
+        tiles: list[np.ndarray] = node.params["weight_tiles"]
+        if len(tiles) != len(act_nodes):
+            raise CompileError(
+                f"{len(tiles)} weight K-tiles but {len(act_nodes)} "
+                "activation tensors"
+            )
+
+        weight_dtype = node.params.get("weight_dtype", DType.INT8)
+        fp16 = weight_dtype is DType.FP16
+        plane_global = self._mxm_rr % self.config.mxm_planes
+        self._mxm_rr += 2 if fp16 else 1
+        hemisphere = Hemisphere.WEST if plane_global < 2 else Hemisphere.EAST
+        # in-flight activations dictate the hemisphere
+        for act in act_nodes:
+            if act.id in self.values:
+                hemisphere = (
+                    Hemisphere.EAST
+                    if self.values[act.id].direction is Direction.EASTWARD
+                    else Hemisphere.WEST
+                )
+        plane = plane_global % 2
+        if fp16:
+            # fp16 runs two byte-planes in tandem: the even plane hosts the
+            # tile and its partner is captive (Section III-D)
+            plane = 0
+            self._fp16_hemispheres.add(hemisphere)
+        elif hemisphere in self._fp16_hemispheres:
+            plane = 0  # the odd plane is captive to an fp16 tandem
+        position = self.floorplan.position(self.floorplan.mxm(hemisphere))
+        depth = self.timing.mxm_pipeline_depth(self.config.mxm_plane_rows)
+
+        t_min = self.dfunc("Read")
+        for act in act_nodes:
+            t_min = max(t_min, self._operand_min_arrival(act, position))
+        # the search loop lives inside _try_matmul_at per-pass, so a single
+        # attempt suffices unless plane queues are hopeless
+        if not self._try_matmul_at(
+            node, act_nodes, tiles, hemisphere, plane, position, depth,
+            t_min, m, weight_dtype,
+        ):
+            raise ScheduleError(
+                f"could not place matmul {node.name} within the search window"
+            )
+
+    def _try_matmul_at(
+        self, node, act_nodes, tiles, hemisphere, plane, position, depth,
+        t_start, m, weight_dtype=DType.INT8,
+    ) -> bool:
+        lanes = self.config.n_lanes
+        n = node.n_vectors
+        outward = Direction.outward_for(hemisphere)
+        inward = Direction.inward_for(hemisphere)
+        weights_icu = IcuId(self.floorplan.mxm(hemisphere), plane * 2)
+        compute_icu = IcuId(self.floorplan.mxm(hemisphere), plane * 2 + 1)
+        dskew_iw = self.dskew("IW")
+        dskew_abc = self.dskew("ABC")
+        dskew_acc = self.dskew("ACC")
+        dfunc_acc = self.dfunc("ACC")
+        dfunc_read = self.dfunc("Read")
+
+        reservations: list[tuple[IcuId, int, Instruction]] = []
+        grants: list[StreamGrant] = []
+        weight_words: list[MemWord] = []
+
+        def rollback() -> bool:
+            for g in grants:
+                self.streams.release(g)
+            return False
+
+        t_cursor = t_start
+        for p_idx, tile in enumerate(tiles):
+            k_p = tile.shape[0]
+            w_padded = np.zeros(
+                (k_p, lanes), dtype=weight_dtype.numpy_dtype
+            )
+            w_padded[:, :m] = tile
+            raw = w_padded.view(np.uint8).reshape(-1)
+            n_chunks = -(-raw.size // lanes)
+            n_streams = min(
+                16, n_chunks, self.config.mem_slices_per_hemisphere
+            )
+            install_cycles = -(-n_chunks // n_streams)
+            flat = np.zeros(n_chunks * lanes, dtype=np.uint8)
+            flat[: raw.size] = raw
+            chunks = flat.reshape(n_chunks, lanes)
+
+            feed = self.mem.alloc_weight_feed(
+                hemisphere, n_streams, install_cycles
+            )
+
+            # find T_w: all n_streams weight feeds aligned at the MXM, with
+            # a stream group free for the whole feed flight; a group
+            # conflict retries a later window
+            grant = None
+            plan = None
+            t_w = None
+            search_from = t_cursor
+            for _retry in range(64):
+                t_w, plan = self._find_weight_window(
+                    feed, n_streams, install_cycles, position, outward,
+                    weights_icu, search_from, dfunc_read, dskew_iw,
+                    reservations,
+                )
+                if t_w is None:
+                    return rollback()
+                try:
+                    grant = self._grant_for_drive(
+                        outward, n_streams, t_w, install_cycles, False,
+                        position,
+                    )
+                    break
+                except AllocationError:
+                    search_from = t_w + install_cycles
+                    grant = None
+            if grant is None:
+                return rollback()
+            grants.append(grant)
+            reservations.extend(
+                (
+                    icu,
+                    t,
+                    Read(
+                        address=r.address,
+                        stream=grant.base + r.stream,
+                        direction=r.direction,
+                    ),
+                )
+                for (icu, t, r) in plan
+            )
+            reservations.append(
+                (
+                    weights_icu,
+                    t_w - dskew_iw,
+                    InstallWeights(
+                        plane=plane,
+                        base_stream=grant.base,
+                        n_streams=n_streams,
+                        direction=outward,
+                        rows=tile.shape[0],
+                        cols=lanes,
+                        dtype=weight_dtype,
+                    ),
+                )
+            )
+            for j in range(n_streams):
+                placement = feed.planes[j]
+                for c in range(install_cycles):
+                    chunk_index = c * n_streams + j
+                    data = (
+                        chunks[chunk_index]
+                        if chunk_index < n_chunks
+                        else np.zeros(lanes, dtype=np.uint8)
+                    )
+                    weight_words.append(
+                        MemWord(
+                            placement.hemisphere,
+                            placement.slice_index,
+                            placement.base_address + 2 * c,
+                            data,
+                        )
+                    )
+            install_done = t_w + install_cycles - 1
+
+            # activations for this pass
+            act = act_nodes[p_idx]
+            t_a_min = max(
+                install_done + 1,
+                self._operand_min_arrival(act, position),
+            )
+            placed = False
+            is_last = p_idx == len(tiles) - 1
+            reserved_cells = {
+                (icu, t) for (icu, t, _i) in reservations
+            }
+            for t_a in range(t_a_min, t_a_min + SEARCH_LIMIT):
+                t_abc = t_a - dskew_abc
+                t_acc = t_a + depth - dskew_acc
+                if t_abc < 0 or t_acc <= t_abc:
+                    continue
+                if not self.queue(compute_icu).is_free(t_abc):
+                    continue
+                if not self.queue(compute_icu).is_free(t_acc):
+                    continue
+                if (compute_icu, t_abc) in reserved_cells or (
+                    compute_icu,
+                    t_acc,
+                ) in reserved_cells:
+                    continue
+                delivery = self._deliver_operand(
+                    act, position, t_a, False, hemisphere
+                )
+                if delivery is None:
+                    continue
+                out_grant = None
+                if is_last:
+                    try:
+                        out_grant = self._grant_for_drive(
+                            inward, 4, t_acc + dfunc_acc, n, False, position
+                        )
+                    except AllocationError:
+                        if delivery.grant is not None:
+                            self.streams.release(delivery.grant)
+                        continue
+                # every resource is granted: commit this pass to the plan
+                if delivery.grant is not None:
+                    grants.append(delivery.grant)
+                reservations.extend(delivery.reads)
+                reservations.append(
+                    (
+                        compute_icu,
+                        t_abc,
+                        ActivationBufferControl(
+                            plane=plane,
+                            base_stream=delivery.base_stream,
+                            direction=delivery.direction,
+                            n_vectors=n,
+                            dtype=weight_dtype,
+                        ),
+                    )
+                )
+                reservations.append(
+                    (
+                        compute_icu,
+                        t_acc,
+                        Accumulate(
+                            plane=plane,
+                            base_stream=(
+                                out_grant.base if out_grant else 0
+                            ),
+                            direction=inward,
+                            n_vectors=n,
+                            out_dtype=node.dtype,
+                            accumulate=p_idx > 0,
+                            emit=is_last,
+                        ),
+                    )
+                )
+                if is_last:
+                    grants.append(out_grant)
+                    self.values[node.id] = StreamValue(
+                        out_grant, position, t_acc + dfunc_acc, n,
+                        node.dtype, m,
+                    )
+                # a new install wipes in-flight results: wait for the drain
+                t_cursor = t_acc + dskew_acc + n + 1
+                placed = True
+                break
+            if not placed:
+                return rollback()
+
+        for icu, t, instruction in reservations:
+            self.queue(icu).reserve(t, instruction, note=node.name)
+        self.memory_image.extend(weight_words)
+        return True
+
+    def _find_weight_window(
+        self, feed, n_streams, install_cycles, position, outward,
+        weights_icu, t_start, dfunc_read, dskew_iw, prior_reservations,
+    ):
+        """Search for the earliest aligned weight-feed window."""
+        prior = {
+            (icu, t) for (icu, t, _i) in prior_reservations
+        }
+        for t_w in range(t_start, t_start + SEARCH_LIMIT):
+            plan: list[tuple[IcuId, int, Read]] = []
+            taken: set[tuple[IcuId, int]] = set(prior)
+            feasible = True
+            for j in range(n_streams):
+                placement = feed.planes[j]
+                slice_pos = self._slice_position(
+                    placement.hemisphere, placement.slice_index
+                )
+                dx = position - slice_pos
+                flow = (
+                    Direction.EASTWARD if dx > 0 else Direction.WESTWARD
+                )
+                if dx != 0 and flow is not outward:
+                    feasible = False
+                    break
+                icu = IcuId(
+                    self.floorplan.mem_slice(
+                        placement.hemisphere, placement.slice_index
+                    )
+                )
+                for c in range(install_cycles):
+                    t_dispatch = t_w + c - abs(dx) - dfunc_read
+                    if (
+                        t_dispatch < 0
+                        or not self.queue(icu).is_free(t_dispatch)
+                        or (icu, t_dispatch) in taken
+                    ):
+                        feasible = False
+                        break
+                    taken.add((icu, t_dispatch))
+                    plan.append(
+                        (
+                            icu,
+                            t_dispatch,
+                            Read(
+                                address=placement.base_address + 2 * c,
+                                stream=j,
+                                direction=outward,
+                            ),
+                        )
+                    )
+                if not feasible:
+                    break
+            if not feasible:
+                continue
+            t_iw = t_w - dskew_iw
+            if t_iw < 0 or not self.queue(weights_icu).is_free(t_iw):
+                continue
+            if (weights_icu, t_iw) in prior:
+                continue
+            return t_w, plan
+        return None, None
+
+    # ------------------------------------------------------------------
+    # SXM nodes
+    # ------------------------------------------------------------------
+    def _schedule_sxm(self, graph: Graph, node: Node) -> None:
+        inputs = [graph.node(i) for i in node.inputs]
+        hemisphere = Hemisphere.EAST
+        for n_in in inputs:
+            if n_in.id in self.values:
+                hemisphere = (
+                    Hemisphere.EAST
+                    if self.values[n_in.id].direction is Direction.EASTWARD
+                    else Hemisphere.WEST
+                )
+        sxm_addr = self.floorplan.sxm(hemisphere)
+        position = self.floorplan.position(sxm_addr)
+        inward = Direction.inward_for(hemisphere)
+        parallel_in = node.kind is OpKind.TRANSPOSE16
+        parallel_out = node.kind in (OpKind.TRANSPOSE16, OpKind.ROTATE)
+
+        unit_names, mnemonic = {
+            OpKind.SHIFT: (["shift_n", "shift_s"], "Shift"),
+            OpKind.PERMUTE: (["permute"], "Permute"),
+            OpKind.DISTRIBUTE: (["distribute"], "Distribute"),
+            OpKind.SELECT: (["select"], "Select"),
+            OpKind.TRANSPOSE16: (["transpose0", "transpose1"], "Transpose"),
+            OpKind.ROTATE: (["rotate"], "Rotate"),
+        }[node.kind]
+        if node.kind is OpKind.TRANSPOSE16 and self._transpose_rr % 2:
+            unit_names = list(reversed(unit_names))
+        self._transpose_rr += node.kind is OpKind.TRANSPOSE16
+        icus = [
+            IcuId(sxm_addr, SXM_UNITS.index(name)) for name in unit_names
+        ]
+
+        t_min = max(
+            self._operand_min_arrival(n_in, position) for n_in in inputs
+        )
+        n_in_vectors = inputs[0].n_vectors
+        n_cells = 1 if (parallel_in or n_in_vectors == 1) else n_in_vectors
+        if node.kind is OpKind.TRANSPOSE16:
+            out_width = 16
+        elif node.kind is OpKind.ROTATE:
+            out_width = node.params["n"] ** 2
+        else:
+            out_width = node.dtype.n_bytes
+
+        for t_exec in range(t_min, t_min + SEARCH_LIMIT):
+            icu = next(
+                (c for c in icus if self.queue(c).is_free(t_exec, n_cells)),
+                None,
+            )
+            if icu is None:
+                continue
+            deliveries: list[_Delivery] = []
+            seen: dict[int, _Delivery] = {}
+            failed = False
+            for n_in in inputs:
+                if n_in.id in seen:
+                    deliveries.append(seen[n_in.id])
+                    continue
+                delivery = self._deliver_operand(
+                    n_in, position, t_exec, parallel_in, hemisphere
+                )
+                if delivery is None:
+                    failed = True
+                    break
+                deliveries.append(delivery)
+                seen[n_in.id] = delivery
+            if failed:
+                self._release_deliveries(deliveries)
+                continue
+            t_drive = t_exec + self.dfunc(mnemonic)
+            try:
+                out_grant = self._grant_for_drive(
+                    inward, out_width, t_drive,
+                    1 if parallel_out else node.n_vectors,
+                    parallel_out, position,
+                )
+            except AllocationError:
+                self._release_deliveries(deliveries)
+                continue
+            self._commit_deliveries(deliveries)
+            instr = self._sxm_instruction(node, deliveries, out_grant, icu)
+            for k in range(n_cells):
+                self.queue(icu).reserve(
+                    t_exec + k, instr, note=node.name if k == 0 else ""
+                )
+            self.values[node.id] = StreamValue(
+                out_grant, position, t_drive, node.n_vectors, node.dtype,
+                node.length, parallel=parallel_out,
+            )
+            return
+        raise ScheduleError(
+            f"could not place {node.name} within the search window"
+        )
+
+    def _sxm_instruction(
+        self, node: Node, deliveries: list[_Delivery],
+        out_grant: StreamGrant, icu: IcuId | None = None,
+    ) -> Instruction:
+        base0 = deliveries[0].base_stream
+        in_dir = deliveries[0].direction
+        out_dir = out_grant.direction
+        if node.kind is OpKind.SHIFT:
+            return Shift(
+                src_stream=base0,
+                dst_stream=out_grant.base,
+                direction=in_dir,
+                dst_direction=out_dir,
+                shift=node.params["shift"],
+                amount=node.params["amount"],
+            )
+        if node.kind is OpKind.PERMUTE:
+            return Permute(
+                src_stream=base0,
+                dst_stream=out_grant.base,
+                direction=in_dir,
+                dst_direction=out_dir,
+                mapping=tuple(node.params["mapping"]),
+            )
+        if node.kind is OpKind.DISTRIBUTE:
+            return Distribute(
+                src_stream=base0,
+                dst_stream=out_grant.base,
+                direction=in_dir,
+                dst_direction=out_dir,
+                mapping=tuple(node.params["mapping"]),
+            )
+        if node.kind is OpKind.SELECT:
+            return Select(
+                src_stream_a=deliveries[0].base_stream,
+                src_stream_b=deliveries[1].base_stream,
+                dst_stream=out_grant.base,
+                direction=in_dir,
+                dst_direction=out_dir,
+                mask=tuple(node.params["mask"]),
+            )
+        if node.kind is OpKind.ROTATE:
+            return Rotate(
+                src_stream=base0,
+                dst_base_stream=out_grant.base,
+                direction=in_dir,
+                dst_direction=out_dir,
+                n=node.params["n"],
+            )
+        unit = 0
+        if icu is not None and str(icu).endswith("transpose1"):
+            unit = 1
+        return Transpose(
+            src_base_stream=base0,
+            dst_base_stream=out_grant.base,
+            direction=in_dir,
+            dst_direction=out_dir,
+            unit=unit,
+        )
+
+    # ------------------------------------------------------------------
+    # WRITE nodes (program outputs)
+    # ------------------------------------------------------------------
+    def _schedule_write(self, graph: Graph, node: Node) -> None:
+        source = graph.node(node.inputs[0])
+        if source.id not in self.values:
+            raise CompileError(
+                f"{node.name}: only stream values can be written back; "
+                "constants are already in memory"
+            )
+        value = self.values[source.id]
+        hemisphere = (
+            Hemisphere.EAST
+            if value.direction is Direction.EASTWARD
+            else Hemisphere.WEST
+        )
+        dskew = self.dskew("Write")
+
+        for _attempt in range(self.config.mem_slices_per_hemisphere):
+            if value.parallel:
+                layout = self.mem.alloc_parallel(
+                    hemisphere, value.n_vectors, bank=RESULT_BANK
+                )
+                placements = layout.parallel
+            else:
+                layout = self.mem.alloc_sequential(
+                    hemisphere, value.dtype.n_bytes, value.n_vectors,
+                    bank=RESULT_BANK,
+                )
+                placements = layout.planes
+            plan: list[tuple[IcuId, int, Instruction]] = []
+            feasible = True
+            for index, placement in enumerate(placements):
+                slice_pos = self._slice_position(
+                    placement.hemisphere, placement.slice_index
+                )
+                if not value.reaches(slice_pos):
+                    feasible = False
+                    break
+                arrival = value.arrival_at(slice_pos)
+                icu = IcuId(
+                    self.floorplan.mem_slice(
+                        placement.hemisphere, placement.slice_index
+                    )
+                )
+                stream = value.grant.base + index if value.parallel else (
+                    value.grant.base + index
+                )
+                n_writes = 1 if value.parallel else value.n_vectors
+                for j in range(n_writes):
+                    t_dispatch = arrival + j - dskew
+                    if t_dispatch < 0 or not self.queue(icu).is_free(
+                        t_dispatch
+                    ):
+                        feasible = False
+                        break
+                    address = (
+                        placement.base_address
+                        if value.parallel
+                        else placement.base_address + 2 * j
+                    )
+                    plan.append(
+                        (
+                            icu,
+                            t_dispatch,
+                            Write(
+                                address=address,
+                                stream=stream,
+                                direction=value.direction,
+                            ),
+                        )
+                    )
+                if not feasible:
+                    break
+            if feasible:
+                for icu, t, instruction in plan:
+                    self.queue(icu).reserve(t, instruction, note=node.name)
+                self.outputs[node.name] = TensorSpec(
+                    node.name, layout, value.n_vectors, node.length,
+                    value.dtype,
+                )
+                return
+        raise ScheduleError(f"could not place output writes for {node.name}")
+
+
+# ----------------------------------------------------------------------
+# host-side packing helpers
+# ----------------------------------------------------------------------
+def pack_tensor(data: np.ndarray, dtype: DType, lanes: int) -> np.ndarray:
+    """(n, L) host tensor -> (bytes, n, lanes) byte-plane words."""
+    arr = np.atleast_2d(np.asarray(data, dtype=dtype.numpy_dtype))
+    n, length = arr.shape
+    if length > lanes:
+        raise CompileError(
+            f"vector length {length} exceeds the {lanes}-lane maxVL"
+        )
+    padded = np.zeros((n, lanes), dtype=dtype.numpy_dtype)
+    padded[:, :length] = arr
+    raw = padded.view(np.uint8).reshape(n, lanes, dtype.n_bytes)
+    return np.ascontiguousarray(raw.transpose(2, 0, 1))
+
+
+def unpack_tensor(
+    planes: np.ndarray, dtype: DType, length: int
+) -> np.ndarray:
+    """(bytes, n, lanes) byte-plane words -> (n, length) host tensor."""
+    b, n, lanes = planes.shape
+    raw = np.ascontiguousarray(planes.transpose(1, 2, 0))
+    full = raw.reshape(n, lanes * b).view(dtype.numpy_dtype)
+    return full[:, :length].copy()

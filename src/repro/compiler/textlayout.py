@@ -1,0 +1,184 @@
+"""Program-text layout into instruction-dispatch MEM slices.
+
+Section IV: "As a matter of policy, the compiler reserves several MEM
+slices to serve as 'instruction dispatch' slices where the machine-coded
+instructions are stored and supplied on streams to service Ifetch
+instructions on different functional slices."
+
+This module performs that layout: each queue's instruction text is binary
+encoded (:mod:`repro.isa.encoding`), padded to 320-byte vector boundaries
+(an Ifetch consumes a pair of vectors, 640 bytes), and packed into words of
+the reserved slices.  The layout reports per-slice occupancy and fails
+loudly when a program's text exceeds the reserved capacity — the same
+budgeting a real deployment must do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.geometry import Hemisphere
+from ..config import ArchConfig
+from ..errors import CompileError
+from ..isa.encoding import decode_program_text, encode_program_text
+from ..isa.program import IcuId, Program
+
+
+@dataclass
+class TextPlacement:
+    """Where one queue's program text lives."""
+
+    icu: str
+    hemisphere: Hemisphere
+    slice_index: int
+    base_address: int
+    n_words: int
+    n_bytes: int  # meaningful bytes (before padding)
+
+
+@dataclass
+class TextLayout:
+    """The full program-text placement plus occupancy accounting."""
+
+    placements: list[TextPlacement]
+    reserved_slices: list[tuple[Hemisphere, int]]
+    words_per_slice: int
+    total_bytes: int = 0
+    total_words: int = 0
+
+    def __post_init__(self) -> None:
+        self.total_bytes = sum(p.n_bytes for p in self.placements)
+        self.total_words = sum(p.n_words for p in self.placements)
+
+    @property
+    def capacity_words(self) -> int:
+        return len(self.reserved_slices) * self.words_per_slice
+
+    @property
+    def utilization(self) -> float:
+        if self.capacity_words == 0:
+            return 0.0
+        return self.total_words / self.capacity_words
+
+    def placement_for(self, icu: IcuId) -> TextPlacement:
+        name = str(icu)
+        for placement in self.placements:
+            if placement.icu == name:
+                return placement
+        raise CompileError(f"no program text placed for {name}")
+
+
+def reserved_dispatch_slices(
+    config: ArchConfig, per_hemisphere: int = 2
+) -> list[tuple[Hemisphere, int]]:
+    """The slices set aside for program text.
+
+    We reserve the outermost slices of each hemisphere (highest indices):
+    they are the farthest from the VXM, where operand traffic is lightest,
+    and adjacent to the SXM/MXM whose queues are the hungriest fetchers.
+    """
+    n = config.mem_slices_per_hemisphere
+    if per_hemisphere > n:
+        raise CompileError(
+            f"cannot reserve {per_hemisphere} of {n} slices per hemisphere"
+        )
+    out = []
+    for hemisphere in (Hemisphere.WEST, Hemisphere.EAST):
+        for k in range(per_hemisphere):
+            out.append((hemisphere, n - 1 - k))
+    return out
+
+
+def layout_program_text(
+    program: Program,
+    config: ArchConfig,
+    per_hemisphere: int = 2,
+) -> TextLayout:
+    """Pack every queue's encoded text into the dispatch slices."""
+    word_bytes = config.n_lanes  # one 320-byte vector per word address
+    slices = reserved_dispatch_slices(config, per_hemisphere)
+    words_per_slice = config.mem_words_per_slice_tile
+    cursors = {key: 0 for key in slices}
+    slice_order = list(slices)
+
+    placements: list[TextPlacement] = []
+    for icu in program.icus:
+        text = encode_program_text(list(program.queue(icu)))
+        # pad to an even number of vectors: Ifetch moves 640-byte pairs
+        n_words = max(2, 2 * (-(-len(text) // (2 * word_bytes))))
+        placed = False
+        for key in slice_order:
+            if cursors[key] + n_words <= words_per_slice:
+                hemisphere, index = key
+                placements.append(
+                    TextPlacement(
+                        icu=str(icu),
+                        hemisphere=hemisphere,
+                        slice_index=index,
+                        base_address=cursors[key],
+                        n_words=n_words,
+                        n_bytes=len(text),
+                    )
+                )
+                cursors[key] += n_words
+                placed = True
+                break
+        if not placed:
+            raise CompileError(
+                f"program text overflows the {len(slices)} reserved "
+                f"dispatch slices ({per_hemisphere} per hemisphere); "
+                "reserve more slices"
+            )
+    return TextLayout(
+        placements=placements,
+        reserved_slices=slices,
+        words_per_slice=words_per_slice,
+    )
+
+
+def materialize_text(
+    program: Program, layout: TextLayout, config: ArchConfig
+) -> list[tuple[Hemisphere, int, int, np.ndarray]]:
+    """Render the packed text as MEM words: (hemisphere, slice, addr, word).
+
+    These are loadable with ``chip.load_memory`` and decodable back with
+    :func:`recover_program_text`, proving the stored bytes are the program.
+    """
+    word_bytes = config.n_lanes
+    words: list[tuple[Hemisphere, int, int, np.ndarray]] = []
+    by_name = {str(icu): icu for icu in program.icus}
+    for placement in layout.placements:
+        icu = by_name[placement.icu]
+        text = encode_program_text(list(program.queue(icu)))
+        padded = np.zeros(placement.n_words * word_bytes, dtype=np.uint8)
+        padded[: len(text)] = np.frombuffer(text, dtype=np.uint8)
+        for w in range(placement.n_words):
+            words.append(
+                (
+                    placement.hemisphere,
+                    placement.slice_index,
+                    placement.base_address + w,
+                    padded[w * word_bytes : (w + 1) * word_bytes],
+                )
+            )
+    return words
+
+
+def recover_program_text(
+    stored_words: dict[tuple[Hemisphere, int, int], np.ndarray],
+    placement: TextPlacement,
+    config: ArchConfig,
+):
+    """Decode one queue's instructions back out of stored MEM words."""
+    word_bytes = config.n_lanes
+    raw = bytearray()
+    for w in range(placement.n_words):
+        key = (
+            placement.hemisphere,
+            placement.slice_index,
+            placement.base_address + w,
+        )
+        raw.extend(stored_words[key].tobytes())
+    return decode_program_text(bytes(raw[: placement.n_bytes]))

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the TSP reproduction.
+
+Every error raised by the library derives from :class:`TspError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish compiler, simulator, and configuration faults.
+"""
+
+from __future__ import annotations
+
+
+class TspError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(TspError):
+    """An architecture configuration is internally inconsistent."""
+
+
+class IsaError(TspError):
+    """An instruction is malformed or used outside its functional slice."""
+
+
+class EncodingError(IsaError):
+    """An instruction could not be encoded to or decoded from bytes."""
+
+
+class CompileError(TspError):
+    """The stream compiler could not produce a valid schedule."""
+
+
+class AllocationError(CompileError):
+    """Stream or memory allocation failed (out of streams, slices, or banks)."""
+
+
+class ScheduleError(CompileError):
+    """A schedule violates the timing model (operand/instruction mismatch)."""
+
+
+class SimulationError(TspError):
+    """The simulator detected an illegal condition at run time."""
+
+
+class IqUnderflowError(SimulationError):
+    """An instruction queue ran dry while the program still had instructions.
+
+    The paper requires that "IQs never go empty so that a precise notion of
+    logical time is maintained"; in strict-ifetch mode, underflow is fatal.
+    """
+
+
+class MemoryFaultError(SimulationError):
+    """An uncorrectable (double-bit) ECC error was consumed by a slice."""
+
+
+class BankConflictError(SimulationError):
+    """A read and a write targeted the same SRAM bank in the same cycle."""
+
+
+class StreamContentionError(SimulationError):
+    """Two producers drove the same stream register in the same cycle."""

@@ -1,0 +1,93 @@
+"""The TSP instruction set (Table I of the paper).
+
+Importing this package registers every instruction class; the registry in
+:mod:`repro.isa.base` is the single source of truth used by the encoder, the
+simulator dispatch tables, and the Table I reproduction bench.
+"""
+
+from .base import (
+    INSTRUCTION_REGISTRY,
+    Instruction,
+    instructions_for_slice,
+    iter_instruction_classes,
+)
+from .icu import Config, Ifetch, Nop, Notify, Repeat, Sync
+from .mem import Gather, Read, Scatter, Write
+from .vxm import AluOp, BinaryOp, Convert, UnaryOp
+from .mxm import (
+    Accumulate,
+    ActivationBufferControl,
+    InstallWeights,
+    LoadWeights,
+)
+from .sxm import (
+    Distribute,
+    Permute,
+    Rotate,
+    Select,
+    Shift,
+    ShiftDirection,
+    Transpose,
+)
+from .assembler import (
+    parse_instruction,
+    parse_program,
+    render_instruction,
+    render_program,
+)
+from .c2c import Deskew, Receive, Send
+from .encoding import (
+    decode,
+    decode_program_text,
+    encode,
+    encode_program_text,
+)
+from .program import MXM_UNITS, SXM_UNITS, IcuId, Program, all_icu_ids
+
+__all__ = [
+    "Accumulate",
+    "ActivationBufferControl",
+    "AluOp",
+    "BinaryOp",
+    "Config",
+    "Convert",
+    "Deskew",
+    "Distribute",
+    "Gather",
+    "INSTRUCTION_REGISTRY",
+    "IcuId",
+    "Ifetch",
+    "InstallWeights",
+    "Instruction",
+    "LoadWeights",
+    "MXM_UNITS",
+    "Nop",
+    "Notify",
+    "Permute",
+    "Program",
+    "Read",
+    "Receive",
+    "Repeat",
+    "Rotate",
+    "SXM_UNITS",
+    "Scatter",
+    "Select",
+    "Send",
+    "Shift",
+    "ShiftDirection",
+    "Sync",
+    "Transpose",
+    "UnaryOp",
+    "Write",
+    "all_icu_ids",
+    "decode",
+    "parse_instruction",
+    "parse_program",
+    "render_instruction",
+    "render_program",
+    "decode_program_text",
+    "encode",
+    "encode_program_text",
+    "instructions_for_slice",
+    "iter_instruction_classes",
+]

@@ -1,0 +1,197 @@
+"""Textual assembly format for TSP programs.
+
+A human-readable, round-trippable serialization of a
+:class:`~repro.isa.program.Program` — one section per instruction queue,
+one instruction per line::
+
+    .queue MEM_E0
+        Read address=0, stream=4, direction=E
+        NOP count=11
+        Write address=9, stream=4, direction=E
+
+    .queue VXM.alu0
+        BinaryOp op=add_sat, src1_stream=4, ...
+
+Field values serialize by type: ints as decimals, bools as true/false,
+floats with full precision, enums by their short value (``E``/``W`` for
+directions, op labels for ALU ops, dtype labels), tuples as
+``(1,2,3)``.  ``parse(render(program)) == program`` for every program the
+compiler can produce — tested property-style.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import fields
+
+from ..arch.geometry import Direction, Floorplan, Hemisphere, SliceKind
+from ..arch.streams import DType
+from ..config import ArchConfig
+from ..errors import IsaError
+from .base import INSTRUCTION_REGISTRY, Instruction
+from .program import MXM_UNITS, SXM_UNITS, IcuId, Program
+from .sxm import ShiftDirection
+from .vxm import AluOp
+
+
+def _render_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, Direction):
+        return value.value
+    if isinstance(value, ShiftDirection):
+        return value.value
+    if isinstance(value, DType):
+        return value.label
+    if isinstance(value, AluOp):
+        return value.label
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, tuple):
+        return "(" + ",".join(str(int(v)) for v in value) + ")"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _parse_value(default: object, text: str) -> object:
+    if isinstance(default, bool):
+        if text not in ("true", "false"):
+            raise IsaError(f"expected true/false, got {text!r}")
+        return text == "true"
+    if isinstance(default, Direction):
+        for member in Direction:
+            if member.value == text:
+                return member
+        raise IsaError(f"unknown direction {text!r}")
+    if isinstance(default, ShiftDirection):
+        for member in ShiftDirection:
+            if member.value == text:
+                return member
+        raise IsaError(f"unknown shift direction {text!r}")
+    if isinstance(default, DType):
+        return DType.from_label(text)
+    if isinstance(default, AluOp):
+        for member in AluOp:
+            if member.label == text:
+                return member
+        raise IsaError(f"unknown ALU op {text!r}")
+    if isinstance(default, tuple):
+        body = text.strip()
+        if not (body.startswith("(") and body.endswith(")")):
+            raise IsaError(f"expected a tuple, got {text!r}")
+        inner = body[1:-1].strip()
+        if not inner:
+            return ()
+        return tuple(int(v) for v in inner.split(","))
+    if isinstance(default, float):
+        return float(text)
+    if isinstance(default, int):
+        return int(text)
+    raise IsaError(f"cannot parse field with default {default!r}")
+
+
+def render_instruction(instruction: Instruction) -> str:
+    parts = [
+        f"{f.name}={_render_value(getattr(instruction, f.name))}"
+        for f in fields(instruction)
+    ]
+    if parts:
+        return f"{instruction.mnemonic} " + ", ".join(parts)
+    return instruction.mnemonic
+
+
+def parse_instruction(line: str) -> Instruction:
+    line = line.strip()
+    if not line:
+        raise IsaError("empty instruction line")
+    head, _, rest = line.partition(" ")
+    cls = INSTRUCTION_REGISTRY.get(head)
+    if cls is None:
+        raise IsaError(f"unknown mnemonic {head!r}")
+    kwargs: dict[str, object] = {}
+    defaults = {f.name: f.default for f in fields(cls)}
+    rest = rest.strip()
+    if rest:
+        for pair in _split_fields(rest):
+            name, _, value = pair.partition("=")
+            name = name.strip()
+            if name not in defaults:
+                raise IsaError(f"{head} has no field {name!r}")
+            kwargs[name] = _parse_value(defaults[name], value.strip())
+    return cls(**kwargs)
+
+
+def _split_fields(text: str) -> list[str]:
+    """Split ``a=1, b=(2,3), c=4`` respecting parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return [p for p in parts if p]
+
+
+def render_program(program: Program) -> str:
+    """Serialize a whole program, one ``.queue`` section per ICU."""
+    lines: list[str] = []
+    for icu in program.icus:
+        lines.append(f".queue {icu}")
+        for instruction in program.queue(icu):
+            lines.append(f"    {render_instruction(instruction)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _parse_icu(name: str, floorplan: Floorplan) -> IcuId:
+    """Invert ``str(IcuId)``: MEM_E3, VXM.alu5, SXM_W.permute, ..."""
+    if name.startswith("MEM_"):
+        hemisphere = Hemisphere.WEST if name[4] == "W" else Hemisphere.EAST
+        index = int(name[5:])
+        return IcuId(floorplan.mem_slice(hemisphere, index))
+    if name.startswith("VXM.alu"):
+        return IcuId(floorplan.vxm(), int(name[len("VXM.alu") :]))
+    if name.startswith(("SXM_", "MXM_", "C2C_")):
+        kind = name[:3]
+        hemisphere = Hemisphere.WEST if name[4] == "W" else Hemisphere.EAST
+        rest = name[6:]
+        if kind == "SXM":
+            return IcuId(
+                floorplan.sxm(hemisphere), SXM_UNITS.index(rest)
+            )
+        if kind == "MXM":
+            plane_s, queue_s = rest.split(".")
+            plane = int(plane_s[len("plane") :])
+            queue = MXM_UNITS.index(queue_s)
+            return IcuId(floorplan.mxm(hemisphere), plane * 2 + queue)
+        return IcuId(floorplan.c2c(hemisphere), int(rest[len("link") :]))
+    raise IsaError(f"cannot parse ICU name {name!r}")
+
+
+def parse_program(text: str, config: ArchConfig) -> Program:
+    """Parse :func:`render_program` output back into a Program."""
+    floorplan = Floorplan(config)
+    program = Program()
+    current: IcuId | None = None
+    for raw in text.splitlines():
+        line = raw.split(";")[0].strip()  # ; starts a comment
+        if not line:
+            continue
+        if line.startswith(".queue"):
+            name = line[len(".queue") :].strip()
+            current = _parse_icu(name, floorplan)
+            continue
+        if current is None:
+            raise IsaError(f"instruction before any .queue: {line!r}")
+        program.add(current, parse_instruction(line))
+    return program

@@ -1,0 +1,82 @@
+"""C2C (chip-to-chip) instructions: Deskew, Send, Receive.
+
+Sixteen x4 links at 30 Gb/s per lane give 3.84 Tb/s of off-chip bandwidth
+(Section II item 6).  ``Send`` ships a 320-byte vector out a link;
+``Receive`` emplaces an arriving vector into main memory; ``Deskew`` manages
+skew across the plesiochronous links so that multi-chip systems preserve
+the deterministic timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..arch.geometry import Direction, SliceKind
+from ..errors import IsaError
+from .base import Instruction, register_instruction
+
+C2C_ONLY: frozenset[SliceKind] = frozenset({SliceKind.C2C})
+
+
+def _check_link(link: int, n_links: int = 16) -> None:
+    if not 0 <= link < n_links:
+        raise IsaError(f"link {link} outside 0..{n_links - 1}")
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Deskew(Instruction):
+    """``Deskew`` — align a plesiochronous link to the core clock domain."""
+
+    mnemonic: ClassVar[str] = "Deskew"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = C2C_ONLY
+    description: ClassVar[str] = "Manage skew across plesiochronous links"
+
+    link: int = 0
+
+    def __post_init__(self) -> None:
+        _check_link(self.link)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Send(Instruction):
+    """``Send`` — transmit a 320-byte vector from a stream out a link."""
+
+    mnemonic: ClassVar[str] = "Send"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = C2C_ONLY
+    description: ClassVar[str] = "Send a 320-byte vector"
+
+    link: int = 0
+    stream: int = 0
+    direction: Direction = Direction.EASTWARD
+
+    def __post_init__(self) -> None:
+        _check_link(self.link)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Receive(Instruction):
+    """``Receive`` — accept a vector from a link, emplacing it in memory.
+
+    The landing address names a word in the adjacent hemisphere's MEM; the
+    C2C module owns a lightweight DMA engine for model emplacement and
+    bootstrapping (Section II item 6).
+    """
+
+    mnemonic: ClassVar[str] = "Receive"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = C2C_ONLY
+    description: ClassVar[str] = (
+        "Receive a 320-byte vector, emplacing it in main memory"
+    )
+
+    link: int = 0
+    mem_slice: int = 0
+    address: int = 0
+
+    def __post_init__(self) -> None:
+        _check_link(self.link)
+        if self.address < 0:
+            raise IsaError("receive address must be non-negative")

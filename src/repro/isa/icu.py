@@ -1,0 +1,138 @@
+"""ICU-common instructions: NOP, Ifetch, Sync, Notify, Config, Repeat.
+
+These are available on every functional slice (each slice has an ICU tile;
+Section III-A).  They implement the three mechanisms the compiler relies on
+for deterministic execution: cycle-precise delay (``NOP n``), chip-wide
+barrier synchronization (``Sync``/``Notify``), and self-sustaining
+instruction supply (``Ifetch``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..arch.geometry import SliceKind
+from ..errors import IsaError
+from .base import Instruction, register_instruction
+
+ALL_SLICES: frozenset[SliceKind] = frozenset(SliceKind)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Nop(Instruction):
+    """``NOP N`` — delay instruction flow by exactly N cycles.
+
+    The repeat count is a 16-bit field, so one NOP can wait up to 65,535
+    cycles (~65 us at 1 GHz).  The compiler inserts NOPs implicitly to
+    control the relative timing of slices and data.
+    """
+
+    mnemonic: ClassVar[str] = "NOP"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = ALL_SLICES
+    description: ClassVar[str] = (
+        "No-operation, can be repeated N times to delay by N cycles"
+    )
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.count <= 0xFFFF:
+            raise IsaError(
+                f"NOP repeat count must be 1..65535, got {self.count}"
+            )
+
+    def issue_cycles(self) -> int:
+        return self.count
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Ifetch(Instruction):
+    """``Ifetch`` — fetch 640 bytes of instruction text onto this IQ.
+
+    The operand stream carries the program text (a pair of 320-byte
+    vectors); the compiler prefetches omnisciently so that queues never run
+    dry (Section III-A3).
+    """
+
+    mnemonic: ClassVar[str] = "Ifetch"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = ALL_SLICES
+    description: ClassVar[str] = (
+        "Fetch instructions from streams or local memory"
+    )
+
+    stream: int = 0
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Sync(Instruction):
+    """``Sync`` — park at the head of the IQ awaiting barrier notification."""
+
+    mnemonic: ClassVar[str] = "Sync"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = ALL_SLICES
+    description: ClassVar[str] = (
+        "Parks at the head of the instruction dispatch queue to await "
+        "barrier notification"
+    )
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Notify(Instruction):
+    """``Notify`` — release all parked Syncs, resuming instruction flow.
+
+    Exactly one IQ is designated the notifier; the broadcast reaches every
+    IQ within the chip-wide barrier latency (35 cycles on the full chip).
+    """
+
+    mnemonic: ClassVar[str] = "Notify"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = ALL_SLICES
+    description: ClassVar[str] = (
+        "Releases the pending barrier operations causing instruction flow "
+        "to resume"
+    )
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Config(Instruction):
+    """``Config`` — power a superlane up or down (Section II-F).
+
+    Powering down unused superlanes shortens the effective vector length in
+    16-lane steps and yields a more energy-proportional chip.
+    """
+
+    mnemonic: ClassVar[str] = "Config"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = ALL_SLICES
+    description: ClassVar[str] = "Configure low-power mode"
+
+    superlane: int = 0
+    power_on: bool = True
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Repeat(Instruction):
+    """``Repeat n, d`` — repeat the previous instruction n times, d apart."""
+
+    mnemonic: ClassVar[str] = "Repeat"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = ALL_SLICES
+    description: ClassVar[str] = (
+        "Repeat the previous instruction n times, with d cycles between "
+        "iterations"
+    )
+
+    n: int = 1
+    d: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise IsaError(f"Repeat count must be positive, got {self.n}")
+        if self.d < 1:
+            raise IsaError(f"Repeat period must be positive, got {self.d}")
+
+    def issue_cycles(self) -> int:
+        return self.n * self.d

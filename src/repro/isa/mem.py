@@ -1,0 +1,135 @@
+"""MEM-slice instructions: Read, Write, Gather, Scatter.
+
+Memory semantics carry both an address and a dataflow direction (Section
+I-B): a ``Read`` loads a 320-byte vector from SRAM onto a stream flowing
+East or West, and a ``Write`` captures a passing stream into SRAM.  The
+bank bit of the 13-bit word address is architecturally exposed so the
+compiler can schedule the pseudo-dual-port SRAM (one read and one write per
+cycle when they target opposite banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..arch.geometry import Direction, SliceKind
+from ..errors import IsaError
+from .base import Instruction, register_instruction
+
+MEM_ONLY: frozenset[SliceKind] = frozenset({SliceKind.MEM})
+
+
+def _check_address(address: int, addr_bits: int = 13) -> None:
+    if not 0 <= address < (1 << addr_bits):
+        raise IsaError(
+            f"address {address} outside the {addr_bits}-bit word space"
+        )
+
+
+@dataclass(frozen=True)
+class MemInstruction(Instruction):
+    """Common shape of MEM-slice data instructions."""
+
+    slice_kinds: ClassVar[frozenset[SliceKind]] = MEM_ONLY
+
+    def bank_of(self, address: int) -> int:
+        """The SRAM bank an address falls in (the exposed bank bit)."""
+        return address & 1
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Read(MemInstruction):
+    """``Read a, s`` — load the vector at word address ``a`` onto stream ``s``.
+
+    The stream begins flowing in ``direction`` from this slice's stream
+    register after the instruction's functional delay.
+    """
+
+    mnemonic: ClassVar[str] = "Read"
+    description: ClassVar[str] = "Load vector at address a onto stream s"
+
+    address: int = 0
+    stream: int = 0
+    direction: Direction = Direction.EASTWARD
+
+    def __post_init__(self) -> None:
+        _check_address(self.address)
+
+    @property
+    def bank(self) -> int:
+        return self.bank_of(self.address)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Write(MemInstruction):
+    """``Write a, s`` — capture stream ``s`` into word address ``a``.
+
+    The sampled value is the one present at this slice's stream register at
+    dispatch time plus the instruction's operand skew.
+    """
+
+    mnemonic: ClassVar[str] = "Write"
+    description: ClassVar[str] = (
+        "Store stream s register contents into main memory address a"
+    )
+
+    address: int = 0
+    stream: int = 0
+    direction: Direction = Direction.EASTWARD
+
+    def __post_init__(self) -> None:
+        _check_address(self.address)
+
+    @property
+    def bank(self) -> int:
+        return self.bank_of(self.address)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Gather(MemInstruction):
+    """``Gather s, map`` — indirect read through an address-map stream.
+
+    Each lane's address comes from the ``map_stream`` value (stream-indirect
+    addressing, Section III-B); the data lands on stream ``stream``.
+    """
+
+    mnemonic: ClassVar[str] = "Gather"
+    description: ClassVar[str] = (
+        "Indirectly read addresses pointed to by map putting onto stream s"
+    )
+
+    stream: int = 0
+    map_stream: int = 1
+    direction: Direction = Direction.EASTWARD
+    #: direction the *map* stream flows (the result leaves on ``direction``)
+    map_direction: Direction = Direction.EASTWARD
+    #: The map stream carries one byte per lane: a word offset added to
+    #: ``base`` to form each lane's effective address.
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        _check_address(self.base)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Scatter(MemInstruction):
+    """``Scatter s, map`` — indirect store through an address-map stream."""
+
+    mnemonic: ClassVar[str] = "Scatter"
+    description: ClassVar[str] = (
+        "Indirectly store stream s into address in the map stream"
+    )
+
+    stream: int = 0
+    map_stream: int = 1
+    direction: Direction = Direction.EASTWARD
+    #: Word offset base, as for :class:`Gather`.
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        _check_address(self.base)

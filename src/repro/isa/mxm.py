@@ -1,0 +1,178 @@
+"""MXM (matrix execution module) instructions: LW, IW, ABC, ACC.
+
+Each hemisphere's MXM holds two independent 320x320 MACC planes (four
+chip-wide).  Weights are staged with ``LW``, installed into the array with
+``IW`` (16 streams x 16 bytes install 256 weights per supercell per cycle;
+all 409,600 weights land in under 40 cycles using all 32 streams in both
+directions), activations are streamed in under ``ABC`` control, and int32 /
+fp32 dot products are drained with ``ACC`` (Section III-D).
+
+A plane computes, for each streamed activation vector ``a`` (K elements)::
+
+    r = W.T @ a        # r has M elements, int32 or fp32
+
+with ``W`` the installed K x M weight tile.  fp16 operation runs two
+byte-planes in tandem, halving the number of independent planes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..arch.geometry import Direction, SliceKind
+from ..arch.streams import DType
+from ..errors import IsaError
+from .base import Instruction, register_instruction
+
+MXM_ONLY: frozenset[SliceKind] = frozenset({SliceKind.MXM})
+
+
+def _check_plane(plane: int) -> None:
+    if plane not in (0, 1):
+        raise IsaError(
+            f"plane must be 0 or 1 within a hemisphere MXM, got {plane}"
+        )
+
+
+@register_instruction
+@dataclass(frozen=True)
+class LoadWeights(Instruction):
+    """``LW`` — stage weight vectors from streams into the weight buffer.
+
+    Each dispatch captures one 320-byte vector from ``stream`` into buffer
+    row ``row`` of the selected plane; the compiler issues it under
+    ``Repeat`` to stage a whole tile.
+    """
+
+    mnemonic: ClassVar[str] = "LW"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = MXM_ONLY
+    description: ClassVar[str] = (
+        "Load weights (LW) from streams to weight buffer"
+    )
+
+    plane: int = 0
+    row: int = 0
+    stream: int = 0
+    direction: Direction = Direction.EASTWARD
+
+    def __post_init__(self) -> None:
+        _check_plane(self.plane)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class InstallWeights(Instruction):
+    """``IW`` — install weights from streams (or the LW buffer) into the array.
+
+    When ``from_buffer`` is False, the install consumes ``n_streams``
+    parallel streams starting at ``base_stream`` for however many cycles it
+    takes to fill ``rows`` x ``cols`` weights at ``n_streams`` x 320 bytes
+    per cycle (16 streams fill a full 320x320 plane in 20 cycles).
+    """
+
+    mnemonic: ClassVar[str] = "IW"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = MXM_ONLY
+    description: ClassVar[str] = (
+        "Install weights (IW) from streams or LW buffer into the 320x320 "
+        "array"
+    )
+
+    plane: int = 0
+    base_stream: int = 0
+    n_streams: int = 16
+    direction: Direction = Direction.EASTWARD
+    rows: int = 320
+    cols: int = 320
+    from_buffer: bool = False
+    dtype: DType = DType.INT8
+
+    def __post_init__(self) -> None:
+        _check_plane(self.plane)
+        if self.n_streams < 1:
+            raise IsaError("IW needs at least one stream")
+        if self.rows < 1 or self.cols < 1:
+            raise IsaError("IW tile dimensions must be positive")
+
+    def install_cycles(self, lanes: int) -> int:
+        """Cycles of stream input needed to deliver the whole tile.
+
+        fp16 weights are two bytes each (two byte-planes in tandem), so an
+        fp16 tile takes twice the stream cycles of an int8 tile.
+        """
+        total = self.rows * self.cols * self.dtype.n_bytes
+        per_cycle = self.n_streams * lanes
+        return -(-total // per_cycle)  # ceil division
+
+
+@register_instruction
+@dataclass(frozen=True)
+class ActivationBufferControl(Instruction):
+    """``ABC`` — initiate and coordinate arriving activations.
+
+    Streams ``n_vectors`` consecutive activation vectors (one per cycle)
+    from the aligned stream group at ``base_stream`` into the selected
+    plane.  int8 activations ride one stream; fp16 rides an aligned pair.
+    """
+
+    mnemonic: ClassVar[str] = "ABC"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = MXM_ONLY
+    description: ClassVar[str] = (
+        "Activation buffer control (ABC) to initiate and coordinate "
+        "arriving activations"
+    )
+
+    plane: int = 0
+    base_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    n_vectors: int = 1
+    dtype: DType = DType.INT8
+
+    def __post_init__(self) -> None:
+        _check_plane(self.plane)
+        if self.n_vectors < 1:
+            raise IsaError("ABC must stream at least one vector")
+        if self.dtype not in (DType.INT8, DType.FP16):
+            raise IsaError(
+                f"MXM accepts int8 or fp16 activations, not {self.dtype.label}"
+            )
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Accumulate(Instruction):
+    """``ACC`` — drain int32/fp32 results from a plane onto streams.
+
+    Each result vector occupies an aligned quad-stream group (int32/fp32 are
+    four streams).  With ``accumulate`` set, consecutive results are summed
+    into the plane's accumulators instead of being emitted per vector — used
+    when a dot product spans multiple K-tiles.
+    """
+
+    mnemonic: ClassVar[str] = "ACC"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = MXM_ONLY
+    description: ClassVar[str] = (
+        "Accumulate (ACC) either INT32 or FP32 result from MXM"
+    )
+
+    plane: int = 0
+    base_stream: int = 0
+    direction: Direction = Direction.WESTWARD
+    n_vectors: int = 1
+    out_dtype: DType = DType.INT32
+    accumulate: bool = False
+    #: When False, results are folded into the plane's accumulators without
+    #: being driven onto streams — the non-final passes of a K-tiled matmul.
+    emit: bool = True
+
+    def __post_init__(self) -> None:
+        _check_plane(self.plane)
+        if self.out_dtype not in (DType.INT32, DType.FP32):
+            raise IsaError(
+                f"MXM accumulates to int32 or fp32, not {self.out_dtype.label}"
+            )
+        if self.base_stream % 4 != 0:
+            raise IsaError(
+                "ACC results occupy an aligned quad-stream group; "
+                f"stream {self.base_stream} is not SG4-aligned"
+            )

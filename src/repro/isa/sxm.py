@@ -1,0 +1,208 @@
+"""SXM (switch execution module) instructions.
+
+The SXM performs all inter-lane data movement — the Y dimension of the
+on-chip network: lane shifts with North/South select, full-width bijective
+permutation, per-superlane distribution (remap / replicate / zero-fill),
+rotation generation for convolution stencils, and the 16x16 stream
+transpose (Section III-E).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from ..arch.geometry import Direction, SliceKind
+from ..errors import IsaError
+from .base import Instruction, register_instruction
+
+SXM_ONLY: frozenset[SliceKind] = frozenset({SliceKind.SXM})
+
+
+class ShiftDirection(enum.Enum):
+    """Lane-shift direction: North moves toward lane 0."""
+
+    NORTH = "N"
+    SOUTH = "S"
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Shift(Instruction):
+    """``Shift up/down N`` — lane-shift a stream by N lanes.
+
+    Vacated lanes are zero-filled; the compiler pairs North and South shifts
+    with a :class:`Select` to build windowed operations (Figure 8).
+    """
+
+    mnemonic: ClassVar[str] = "Shift"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = SXM_ONLY
+    description: ClassVar[str] = (
+        "Lane-shift streams up/down by N lanes, and Select between "
+        "North/South shifted vectors"
+    )
+
+    src_stream: int = 0
+    dst_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    dst_direction: Direction = Direction.EASTWARD
+    shift: ShiftDirection = ShiftDirection.NORTH
+    amount: int = 1
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise IsaError(f"shift amount must be >= 0, got {self.amount}")
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Select(Instruction):
+    """Per-lane select between two shifted streams.
+
+    ``mask`` is a 320-entry 0/1 payload choosing, per lane, the first or the
+    second source — the "Select between North/South shifted vectors" half of
+    the Shift row in Table I.
+    """
+
+    mnemonic: ClassVar[str] = "Select"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = SXM_ONLY
+    description: ClassVar[str] = (
+        "Select lanes between two (e.g. North/South shifted) streams"
+    )
+
+    src_stream_a: int = 0
+    src_stream_b: int = 1
+    dst_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    dst_direction: Direction = Direction.EASTWARD
+    mask: tuple[int, ...] = ()
+
+    def payload(self) -> bytes:
+        return bytes(self.mask)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Permute(Instruction):
+    """``Permute map`` — bijective remap of all 320 lanes.
+
+    ``mapping[i]`` names the source lane whose value lands in output lane
+    ``i``; the mapping must be a bijection over the lane count.
+    """
+
+    mnemonic: ClassVar[str] = "Permute"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = SXM_ONLY
+    description: ClassVar[str] = "Bijective permute of 320 inputs to outputs"
+
+    src_stream: int = 0
+    dst_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    dst_direction: Direction = Direction.EASTWARD
+    mapping: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mapping and sorted(self.mapping) != list(
+            range(len(self.mapping))
+        ):
+            raise IsaError("Permute mapping must be a bijection over lanes")
+
+    def payload(self) -> bytes:
+        # lane indices can exceed 255 only on hypothetical >256-lane chips
+        return b"".join(i.to_bytes(2, "little") for i in self.mapping)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Distribute(Instruction):
+    """``Distribute map`` — remap / replicate / zero-fill within a superlane.
+
+    ``mapping`` has one entry per lane of a superlane (16); entry -1 means
+    zero-fill, otherwise the value of the named source lane (0..15) is
+    replicated into that output lane.  The same map applies to every
+    superlane — the efficient mechanism for zero padding or rearranging a
+    4x4 filter (Section III-E).
+    """
+
+    mnemonic: ClassVar[str] = "Distribute"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = SXM_ONLY
+    description: ClassVar[str] = (
+        "Rearrange or replicate data within a superlane (16 lanes)"
+    )
+
+    src_stream: int = 0
+    dst_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    dst_direction: Direction = Direction.EASTWARD
+    mapping: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for entry in self.mapping:
+            if entry != -1 and not 0 <= entry < 16:
+                raise IsaError(
+                    f"Distribute map entries are -1 (zero) or 0..15, got "
+                    f"{entry}"
+                )
+
+    def payload(self) -> bytes:
+        return bytes((e & 0xFF) for e in self.mapping)
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Rotate(Instruction):
+    """``Rotate stream`` — generate all n^2 rotations of n x n input data.
+
+    Used for convolution stencils: an n x n patch (n = 3 or 4) on the input
+    stream yields n^2 output streams, each a distinct rotation, starting at
+    ``dst_base_stream``.
+    """
+
+    mnemonic: ClassVar[str] = "Rotate"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = SXM_ONLY
+    description: ClassVar[str] = (
+        "Rotate n x n input data to generate n^2 output streams with all "
+        "possible rotations (n=3 or n=4)"
+    )
+
+    src_stream: int = 0
+    dst_base_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    dst_direction: Direction = Direction.EASTWARD
+    n: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n not in (3, 4):
+            raise IsaError(f"Rotate supports n=3 or n=4, got {self.n}")
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Transpose(Instruction):
+    """``Transpose sg16`` — 16x16 transpose across a 16-stream group.
+
+    Takes 16 incoming streams and produces 16 output streams with rows and
+    columns interchanged, per superlane.  Each SXM can issue two transposes
+    simultaneously (four chip-wide).
+    """
+
+    mnemonic: ClassVar[str] = "Transpose"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = SXM_ONLY
+    description: ClassVar[str] = (
+        "Transpose 16x16 elements producing 16 output streams with rows "
+        "and columns interchanged"
+    )
+
+    src_base_stream: int = 0
+    dst_base_stream: int = 0
+    direction: Direction = Direction.EASTWARD
+    dst_direction: Direction = Direction.EASTWARD
+    unit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src_base_stream % 16 != 0 or self.dst_base_stream % 16 != 0:
+            raise IsaError("Transpose stream groups must be 16-aligned")
+        if self.unit not in (0, 1):
+            raise IsaError(
+                f"each SXM has two transpose units (0 or 1), got {self.unit}"
+            )

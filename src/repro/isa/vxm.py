@@ -1,0 +1,160 @@
+"""VXM (vector execution module) instructions.
+
+Each superlane implements a 4x4 mesh of vector ALUs (16 per lane, 5,120
+chip-wide).  ALUs are stateless — no condition codes — and instead provide
+saturating and modulo variants of add/multiply (Section III-C).  Two or more
+ALUs within a lane can be *chained* so intermediate results never visit
+memory; the ``alu`` field selects which mesh slot executes an operation, and
+the compiler chains by routing one op's destination stream into the next
+op's source within the VXM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..arch.geometry import Direction, SliceKind
+from ..arch.streams import DType
+from ..errors import IsaError
+from .base import Instruction, register_instruction
+
+VXM_ONLY: frozenset[SliceKind] = frozenset({SliceKind.VXM})
+
+
+class AluOp(enum.Enum):
+    """Vector-ALU operations (Table I rows for the VXM)."""
+
+    # unary
+    COPY = ("copy", 1)
+    NEGATE = ("negate", 1)
+    ABS = ("abs", 1)
+    MASK = ("mask", 1)
+    RELU = ("relu", 1)
+    TANH = ("tanh", 1)
+    EXP = ("exp", 1)
+    RSQRT = ("rsqrt", 1)
+    # binary, saturating and modulo variants (Section III-C)
+    ADD_SAT = ("add_sat", 2)
+    ADD_MOD = ("add_mod", 2)
+    SUB_SAT = ("sub_sat", 2)
+    SUB_MOD = ("sub_mod", 2)
+    MUL_SAT = ("mul_sat", 2)
+    MUL_MOD = ("mul_mod", 2)
+    MAX = ("max", 2)
+    MIN = ("min", 2)
+
+    def __init__(self, label: str, arity: int) -> None:
+        self.label = label
+        self.arity = arity
+
+
+#: AluOp -> timing-table mnemonic (activations have longer pipelines).
+_TIMING_KEYS = {
+    AluOp.RELU: "ReLU",
+    AluOp.TANH: "TanH",
+    AluOp.EXP: "Exp",
+    AluOp.RSQRT: "RSqrt",
+}
+
+
+def _check_alu(alu: int) -> None:
+    if not 0 <= alu < 16:
+        raise IsaError(f"ALU index {alu} outside the 4x4 mesh (0..15)")
+
+
+@register_instruction
+@dataclass(frozen=True)
+class UnaryOp(Instruction):
+    """``z = op x`` — point-wise operation on one stream operand."""
+
+    mnemonic: ClassVar[str] = "UnaryOp"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = VXM_ONLY
+    description: ClassVar[str] = (
+        "z = op x point-wise operation on 1 operand, x, producing 1 "
+        "result, z (eg. mask, negate)"
+    )
+
+    op: AluOp = AluOp.COPY
+    src_stream: int = 0
+    src_direction: Direction = Direction.EASTWARD
+    dst_stream: int = 0
+    dst_direction: Direction = Direction.EASTWARD
+    dtype: DType = DType.INT8
+    alu: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op.arity != 1:
+            raise IsaError(f"{self.op.label} is not a unary operation")
+        _check_alu(self.alu)
+
+    @property
+    def timing_mnemonic(self) -> str:
+        return _TIMING_KEYS.get(self.op, "UnaryOp")
+
+
+@register_instruction
+@dataclass(frozen=True)
+class BinaryOp(Instruction):
+    """``z = x op y`` — point-wise operation on two stream operands."""
+
+    mnemonic: ClassVar[str] = "BinaryOp"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = VXM_ONLY
+    description: ClassVar[str] = (
+        "z = x op y point-wise operations with 2 operands x and y "
+        "producing 1 result, z (e.g. add, mul, sub)"
+    )
+
+    op: AluOp = AluOp.ADD_SAT
+    src1_stream: int = 0
+    src1_direction: Direction = Direction.EASTWARD
+    src2_stream: int = 1
+    src2_direction: Direction = Direction.EASTWARD
+    dst_stream: int = 2
+    dst_direction: Direction = Direction.EASTWARD
+    dtype: DType = DType.INT8
+    alu: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op.arity != 2:
+            raise IsaError(f"{self.op.label} is not a binary operation")
+        _check_alu(self.alu)
+
+    @property
+    def timing_mnemonic(self) -> str:
+        return "BinaryOp"
+
+
+@register_instruction
+@dataclass(frozen=True)
+class Convert(Instruction):
+    """Type conversion, including the requantization used after the MXM.
+
+    ``scale`` supports quantize/dequantize conversions: converting int32 to
+    int8 multiplies by ``scale`` before rounding and saturating (the
+    ResNet50 requantization step, Section IV); converting int8 to fp32
+    multiplies after widening.
+    """
+
+    mnemonic: ClassVar[str] = "Convert"
+    slice_kinds: ClassVar[frozenset[SliceKind]] = VXM_ONLY
+    description: ClassVar[str] = (
+        "Converting fixed point to floating point, and vice versa"
+    )
+
+    src_stream: int = 0
+    src_direction: Direction = Direction.EASTWARD
+    dst_stream: int = 0
+    dst_direction: Direction = Direction.EASTWARD
+    from_dtype: DType = DType.INT32
+    to_dtype: DType = DType.INT8
+    scale: float = 1.0
+    alu: int = 0
+
+    def __post_init__(self) -> None:
+        _check_alu(self.alu)
+
+    @property
+    def timing_mnemonic(self) -> str:
+        return "Convert"

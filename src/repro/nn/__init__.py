@@ -1,0 +1,114 @@
+"""NN layers, quantization, ResNet mapping, and the performance model."""
+
+from .dataset import SHAPE_NAMES, ShapeDataset, make_shapes
+from .folding import fold_batchnorm_into_conv, fold_batchnorm_into_dense
+from .layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    col2im,
+    im2col,
+    softmax_cross_entropy,
+)
+from .mapper import LayerMapping, map_layer, weight_install_summary
+from .model import Sequential
+from .perfmodel import (
+    LayerEstimate,
+    NetworkEstimate,
+    SCHEDULE_SLACK,
+    estimate_layer,
+    estimate_network,
+)
+from .quantize import (
+    QuantParams,
+    Strategy,
+    calibrate,
+    dequantize,
+    fake_quantize,
+    quantize,
+    quantized_matmul,
+)
+from .scaleout import ScaleOutEstimate, StagePlan, scale_out
+from .resnet import (
+    LayerKind,
+    LayerSpec,
+    RESNET_STAGES,
+    resnet_layers,
+    total_macs,
+    total_weights,
+)
+from .training import TrainResult, make_small_cnn, train
+from .transformer import (
+    DecodeEstimate,
+    TransformerConfig,
+    TransformerEstimate,
+    decode_layers,
+    estimate_decode,
+    estimate_transformer,
+    transformer_layers,
+    transformer_macs,
+)
+from .tsp_inference import CompiledLayer, TspCnnRunner, TspForwardResult
+
+__all__ = [
+    "BatchNorm",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool",
+    "Layer",
+    "LayerEstimate",
+    "LayerKind",
+    "LayerMapping",
+    "LayerSpec",
+    "MaxPool2D",
+    "NetworkEstimate",
+    "QuantParams",
+    "RESNET_STAGES",
+    "ReLU",
+    "SCHEDULE_SLACK",
+    "SHAPE_NAMES",
+    "Sequential",
+    "ShapeDataset",
+    "Strategy",
+    "TrainResult",
+    "calibrate",
+    "col2im",
+    "dequantize",
+    "estimate_layer",
+    "estimate_network",
+    "fake_quantize",
+    "fold_batchnorm_into_conv",
+    "fold_batchnorm_into_dense",
+    "im2col",
+    "make_shapes",
+    "make_small_cnn",
+    "map_layer",
+    "quantize",
+    "quantized_matmul",
+    "resnet_layers",
+    "scale_out",
+    "ScaleOutEstimate",
+    "StagePlan",
+    "softmax_cross_entropy",
+    "total_macs",
+    "total_weights",
+    "train",
+    "CompiledLayer",
+    "TspCnnRunner",
+    "TransformerConfig",
+    "TransformerEstimate",
+    "estimate_transformer",
+    "DecodeEstimate",
+    "decode_layers",
+    "estimate_decode",
+    "transformer_layers",
+    "transformer_macs",
+    "TspForwardResult",
+    "weight_install_summary",
+]

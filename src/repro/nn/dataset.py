@@ -1,0 +1,111 @@
+"""Synthetic image-classification dataset (the ImageNet substitution).
+
+The paper's accuracy studies (Sections IV-D and IV-E) require a trained
+image classifier.  Training ResNet50 on ImageNet is out of scope for a
+simulator reproduction, so — per the substitution policy in DESIGN.md — we
+generate a parametric shape-classification task: small grayscale images
+containing one of several geometric shapes at random position/size/rotation
+plus noise.  It exercises the same machinery (convs, pooling, quantized
+inference, model-capacity scaling) with trainable-in-seconds models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SHAPE_NAMES = ["square", "circle", "cross", "triangle", "hbars", "vbars"]
+
+
+def _draw_square(img: np.ndarray, cx: int, cy: int, r: int) -> None:
+    img[max(cy - r, 0) : cy + r, max(cx - r, 0) : cx + r] = 1.0
+
+
+def _draw_circle(img: np.ndarray, cx: int, cy: int, r: int) -> None:
+    h, w = img.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    img[(yy - cy) ** 2 + (xx - cx) ** 2 <= r * r] = 1.0
+
+
+def _draw_cross(img: np.ndarray, cx: int, cy: int, r: int) -> None:
+    t = max(r // 3, 1)
+    img[max(cy - t, 0) : cy + t, max(cx - r, 0) : cx + r] = 1.0
+    img[max(cy - r, 0) : cy + r, max(cx - t, 0) : cx + t] = 1.0
+
+
+def _draw_triangle(img: np.ndarray, cx: int, cy: int, r: int) -> None:
+    h, w = img.shape
+    yy, xx = np.mgrid[0:h, 0:w]
+    inside = (
+        (yy >= cy - r)
+        & (yy <= cy + r)
+        & (np.abs(xx - cx) <= (yy - (cy - r)) / 2 + 1)
+    )
+    img[inside] = 1.0
+
+
+def _draw_hbars(img: np.ndarray, cx: int, cy: int, r: int) -> None:
+    for row in range(max(cy - r, 0), min(cy + r, img.shape[0]), 3):
+        img[row, max(cx - r, 0) : cx + r] = 1.0
+
+
+def _draw_vbars(img: np.ndarray, cx: int, cy: int, r: int) -> None:
+    for col in range(max(cx - r, 0), min(cx + r, img.shape[1]), 3):
+        img[max(cy - r, 0) : cy + r, col] = 1.0
+
+
+_DRAWERS = [
+    _draw_square,
+    _draw_circle,
+    _draw_cross,
+    _draw_triangle,
+    _draw_hbars,
+    _draw_vbars,
+]
+
+
+@dataclass
+class ShapeDataset:
+    """Train/test split of the synthetic shape task."""
+
+    x_train: np.ndarray  # (N, 1, H, W) float
+    y_train: np.ndarray  # (N,) int labels
+    x_test: np.ndarray
+    y_test: np.ndarray
+    n_classes: int
+
+    @property
+    def image_size(self) -> int:
+        return self.x_train.shape[-1]
+
+
+def make_shapes(
+    n_train: int = 600,
+    n_test: int = 200,
+    image_size: int = 20,
+    n_classes: int = 4,
+    noise: float = 0.15,
+    seed: int = 0,
+) -> ShapeDataset:
+    """Generate a deterministic shape-classification dataset."""
+    if not 2 <= n_classes <= len(_DRAWERS):
+        raise ValueError(f"n_classes must be 2..{len(_DRAWERS)}")
+    rng = np.random.default_rng(seed)
+    total = n_train + n_test
+    x = np.zeros((total, 1, image_size, image_size), dtype=np.float64)
+    y = rng.integers(0, n_classes, total)
+    for i in range(total):
+        r = int(rng.integers(image_size // 6, image_size // 3))
+        cx = int(rng.integers(r + 1, image_size - r - 1))
+        cy = int(rng.integers(r + 1, image_size - r - 1))
+        _DRAWERS[y[i]](x[i, 0], cx, cy, r)
+    x += rng.normal(0, noise, x.shape)
+    x = (x - x.mean()) / (x.std() + 1e-9)
+    return ShapeDataset(
+        x_train=x[:n_train],
+        y_train=y[:n_train],
+        x_test=x[n_train:],
+        y_test=y[n_train:],
+        n_classes=n_classes,
+    )

@@ -1,0 +1,54 @@
+"""Batch-norm folding for inference graph lowering.
+
+The TSP's quantized inference path sees only conv + requantize (+ ReLU):
+batch normalization's affine transform is folded into the preceding
+convolution's weights and bias before quantization, which is why Section IV
+never schedules a standalone BN.  This module performs that lowering and is
+used by the quantization studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TspError
+from .layers import BatchNorm, Conv2D, Dense
+
+
+def fold_batchnorm_into_conv(conv: Conv2D, bn: BatchNorm) -> Conv2D:
+    """Return a new conv equivalent to ``bn(conv(x))`` at inference.
+
+    With ``y = gamma * (w.x + b - mean) / sqrt(var + eps) + beta``, the
+    folded parameters are ``w' = w * s`` and ``b' = (b - mean) * s + beta``
+    where ``s = gamma / sqrt(var + eps)`` per output channel.
+    """
+    if conv.out_channels != bn.gamma.shape[0]:
+        raise TspError(
+            f"conv has {conv.out_channels} output channels, BN has "
+            f"{bn.gamma.shape[0]}"
+        )
+    scale = bn.gamma / np.sqrt(bn.running_var + bn.eps)
+    folded = Conv2D(
+        in_channels=conv.w.shape[0] // (conv.kernel * conv.kernel),
+        out_channels=conv.out_channels,
+        kernel=conv.kernel,
+        stride=conv.stride,
+        pad=conv.pad,
+    )
+    folded.w = conv.w * scale[None, :]
+    folded.b = (conv.b - bn.running_mean) * scale + bn.beta
+    return folded
+
+
+def fold_batchnorm_into_dense(dense: Dense, bn_scale: np.ndarray,
+                              bn_shift: np.ndarray) -> Dense:
+    """Fold a per-feature affine (scale, shift) into a dense layer."""
+    if dense.w.shape[1] != bn_scale.shape[0]:
+        raise TspError(
+            f"dense has {dense.w.shape[1]} outputs, affine has "
+            f"{bn_scale.shape[0]}"
+        )
+    folded = Dense(dense.w.shape[0], dense.w.shape[1])
+    folded.w = dense.w * bn_scale[None, :]
+    folded.b = dense.b * bn_scale + bn_shift
+    return folded

@@ -1,0 +1,338 @@
+"""Reference NN layers in numpy: forward and backward passes.
+
+These implement the operator set ResNet-class models need — conv2d (via
+im2col, the same lowering the TSP mapper uses), dense, max/avg pooling,
+batch-norm, ReLU — with enough backward support to train the small CNNs the
+quantization and model-capacity studies (Sections IV-D and IV-E) require.
+Inference paths support the quantization strategies from
+:mod:`repro.nn.quantize`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TspError
+from .quantize import Strategy, fake_quantize, quantized_matmul
+
+
+class Layer:
+    """Base layer: forward/backward plus (param, grad) exposure."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params_and_grads(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        return []
+
+    def quantized_forward(
+        self, x: np.ndarray, strategy: Strategy
+    ) -> np.ndarray:
+        """Inference through the quantization strategy (default: fp path)."""
+        out = self.forward(x, training=False)
+        if strategy is Strategy.PER_OP:
+            return fake_quantize(out)
+        return out
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """(N, C, H, W) -> (N * Ho * Wo, C * kh * kw) patch matrix.
+
+    This is exactly the graph lowering the TSP uses: a convolution becomes
+    a matmul whose K dimension is C*kh*kw.
+    """
+    n, c, h, w = x.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    ho = (h + 2 * pad - kh) // stride + 1
+    wo = (w + 2 * pad - kw) // stride + 1
+    cols = np.empty((n, c, kh, kw, ho, wo), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * ho
+        for j in range(kw):
+            j_end = j + stride * wo
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * ho * wo, -1)
+    return cols, ho, wo
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    ho: int,
+    wo: int,
+) -> np.ndarray:
+    """Adjoint of :func:`im2col` (scatter-add of patch gradients)."""
+    n, c, h, w = x_shape
+    x = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols6 = cols.reshape(n, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        i_end = i + stride * ho
+        for j in range(kw):
+            j_end = j + stride * wo
+            x[:, :, i:i_end:stride, j:j_end:stride] += cols6[:, :, i, j]
+    if pad:
+        return x[:, :, pad:-pad, pad:-pad]
+    return x
+
+
+class Conv2D(Layer):
+    """2-D convolution via im2col, NCHW layout."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        stride: int = 1,
+        pad: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.stride = stride
+        self.kernel = kernel
+        self.pad = kernel // 2 if pad is None else pad
+        fan_in = in_channels * kernel * kernel
+        self.w = rng.standard_normal(
+            (fan_in, out_channels)
+        ) * np.sqrt(2.0 / fan_in)
+        self.b = np.zeros(out_channels)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._cache = None
+
+    @property
+    def out_channels(self) -> int:
+        return self.w.shape[1]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, ho, wo = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        out = cols @ self.w + self.b
+        n = x.shape[0]
+        out = out.reshape(n, ho, wo, -1).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = (x.shape, cols, ho, wo)
+        return out
+
+    def quantized_forward(self, x: np.ndarray, strategy: Strategy) -> np.ndarray:
+        cols, ho, wo = im2col(x, self.kernel, self.kernel, self.stride, self.pad)
+        out = quantized_matmul(cols, self.w, strategy) + self.b
+        n = x.shape[0]
+        out = out.reshape(n, ho, wo, -1).transpose(0, 3, 1, 2)
+        if strategy is Strategy.PER_OP:
+            return fake_quantize(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise TspError("backward before forward(training=True)")
+        x_shape, cols, ho, wo = self._cache
+        n = grad.shape[0]
+        grad2 = grad.transpose(0, 2, 3, 1).reshape(n * ho * wo, -1)
+        self.dw = cols.T @ grad2
+        self.db = grad2.sum(axis=0)
+        dcols = grad2 @ self.w.T
+        return col2im(
+            dcols, x_shape, self.kernel, self.kernel, self.stride, self.pad,
+            ho, wo,
+        )
+
+    def params_and_grads(self):
+        return [(self.w, self.dw), (self.b, self.db)]
+
+
+class Dense(Layer):
+    """Fully connected layer on flattened inputs."""
+
+    def __init__(
+        self, in_features: int, out_features: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = rng or np.random.default_rng(0)
+        self.w = rng.standard_normal(
+            (in_features, out_features)
+        ) * np.sqrt(2.0 / in_features)
+        self.b = np.zeros(out_features)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._x = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._x = x
+        return x @ self.w + self.b
+
+    def quantized_forward(self, x: np.ndarray, strategy: Strategy) -> np.ndarray:
+        out = quantized_matmul(x, self.w, strategy) + self.b
+        if strategy is Strategy.PER_OP:
+            return fake_quantize(out)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        self.dw = self._x.T @ grad
+        self.db = grad.sum(axis=0)
+        return grad @ self.w.T
+
+    def params_and_grads(self):
+        return [(self.w, self.dw), (self.b, self.db)]
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._mask = x > 0
+        return np.maximum(x, 0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class MaxPool2D(Layer):
+    """Max pooling, NCHW.  The TSP maps this to SXM shifts + VXM max
+    (the Figure 11 schedule)."""
+
+    def __init__(self, kernel: int = 2, stride: int | None = None) -> None:
+        self.kernel = kernel
+        self.stride = stride or kernel
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s = self.kernel, self.stride
+        ho = (h - k) // s + 1
+        wo = (w - k) // s + 1
+        windows = np.empty((n, c, ho, wo, k * k), dtype=x.dtype)
+        for i in range(k):
+            for j in range(k):
+                windows[..., i * k + j] = x[
+                    :, :, i : i + s * ho : s, j : j + s * wo : s
+                ]
+        out = windows.max(axis=-1)
+        if training:
+            self._cache = (x.shape, windows.argmax(axis=-1), ho, wo)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_shape, argmax, ho, wo = self._cache
+        n, c, h, w = x_shape
+        k, s = self.kernel, self.stride
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        for i in range(k):
+            for j in range(k):
+                mask = argmax == (i * k + j)
+                dx[:, :, i : i + s * ho : s, j : j + s * wo : s] += (
+                    grad * mask
+                )
+        return dx
+
+
+class GlobalAvgPool(Layer):
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, c, h, w = self._shape
+        return np.broadcast_to(
+            grad[:, :, None, None] / (h * w), self._shape
+        ).copy()
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class BatchNorm(Layer):
+    """Batch normalization over (N, C, H, W) channels.
+
+    At inference the affine form folds into the adjacent conv — which is why
+    the TSP's quantized path sees only conv + requantize (Section IV).
+    """
+
+    def __init__(self, channels: int, momentum: float = 0.9) -> None:
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.dgamma = np.zeros(channels)
+        self.dbeta = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = 1e-5
+        self._cache = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        if training:
+            self._cache = (x_hat, std)
+        return (
+            self.gamma[None, :, None, None] * x_hat
+            + self.beta[None, :, None, None]
+        )
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_hat, std = self._cache
+        n = grad.shape[0] * grad.shape[2] * grad.shape[3]
+        self.dgamma = (grad * x_hat).sum(axis=(0, 2, 3))
+        self.dbeta = grad.sum(axis=(0, 2, 3))
+        g = self.gamma[None, :, None, None]
+        dx_hat = grad * g
+        term = (
+            dx_hat
+            - dx_hat.mean(axis=(0, 2, 3), keepdims=True)
+            - x_hat * (dx_hat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        )
+        return term / std[None, :, None, None]
+
+    def params_and_grads(self):
+        return [(self.gamma, self.dgamma), (self.beta, self.dbeta)]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    loss = -np.log(probs[np.arange(n), labels] + 1e-12).mean()
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(loss), grad / n

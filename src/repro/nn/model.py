@@ -1,0 +1,62 @@
+"""Sequential model container with quantized inference paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Layer, softmax_cross_entropy
+from .quantize import Strategy
+
+
+class Sequential:
+    """An ordered stack of layers with train/eval/quantized-eval paths."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self.layers = layers
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def quantized_forward(self, x: np.ndarray, strategy: Strategy) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.quantized_forward(x, strategy)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params_and_grads(self):
+        for layer in self.layers:
+            yield from layer.params_and_grads()
+
+    # ------------------------------------------------------------------
+    def train_step(
+        self, x: np.ndarray, labels: np.ndarray, lr: float = 0.01
+    ) -> float:
+        """One SGD step; returns the batch loss."""
+        logits = self.forward(x, training=True)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        self.backward(grad)
+        for param, g in self.params_and_grads():
+            param -= lr * g
+        return loss
+
+    def accuracy(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        strategy: Strategy | None = None,
+        top_k: int = 1,
+    ) -> float:
+        """Top-k accuracy under an optional quantization strategy."""
+        if strategy is None:
+            logits = self.forward(x, training=False)
+        else:
+            logits = self.quantized_forward(x, strategy)
+        top = np.argsort(-logits, axis=1)[:, :top_k]
+        hits = (top == labels[:, None]).any(axis=1)
+        return float(hits.mean())

@@ -1,0 +1,225 @@
+"""Deterministic performance and power model for whole networks.
+
+The TSP has no caches, arbiters, or speculative structures, so layer
+latency is a pure function of the schedule — the paper exploits exactly
+this to project ResNet101/152 throughput "to the cycle" from ResNet50's
+measured structure (Section IV-F).  This model computes per-layer cycles
+from the mapper's tiling (installs, streaming, pipeline fill), integrates
+the per-op energy model over the same schedule for the Figure 10 power
+trace, and reports network latency/throughput for batch-1 inference.
+
+Two scheduling modes reproduce the Section IV-C optimization study:
+
+* ``optimized=False`` — the first ResNet50 revision: each layer's pipeline
+  fills and drains serially ("latency bubbles were created as the pipeline
+  filled and emptied"), and the next layer cannot start until results are
+  committed;
+* ``optimized=True`` — the improved memory allocation: tensors distributed
+  across slices with bank interleaving so a layer's reads begin before the
+  previous layer finishes writing, hiding most of the fill/drain bubble
+  and overlapping weight installs with streaming (double-buffered via the
+  LW staging buffer).
+
+The model is calibrated to the paper's operating point (20.4K IPS at the
+900 MHz nominal clock) through ``SCHEDULE_SLACK``, a single factor
+representing second-order schedule losses (VXM serialization depth, memory
+contention, quantization bookkeeping) that a cycle-exact compiler would
+expose layer by layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..arch.power import ActivityCounts, PowerModel
+from ..arch.timing import TimingModel
+from ..config import ArchConfig
+from .mapper import LayerMapping, map_layer
+from .resnet import LayerKind, LayerSpec
+
+#: Second-order schedule losses versus the ideal tiling model (see module
+#: docstring).  Calibrated once against the paper's ResNet50 operating
+#: point and then held fixed for ResNet101/152 and every ablation.
+SCHEDULE_SLACK = 1.32
+
+
+@dataclass
+class LayerEstimate:
+    """Cycle-exact (modelled) facts about one layer."""
+
+    name: str
+    kind: str
+    cycles: int
+    macs: int
+    active_planes: int
+    utilization: float
+    power_w: float
+    install_cycles: int
+    stream_cycles: int
+    bubble_cycles: int
+
+
+@dataclass
+class NetworkEstimate:
+    """Whole-network estimate for batch-1 inference."""
+
+    layers: list[LayerEstimate]
+    config: ArchConfig
+    optimized: bool
+    total_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        self.total_cycles = sum(layer.cycles for layer in self.layers)
+
+    @property
+    def latency_us(self) -> float:
+        return self.total_cycles / (self.config.clock_ghz * 1e3)
+
+    @property
+    def ips(self) -> float:
+        """Batch-1 images per second: each query is a separate inference."""
+        return 1e6 / self.latency_us
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def average_power_w(self) -> float:
+        if self.total_cycles == 0:
+            return 0.0
+        energy = sum(
+            layer.power_w * layer.cycles for layer in self.layers
+        )
+        return energy / self.total_cycles
+
+    def power_trace(self) -> list[tuple[str, float]]:
+        """(layer name, watts) series — the Figure 10 plot."""
+        return [(layer.name, layer.power_w) for layer in self.layers]
+
+
+def _pipeline_fill(config: ArchConfig, timing: TimingModel) -> int:
+    """Cycles for one result to traverse read -> MXM -> VXM -> write."""
+    transit = config.mem_slices_per_hemisphere // 2 + 4
+    return (
+        timing.functional_delay("Read")
+        + transit
+        + config.tiles_per_slice  # vertical SIMD stagger
+        + timing.mxm_pipeline_depth(config.mxm_plane_rows)
+        + timing.functional_delay("ACC")
+        + timing.functional_delay("Convert")
+        + timing.functional_delay("Write")
+    )
+
+
+def estimate_layer(
+    mapping: LayerMapping,
+    config: ArchConfig,
+    timing: TimingModel | None = None,
+    power: PowerModel | None = None,
+    optimized: bool = True,
+) -> LayerEstimate:
+    """Cycle and power estimate for one mapped layer."""
+    timing = timing or TimingModel()
+    power = power or PowerModel()
+    spec = mapping.spec
+    fill = _pipeline_fill(config, timing)
+
+    if mapping.is_matrix_op:
+        install = mapping.install_cycles
+        stream = mapping.stream_cycles
+        if optimized:
+            # double-buffered installs overlap streaming; fill mostly
+            # hidden by bank-interleaved reads of the previous layer's
+            # output (Section IV-C)
+            compute = install + mapping.rounds * max(stream, install)
+            bubble = fill // 3
+        else:
+            compute = mapping.rounds * (install + stream)
+            bubble = fill + fill // 2  # fill and drain exposed
+        cycles = int(compute * SCHEDULE_SLACK) + bubble
+    elif spec.kind is LayerKind.ADD:
+        # chained on the producing conv's result stream: only the ALU's
+        # functional delay is exposed
+        cycles = timing.functional_delay("BinaryOp")
+        bubble = 0
+        install = stream = 0
+    else:  # pooling: stream through SXM + VXM
+        stream = mapping.stream_cycles
+        bubble = fill // 3 if optimized else fill
+        cycles = int(stream * SCHEDULE_SLACK) + bubble
+        install = 0
+
+    activity = _layer_activity(mapping, config, cycles)
+    power_w = power.average_power_w(config, activity)
+    return LayerEstimate(
+        name=spec.name,
+        kind=spec.kind.value,
+        cycles=max(cycles, 1),
+        macs=spec.macs,
+        active_planes=mapping.active_planes,
+        utilization=mapping.mxm_utilization,
+        power_w=power_w,
+        install_cycles=install if mapping.is_matrix_op else 0,
+        stream_cycles=mapping.stream_cycles,
+        bubble_cycles=bubble,
+    )
+
+
+def _layer_activity(
+    mapping: LayerMapping, config: ArchConfig, cycles: int
+) -> ActivityCounts:
+    """Dynamic-activity tally integrated over the layer's schedule."""
+    spec = mapping.spec
+    lanes = config.n_lanes
+    plane_cells = config.mxm_plane_rows * config.mxm_plane_cols
+    if spec.kind is LayerKind.ADD:
+        # the residual add is chained on the producing conv's result
+        # stream: its switching energy is charged to the conv's window,
+        # so the standalone "layer" contributes almost nothing
+        return ActivityCounts(
+            cycles=cycles, alu_ops=lanes, instructions=cycles
+        )
+    macc = 0
+    if mapping.is_matrix_op:
+        streaming_cycles = mapping.rounds * mapping.stream_cycles
+        # every active plane's array switches while streaming; padded
+        # lanes toggle less, so charge useful MACs plus a fraction of the
+        # idle cells
+        busy = mapping.active_planes * plane_cells * streaming_cycles
+        macc = spec.macs + int(0.25 * max(busy - spec.macs, 0))
+    alu = mapping.vxm_vectors * lanes * 2  # requantize + activation
+    sram_read = spec.weights + spec.in_channels * spec.in_size**2
+    sram_write = spec.output_elements
+    hops = (sram_read + sram_write) * (
+        config.mem_slices_per_hemisphere // 2
+    )
+    return ActivityCounts(
+        cycles=cycles,
+        macc_ops=macc,
+        alu_ops=alu,
+        sram_read_bytes=sram_read,
+        sram_write_bytes=sram_write,
+        stream_hop_bytes=hops,
+        sxm_bytes=mapping.sxm_vectors * lanes,
+        instructions=cycles * 8,  # a handful of queues active per cycle
+    )
+
+
+def estimate_network(
+    specs: list[LayerSpec],
+    config: ArchConfig,
+    optimized: bool = True,
+    timing: TimingModel | None = None,
+    power: PowerModel | None = None,
+) -> NetworkEstimate:
+    """Map and time a whole network for batch-1 inference."""
+    timing = timing or TimingModel()
+    power = power or PowerModel()
+    layers = [
+        estimate_layer(
+            map_layer(spec, config), config, timing, power, optimized
+        )
+        for spec in specs
+    ]
+    return NetworkEstimate(layers=layers, config=config, optimized=optimized)

@@ -1,0 +1,128 @@
+"""Post-training quantization (Section IV-D of the paper).
+
+The paper's initial ResNet50 deployment used *layer-based symmetric int8*
+quantization for convolutions and matrix multiplies: inputs and weights of
+each conv/matmul are quantized to int8, the MXM accumulates in int32, and
+everything between matrix operations (batch-norm folding, residual adds,
+activations) stays in higher precision.  That strategy lost only ~0.5%
+accuracy versus quantizing *each operation's* output ("per-op"), which
+re-quantizes after every op and compounds rounding error.
+
+The paper also names the follow-up: *axis-based* (per-output-channel)
+asymmetric quantization, which this module implements as
+:data:`Strategy.PER_AXIS` so the E13 bench can show the expected ordering
+per_axis <= layer_based < per_op in accuracy loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Strategy(enum.Enum):
+    """Quantization granularity strategies compared in the paper."""
+
+    LAYER_BASED = "layer"  # one symmetric scale per tensor (the paper's v1)
+    PER_OP = "per_op"  # requantize after every operation (the baseline)
+    PER_AXIS = "per_axis"  # per-output-channel scales (the paper's future work)
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric affine parameters: ``q = round(x / scale)``.
+
+    ``scale`` is scalar for tensor-granularity strategies and a per-channel
+    vector for :data:`Strategy.PER_AXIS`.
+    """
+
+    scale: np.ndarray  # scalar () or per-channel (C,)
+    bits: int = 8
+
+    @property
+    def qmax(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bits - 1))
+
+
+def calibrate(
+    x: np.ndarray, bits: int = 8, axis: int | None = None
+) -> QuantParams:
+    """Pick symmetric scales from the data's absolute maximum."""
+    if axis is None:
+        amax = float(np.max(np.abs(x))) or 1.0
+        scale = np.asarray(amax / ((1 << (bits - 1)) - 1))
+    else:
+        moved = np.moveaxis(x, axis, 0).reshape(x.shape[axis], -1)
+        amax = np.max(np.abs(moved), axis=1)
+        amax = np.where(amax == 0, 1.0, amax)
+        scale = amax / ((1 << (bits - 1)) - 1)
+    return QuantParams(scale=scale, bits=bits)
+
+
+def quantize(x: np.ndarray, params: QuantParams, axis: int = 0) -> np.ndarray:
+    """``q = clip(round(x / scale))`` as int8 (or wider for bits > 8)."""
+    scale = params.scale
+    if scale.ndim > 0:
+        shape = [1] * x.ndim
+        shape[axis] = -1
+        scale = scale.reshape(shape)
+    q = np.rint(x / scale)
+    q = np.clip(q, params.qmin, params.qmax)
+    dtype = np.int8 if params.bits <= 8 else np.int32
+    return q.astype(dtype)
+
+
+def dequantize(
+    q: np.ndarray, params: QuantParams, axis: int = 0
+) -> np.ndarray:
+    scale = params.scale
+    if scale.ndim > 0:
+        shape = [1] * q.ndim
+        shape[axis] = -1
+        scale = scale.reshape(shape)
+    return q.astype(np.float64) * scale
+
+
+def fake_quantize(
+    x: np.ndarray, bits: int = 8, axis: int | None = None
+) -> np.ndarray:
+    """Round-trip through the quantized grid (calibrate+quantize+dequantize).
+
+    This is how the inference paths model quantization error without
+    carrying explicit integer tensors everywhere.
+    """
+    params = calibrate(x, bits=bits, axis=axis)
+    q = quantize(x, params, axis=axis or 0)
+    return dequantize(q, params, axis=axis or 0)
+
+
+def quantized_matmul(
+    x: np.ndarray,
+    w: np.ndarray,
+    strategy: Strategy,
+    bits: int = 8,
+) -> np.ndarray:
+    """A matmul as the TSP executes it: int8 x int8 -> int32 -> rescale.
+
+    ``x`` is (N, K); ``w`` is (K, M).  Activations are always quantized
+    per-tensor (they stream through one scale); weights follow the
+    strategy: per-tensor for LAYER_BASED/PER_OP, per-output-column for
+    PER_AXIS.
+    """
+    xp = calibrate(x, bits=bits)
+    xq = quantize(x, xp).astype(np.int64)
+    if strategy is Strategy.PER_AXIS:
+        wp = calibrate(w, bits=bits, axis=1)
+        wq = quantize(w, wp, axis=1).astype(np.int64)
+        acc = xq @ wq  # int32-style accumulation
+        return acc.astype(np.float64) * float(xp.scale) * wp.scale[None, :]
+    wp = calibrate(w, bits=bits)
+    wq = quantize(w, wp).astype(np.int64)
+    acc = xq @ wq
+    return acc.astype(np.float64) * float(xp.scale) * float(wp.scale)

@@ -1,0 +1,200 @@
+"""ResNet-50/101/152 architecture descriptions for the TSP mapper.
+
+These are *structural* descriptions — per-layer tensor shapes and MAC
+counts — consumed by the deterministic performance model.  Section IV-F of
+the paper: "ResNet101 and ResNet152 match ResNet50's structure with the
+exception of a repeated set of additional layers", which lets the TSP
+project their throughput to the cycle; we reproduce exactly that
+projection.
+
+The widened variant (Section IV-E) pads bottleneck channel depths from
+powers of two up toward the MXM's native 320-element dimension, adding
+model capacity "for the same computational cost and latency" because the
+misaligned 256-wide tiles under-utilized the 320x320 array anyway.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LayerKind(enum.Enum):
+    CONV = "conv"
+    MAXPOOL = "maxpool"
+    AVGPOOL = "avgpool"
+    FC = "fc"
+    ADD = "add"  # residual elementwise add
+    STREAM_EW = "stream_ew"  # streaming element-wise stage (softmax, norm)
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer as the mapper sees it."""
+
+    name: str
+    kind: LayerKind
+    in_channels: int
+    out_channels: int
+    kernel: int
+    stride: int
+    in_size: int  # square input spatial size
+    out_size: int  # square output spatial size
+    #: override for non-square N (sequence workloads: N = tokens x heads)
+    n_override: int | None = None
+
+    @property
+    def k_dim(self) -> int:
+        """Reduction dimension of the lowered matmul (C_in * kh * kw)."""
+        return self.in_channels * self.kernel * self.kernel
+
+    @property
+    def m_dim(self) -> int:
+        """Output-feature dimension of the lowered matmul."""
+        return self.out_channels
+
+    @property
+    def n_spatial(self) -> int:
+        """Output positions (matmul N dimension), batch 1."""
+        if self.n_override is not None:
+            return self.n_override
+        return self.out_size * self.out_size
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates for batch-1 inference."""
+        if self.kind in (LayerKind.CONV, LayerKind.FC):
+            return self.k_dim * self.m_dim * self.n_spatial
+        return 0
+
+    @property
+    def weights(self) -> int:
+        if self.kind in (LayerKind.CONV, LayerKind.FC):
+            return self.k_dim * self.m_dim
+        return 0
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_channels * self.n_spatial
+
+
+#: (blocks per stage) for each ResNet depth
+RESNET_STAGES: dict[int, tuple[int, int, int, int]] = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+#: (bottleneck width, output width) per stage, standard ResNet
+STAGE_CHANNELS = ((64, 256), (128, 512), (256, 1024), (512, 2048))
+STAGE_SIZES = (56, 28, 14, 7)
+
+
+def _bottleneck(
+    name: str,
+    in_channels: int,
+    mid: int,
+    out: int,
+    size_in: int,
+    stride: int,
+) -> list[LayerSpec]:
+    """One bottleneck block: 1x1 reduce, 3x3, 1x1 expand (+ projection)."""
+    size_out = size_in // stride
+    layers = [
+        LayerSpec(
+            f"{name}.conv1", LayerKind.CONV, in_channels, mid, 1, 1,
+            size_in, size_in,
+        ),
+        LayerSpec(
+            f"{name}.conv2", LayerKind.CONV, mid, mid, 3, stride,
+            size_in, size_out,
+        ),
+        LayerSpec(
+            f"{name}.conv3", LayerKind.CONV, mid, out, 1, 1,
+            size_out, size_out,
+        ),
+    ]
+    if stride != 1 or in_channels != out:
+        layers.append(
+            LayerSpec(
+                f"{name}.proj", LayerKind.CONV, in_channels, out, 1, stride,
+                size_in, size_out,
+            )
+        )
+    layers.append(
+        LayerSpec(
+            f"{name}.add", LayerKind.ADD, out, out, 1, 1, size_out, size_out
+        )
+    )
+    return layers
+
+
+def resnet_layers(
+    depth: int = 50,
+    image_size: int = 224,
+    n_classes: int = 1000,
+    widened_to: int | None = None,
+) -> list[LayerSpec]:
+    """Full layer list for a ResNet of the given depth.
+
+    ``widened_to`` pads every bottleneck/output channel count up to the
+    nearest multiple of that value (the paper's 320-wide variant).
+    """
+    if depth not in RESNET_STAGES:
+        raise ValueError(f"depth must be one of {sorted(RESNET_STAGES)}")
+
+    def widen(c: int) -> int:
+        """Pad channel depths up to tile multiples *where it is free*.
+
+        Rounding 256 -> 320, 512 -> 640, 1024 -> 1280, 2048 -> 2240 keeps
+        the same number of 320-wide MXM tiles a layer already occupied
+        (the paper's "additional model capacity for the same computational
+        cost"); narrower channels (64, 128) are left alone because padding
+        them genuinely adds tiles.
+        """
+        if widened_to is None or c < 256:
+            return c
+        return -(-c // widened_to) * widened_to  # round up
+
+    layers: list[LayerSpec] = [
+        LayerSpec(
+            "conv1", LayerKind.CONV, 3, widen(64), 7, 2,
+            image_size, image_size // 2,
+        ),
+        LayerSpec(
+            "maxpool", LayerKind.MAXPOOL, widen(64), widen(64), 3, 2,
+            image_size // 2, image_size // 4,
+        ),
+    ]
+    in_channels = widen(64)
+    for stage, blocks in enumerate(RESNET_STAGES[depth]):
+        mid, out = STAGE_CHANNELS[stage]
+        mid, out = widen(mid), widen(out)
+        size_in = STAGE_SIZES[stage] * (2 if stage > 0 else 1)
+        for block in range(blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers += _bottleneck(
+                f"stage{stage + 1}.block{block + 1}",
+                in_channels, mid, out,
+                size_in if block == 0 else STAGE_SIZES[stage],
+                stride,
+            )
+            in_channels = out
+            size_in = STAGE_SIZES[stage]
+    layers.append(
+        LayerSpec(
+            "avgpool", LayerKind.AVGPOOL, in_channels, in_channels, 7, 1,
+            7, 1,
+        )
+    )
+    layers.append(
+        LayerSpec("fc", LayerKind.FC, in_channels, n_classes, 1, 1, 1, 1)
+    )
+    return layers
+
+
+def total_macs(layers: list[LayerSpec]) -> int:
+    return sum(layer.macs for layer in layers)
+
+
+def total_weights(layers: list[LayerSpec]) -> int:
+    return sum(layer.weights for layer in layers)

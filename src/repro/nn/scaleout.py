@@ -1,0 +1,139 @@
+"""Multi-chip pipeline-parallel scale-out (an extension of Section II's
+C2C design).
+
+The paper provisions 3.84 Tb/s of deterministic chip-to-chip bandwidth "to
+support high-radix interconnection networks of TSPs for large-scale
+systems" but publishes no multi-chip results; this module models the
+natural deployment — pipeline parallelism, one contiguous group of layers
+per chip, activations forwarded over C2C — with the same deterministic
+cycle accounting as the single-chip model.  Because every stage is
+deterministic, pipeline throughput is exactly the slowest stage's rate and
+latency is exactly the sum of stages plus link hops: no queueing model is
+needed, which is itself the paper's point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig
+from ..sim.c2c import DEFAULT_LINK_LATENCY
+from .perfmodel import LayerEstimate, estimate_network
+from .resnet import LayerSpec
+
+
+@dataclass
+class StagePlan:
+    """One chip's share of the pipeline."""
+
+    chip: int
+    layer_names: list[str]
+    cycles: int
+    egress_vectors: int  # activation vectors forwarded to the next chip
+
+
+@dataclass
+class ScaleOutEstimate:
+    """Pipeline-parallel deployment across N chips."""
+
+    stages: list[StagePlan]
+    config: ArchConfig
+    link_latency: int
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.stages)
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        return max(stage.cycles for stage in self.stages)
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Inter-stage forwarding: one vector per cycle per link hop."""
+        return sum(
+            stage.egress_vectors + self.link_latency
+            for stage in self.stages[:-1]
+        )
+
+    @property
+    def throughput_ips(self) -> float:
+        """Pipelined: one image per bottleneck-stage interval."""
+        return self.config.clock_ghz * 1e9 / self.bottleneck_cycles
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end: all stages plus link transfers."""
+        total = sum(s.cycles for s in self.stages) + self.transfer_cycles
+        return total / (self.config.clock_ghz * 1e3)
+
+    def speedup_vs(self, single_chip_ips: float) -> float:
+        return self.throughput_ips / single_chip_ips
+
+    def efficiency(self, single_chip_ips: float) -> float:
+        return self.speedup_vs(single_chip_ips) / self.n_chips
+
+
+def _partition_balanced(
+    layers: list[LayerEstimate], n_chips: int
+) -> list[list[LayerEstimate]]:
+    """Greedy contiguous partition targeting equal per-stage cycles."""
+    total = sum(layer.cycles for layer in layers)
+    target = total / n_chips
+    stages: list[list[LayerEstimate]] = []
+    current: list[LayerEstimate] = []
+    acc = 0
+    remaining_chips = n_chips
+    for index, layer in enumerate(layers):
+        current.append(layer)
+        acc += layer.cycles
+        remaining = len(layers) - index - 1
+        if (
+            acc >= target
+            and remaining_chips > 1
+            and remaining >= remaining_chips - 1
+        ):
+            stages.append(current)
+            current = []
+            acc = 0
+            remaining_chips -= 1
+    if current:
+        stages.append(current)
+    while len(stages) < n_chips:
+        stages.append([])  # more chips than useful stages
+    return stages
+
+
+def scale_out(
+    specs: list[LayerSpec],
+    config: ArchConfig,
+    n_chips: int,
+    link_latency: int = DEFAULT_LINK_LATENCY,
+    optimized: bool = True,
+) -> ScaleOutEstimate:
+    """Plan a pipeline-parallel deployment of a network over N chips."""
+    if n_chips < 1:
+        raise ValueError("need at least one chip")
+    network = estimate_network(specs, config, optimized=optimized)
+    spec_by_name = {spec.name: spec for spec in specs}
+    partitions = _partition_balanced(network.layers, n_chips)
+
+    stages: list[StagePlan] = []
+    for chip, part in enumerate(partitions):
+        if part:
+            last = part[-1]
+            out_elems = spec_by_name[last.name].output_elements
+            egress = -(-out_elems // config.n_lanes)
+        else:
+            egress = 0
+        stages.append(
+            StagePlan(
+                chip=chip,
+                layer_names=[l.name for l in part],
+                cycles=sum(l.cycles for l in part),
+                egress_vectors=egress if chip < n_chips - 1 else 0,
+            )
+        )
+    return ScaleOutEstimate(
+        stages=stages, config=config, link_latency=link_latency
+    )

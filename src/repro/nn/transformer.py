@@ -1,0 +1,200 @@
+"""Transformer-layer mapping onto the TSP (an extension).
+
+The paper's introduction names "attention and transformer models" among the
+workloads motivating the TSP, but evaluates only ResNet.  This module
+extends the same mapper/performance model to a decoder layer processing a
+full sequence at batch 1 (prefill): every matmul — the QKV projections,
+per-head attention scores, context gather, output projection, and the MLP —
+lowers to MXM tiles exactly like a convolution does, and the softmax /
+normalization stages stream through the VXM at line rate.
+
+Attention's score and context matmuls have *dynamic* "weights" (K and V
+are activations): on the TSP they are installed into the MXM per inference
+like any weight tile, which the per-inference install accounting of the
+performance model already charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchConfig
+from .perfmodel import NetworkEstimate, estimate_network
+from .resnet import LayerKind, LayerSpec
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """A decoder stack in the small-LLM class."""
+
+    d_model: int = 1024
+    n_heads: int = 16
+    d_ff: int = 4096
+    seq_len: int = 256
+    n_layers: int = 12
+    vocab: int = 32_000
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+    def validate(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must divide evenly into heads")
+
+
+def _seq_spec(
+    name: str,
+    kind: LayerKind,
+    k: int,
+    m: int,
+    n: int,
+) -> LayerSpec:
+    """A sequence-shaped layer: K x M matmul over N positions."""
+    return LayerSpec(
+        name, kind, in_channels=k, out_channels=m, kernel=1, stride=1,
+        in_size=1, out_size=1, n_override=n,
+    )
+
+
+def transformer_layers(config: TransformerConfig) -> list[LayerSpec]:
+    """All layers of a decoder stack, batch-1 full-sequence prefill."""
+    config.validate()
+    d, s = config.d_model, config.seq_len
+    h, dh = config.n_heads, config.d_head
+    layers: list[LayerSpec] = []
+    for i in range(config.n_layers):
+        p = f"layer{i}"
+        layers += [
+            _seq_spec(f"{p}.ln1", LayerKind.STREAM_EW, d, d, s),
+            _seq_spec(f"{p}.qkv", LayerKind.FC, d, 3 * d, s),
+            # per-head scores: (s, dh) @ (dh, s), h heads -> N = s*h
+            _seq_spec(f"{p}.scores", LayerKind.FC, dh, s, s * h),
+            _seq_spec(f"{p}.softmax", LayerKind.STREAM_EW, s, 1, s * h),
+            # context: (s, s) @ (s, dh) per head
+            _seq_spec(f"{p}.context", LayerKind.FC, s, dh, s * h),
+            _seq_spec(f"{p}.out_proj", LayerKind.FC, d, d, s),
+            _seq_spec(f"{p}.add1", LayerKind.ADD, d, d, s),
+            _seq_spec(f"{p}.ln2", LayerKind.STREAM_EW, d, d, s),
+            _seq_spec(f"{p}.ffn_up", LayerKind.FC, d, config.d_ff, s),
+            _seq_spec(f"{p}.ffn_down", LayerKind.FC, config.d_ff, d, s),
+            _seq_spec(f"{p}.add2", LayerKind.ADD, d, d, s),
+        ]
+    layers.append(
+        _seq_spec("lm_head", LayerKind.FC, d, config.vocab, 1)
+    )
+    return layers
+
+
+def transformer_macs(config: TransformerConfig) -> int:
+    """Closed-form MAC count, used to validate the layer list."""
+    d, s = config.d_model, config.seq_len
+    per_layer = (
+        d * 3 * d * s  # qkv
+        + config.d_head * s * s * config.n_heads  # scores
+        + s * config.d_head * s * config.n_heads  # context
+        + d * d * s  # out proj
+        + d * config.d_ff * s * 2  # mlp
+    )
+    return per_layer * config.n_layers + d * config.vocab
+
+
+@dataclass
+class TransformerEstimate:
+    """TSP deployment figures for a decoder stack."""
+
+    network: NetworkEstimate
+    config: TransformerConfig
+
+    @property
+    def prefill_latency_us(self) -> float:
+        return self.network.latency_us
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Prefill rate: the whole sequence per pass."""
+        return self.config.seq_len / (self.network.latency_us / 1e6)
+
+    @property
+    def sequences_per_second(self) -> float:
+        return self.network.ips
+
+
+def estimate_transformer(
+    config: TransformerConfig, chip: ArchConfig, optimized: bool = True
+) -> TransformerEstimate:
+    """Map and time a transformer prefill on the TSP."""
+    network = estimate_network(
+        transformer_layers(config), chip, optimized=optimized
+    )
+    return TransformerEstimate(network=network, config=config)
+
+
+def decode_layers(
+    config: TransformerConfig, context_len: int
+) -> list[LayerSpec]:
+    """Single-token decoding against a KV cache of ``context_len``.
+
+    Every matmul has N = 1 (one new token): the MXM spends its time
+    *loading* weights rather than streaming activations — the memory-bound
+    regime of the paper's Figure 9 roofline, where "the TSP becomes memory
+    bandwidth bound loading weights into the MXM array".
+    """
+    config.validate()
+    d = config.d_model
+    h, dh = config.n_heads, config.d_head
+    layers: list[LayerSpec] = []
+    for i in range(config.n_layers):
+        p = f"decode{i}"
+        layers += [
+            _seq_spec(f"{p}.ln1", LayerKind.STREAM_EW, d, d, 1),
+            _seq_spec(f"{p}.qkv", LayerKind.FC, d, 3 * d, 1),
+            # one query against the cached keys: (1, dh) @ (dh, ctx)
+            _seq_spec(f"{p}.scores", LayerKind.FC, dh, context_len, h),
+            _seq_spec(
+                f"{p}.softmax", LayerKind.STREAM_EW, context_len, 1, h
+            ),
+            # context: (1, ctx) @ (ctx, dh) per head
+            _seq_spec(f"{p}.context", LayerKind.FC, context_len, dh, h),
+            _seq_spec(f"{p}.out_proj", LayerKind.FC, d, d, 1),
+            _seq_spec(f"{p}.ffn_up", LayerKind.FC, d, config.d_ff, 1),
+            _seq_spec(f"{p}.ffn_down", LayerKind.FC, config.d_ff, d, 1),
+        ]
+    layers.append(_seq_spec("lm_head", LayerKind.FC, d, config.vocab, 1))
+    return layers
+
+
+@dataclass
+class DecodeEstimate:
+    """Single-token generation figures."""
+
+    network: NetworkEstimate
+    config: TransformerConfig
+    context_len: int
+
+    @property
+    def token_latency_us(self) -> float:
+        return self.network.latency_us
+
+    @property
+    def tokens_per_second(self) -> float:
+        return 1e6 / self.token_latency_us
+
+    def sustained_teraops(self) -> float:
+        ops = 2 * sum(l.macs for l in self.network.layers)
+        return ops / (self.token_latency_us / 1e6) / 1e12
+
+
+def estimate_decode(
+    config: TransformerConfig,
+    chip: ArchConfig,
+    context_len: int = 256,
+    optimized: bool = True,
+) -> DecodeEstimate:
+    """Map and time single-token decoding on the TSP."""
+    network = estimate_network(
+        decode_layers(config, context_len), chip, optimized=optimized
+    )
+    return DecodeEstimate(
+        network=network, config=config, context_len=context_len
+    )

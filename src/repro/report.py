@@ -1,0 +1,195 @@
+"""``python -m repro.report`` — regenerate the paper-vs-measured summary.
+
+A dependency-free way to reproduce the headline numbers without pytest:
+prints one report per experiment family (bandwidth budget, compute
+density, weight load, barrier, ResNet operating points, optimization
+ablation, comparisons, roofline, power trace, determinism) using the same
+library calls the benchmark suite makes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from .arch.area import AreaModel
+from .baselines import GOYA, GpuModel, Roofline, TPU_V3, V100
+from .bench import ExperimentReport, ascii_series
+from .config import groq_tsp_v1, small_test_chip
+from .nn import (
+    estimate_network,
+    resnet_layers,
+    weight_install_summary,
+)
+
+
+def bandwidth_report(config) -> ExperimentReport:
+    report = ExperimentReport("E11", "Bandwidth budget (Eq. 1, Eq. 2)")
+    report.add("Eq.1 stream registers", 20.0,
+               config.paper_tib_per_s(config.stream_bytes_per_cycle),
+               "paper-TiB/s")
+    report.add("Eq.2 SRAM", 55.0,
+               config.paper_tib_per_s(config.sram_bytes_per_cycle),
+               "paper-TiB/s")
+    report.add("instruction fetch", 2.25,
+               config.paper_tib_per_s(config.ifetch_bytes_per_cycle),
+               "paper-TiB/s")
+    report.add("on-chip SRAM", 220, config.mem_total_bytes / 2**20, "MiB")
+    report.add("C2C off-chip", 3.84, config.c2c_tbps, "Tb/s")
+    return report
+
+
+def density_report(config) -> ExperimentReport:
+    area = AreaModel(config)
+    report = ExperimentReport("E16", "Compute density (conclusion)")
+    report.add("peak @ 1 GHz", 820, round(config.peak_teraops(1.0), 1),
+               "TeraOps/s")
+    report.add("density", "> 1", round(config.teraops_per_mm2(1.0), 2),
+               "TeraOps/s/mm^2")
+    report.add("TSP ops/s/transistor", 30_000,
+               round(area.tsp_ops_per_transistor()))
+    report.add("V100 ops/s/transistor", 6_200,
+               round(area.comparator_ops_per_transistor(
+                   V100.peak_teraops, V100.transistors)))
+    return report
+
+
+def weight_load_report(config) -> ExperimentReport:
+    summary = weight_install_summary(config)
+    report = ExperimentReport("E09", "Weight load (Section V-b)")
+    report.add("weights", 409_600, summary["weights"])
+    report.add("cycles incl. transit", "< 40", summary["with_transit"])
+    return report
+
+
+def resnet_report(config) -> tuple[ExperimentReport, object]:
+    paper = {50: 20_400, 101: 14_300, 152: 10_700}
+    report = ExperimentReport("E06/E07", "ResNet family, batch 1 @ 900 MHz")
+    resnet50 = None
+    for depth, paper_ips in paper.items():
+        estimate = estimate_network(resnet_layers(depth), config)
+        if depth == 50:
+            resnet50 = estimate
+            report.add("ResNet50 latency", 49.0,
+                       round(estimate.latency_us, 1), "us")
+        report.add(f"ResNet{depth} throughput", paper_ips,
+                   round(estimate.ips), "IPS")
+    naive = estimate_network(resnet_layers(50), config, optimized=False)
+    report.add("optimization saving (E12)", 5_500,
+               naive.total_cycles - resnet50.total_cycles, "cycles")
+    return report, resnet50
+
+
+def comparison_report(config, resnet50) -> ExperimentReport:
+    gpu = GpuModel()
+    layers = resnet_layers(50)
+    report = ExperimentReport("E08", "vs published accelerators")
+    report.add("vs TPU v3 large batch", 2.5,
+               round(resnet50.ips / TPU_V3.resnet50_ips, 2), "x")
+    report.add("latency vs Goya batch-1", "~5",
+               round(GOYA.batch1_latency_us / resnet50.latency_us, 2), "x")
+    report.add("vs GPU-class batch 128", "~4",
+               round(resnet50.ips / gpu.throughput_ips(layers, 128), 2),
+               "x")
+    return report
+
+
+def determinism_report(config) -> ExperimentReport:
+    from .compiler import StreamProgramBuilder, execute
+
+    small = small_test_chip()
+    rng = np.random.default_rng(0)
+    g = StreamProgramBuilder(small)
+    x = g.constant_tensor("x", rng.integers(-9, 9, (4, 64)).astype(np.int8))
+    g.write_back(g.relu(x), name="y")
+    compiled = g.compile()
+    cycles = {execute(compiled).run.cycles for _ in range(3)}
+    report = ExperimentReport("E15", "Determinism (Section IV-F)")
+    report.add("distinct cycle counts over 3 runs", 1, len(cycles))
+    report.add("cycles", "—", cycles.pop())
+    return report
+
+
+def transformer_report(config) -> ExperimentReport:
+    from .nn import (
+        TransformerConfig,
+        estimate_decode,
+        estimate_transformer,
+        transformer_macs,
+    )
+
+    t_config = TransformerConfig()
+    prefill = estimate_transformer(t_config, config)
+    decode = estimate_decode(t_config, config, context_len=1024)
+    ops = 2 * transformer_macs(t_config)
+    sustained = ops / (prefill.prefill_latency_us / 1e6) / 1e12
+    report = ExperimentReport("E20", "Transformer decoder (extension)")
+    report.add("prefill rate (seq 256)", "—",
+               round(prefill.tokens_per_second), "tokens/s")
+    report.add("prefill sustained", "compute-bound",
+               f"{sustained / config.peak_teraops():.0%} of peak")
+    report.add("decode rate (ctx 1024)", "—",
+               round(decode.tokens_per_second), "tokens/s")
+    report.add("decode sustained", "memory-bound",
+               f"{decode.sustained_teraops() / config.peak_teraops():.1%} "
+               "of peak")
+    return report
+
+
+def scaleout_report(config) -> ExperimentReport:
+    from .nn import resnet_layers, scale_out
+
+    layers = resnet_layers(50)
+    single = estimate_network(layers, config)
+    report = ExperimentReport("E19", "Pipeline scale-out (extension)")
+    for n in (2, 4, 8):
+        plan = scale_out(layers, config, n)
+        report.add(f"{n}-chip ResNet50", "—",
+                   round(plan.throughput_ips), "IPS",
+                   note=f"{plan.efficiency(single.ips):.0%} efficiency")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    config = groq_tsp_v1()
+    print("Groq TSP reproduction — paper-vs-measured summary\n")
+
+    report, resnet50 = resnet_report(config)
+    sections = [
+        bandwidth_report(config),
+        density_report(config),
+        weight_load_report(config),
+        report,
+        comparison_report(config, resnet50),
+        determinism_report(config),
+        scaleout_report(config),
+        transformer_report(config),
+    ]
+    for section in sections:
+        print(section.render())
+        print()
+
+    roofline = Roofline(config, clock_ghz=1.0)
+    roof = roofline.series(list(np.logspace(-0.5, 4, 40)))
+    marks = [
+        (p.intensity, p.achieved_teraops, "o")
+        for p in (
+            roofline.matmul_point(320, 320, n) for n in (1, 49, 3136)
+        )
+    ]
+    print(ascii_series(roof, logx=True, marks=marks,
+                       title="Figure 9: roofline (o = measured points)"))
+    print()
+
+    estimate = estimate_network(resnet_layers(50), config)
+    series = [(i, p) for i, (_n, p) in enumerate(estimate.power_trace())]
+    print(ascii_series(series, width=72,
+                       title="Figure 10: ResNet50 per-layer power (W)"))
+    print("\nSee EXPERIMENTS.md for the full record and "
+          "`pytest benchmarks/ --benchmark-only` for all experiments.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Numpy semantics of the VXM vector-ALU operations.
+
+The ALUs are stateless (no condition codes); instead the ISA offers
+saturating and modulo variants of add/sub/multiply (Section III-C).  All
+arithmetic here is computed in a wide intermediate type and narrowed with
+either clipping (``*_sat``) or wraparound (``*_mod``), matching fixed-point
+hardware; float types saturate to themselves (sat == mod).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.streams import DType
+from ..errors import SimulationError
+from ..isa.vxm import AluOp
+
+_INT_LIMITS = {
+    DType.INT8: (-128, 127),
+    DType.UINT8: (0, 255),
+    DType.INT16: (-32768, 32767),
+    DType.INT32: (-(2**31), 2**31 - 1),
+}
+
+
+def _is_float(dtype: DType) -> bool:
+    return dtype in (DType.FP16, DType.FP32)
+
+
+def _narrow_sat(wide: np.ndarray, dtype: DType) -> np.ndarray:
+    if _is_float(dtype):
+        return wide.astype(dtype.numpy_dtype)
+    lo, hi = _INT_LIMITS[dtype]
+    return np.clip(wide, lo, hi).astype(dtype.numpy_dtype)
+
+
+def _narrow_mod(wide: np.ndarray, dtype: DType) -> np.ndarray:
+    if _is_float(dtype):
+        return wide.astype(dtype.numpy_dtype)
+    return wide.astype(dtype.numpy_dtype)  # numpy int casts wrap around
+
+
+def _widen(x: np.ndarray, dtype: DType) -> np.ndarray:
+    if _is_float(dtype):
+        return x.astype(np.float64)
+    return x.astype(np.int64)
+
+
+def apply_unary(op: AluOp, dtype: DType, x: np.ndarray) -> np.ndarray:
+    """``z = op x`` on one vector of ``dtype`` elements."""
+    if op is AluOp.COPY:
+        return x.copy()
+    if op is AluOp.NEGATE:
+        return _narrow_sat(-_widen(x, dtype), dtype)
+    if op is AluOp.ABS:
+        return _narrow_sat(np.abs(_widen(x, dtype)), dtype)
+    if op is AluOp.MASK:
+        return (x != 0).astype(dtype.numpy_dtype)
+    if op is AluOp.RELU:
+        return np.maximum(x, 0).astype(dtype.numpy_dtype)
+    if op is AluOp.TANH:
+        return np.tanh(x.astype(np.float64)).astype(_float_out(dtype))
+    if op is AluOp.EXP:
+        return np.exp(x.astype(np.float64)).astype(_float_out(dtype))
+    if op is AluOp.RSQRT:
+        wide = x.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = 1.0 / np.sqrt(wide)
+        return out.astype(_float_out(dtype))
+    raise SimulationError(f"{op.label} is not a unary ALU operation")
+
+
+def _float_out(dtype: DType) -> np.dtype:
+    """Transcendental results keep float width; int inputs produce fp32."""
+    if dtype is DType.FP16:
+        return np.dtype(np.float16)
+    return np.dtype(np.float32)
+
+
+def apply_binary(
+    op: AluOp, dtype: DType, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """``z = x op y`` on two vectors of ``dtype`` elements."""
+    a = _widen(x, dtype)
+    b = _widen(y, dtype)
+    if op is AluOp.ADD_SAT:
+        return _narrow_sat(a + b, dtype)
+    if op is AluOp.ADD_MOD:
+        return _narrow_mod(a + b, dtype)
+    if op is AluOp.SUB_SAT:
+        return _narrow_sat(a - b, dtype)
+    if op is AluOp.SUB_MOD:
+        return _narrow_mod(a - b, dtype)
+    if op is AluOp.MUL_SAT:
+        return _narrow_sat(a * b, dtype)
+    if op is AluOp.MUL_MOD:
+        return _narrow_mod(a * b, dtype)
+    if op is AluOp.MAX:
+        return np.maximum(x, y)
+    if op is AluOp.MIN:
+        return np.minimum(x, y)
+    raise SimulationError(f"{op.label} is not a binary ALU operation")
+
+
+def apply_convert(
+    from_dtype: DType, to_dtype: DType, scale: float, x: np.ndarray
+) -> np.ndarray:
+    """Type conversion with optional (re)quantization scale.
+
+    int -> int / float -> int: multiply by ``scale``, round half-to-even,
+    saturate.  int/float -> float: widen then multiply by ``scale``.
+    """
+    wide = x.astype(np.float64) * scale
+    if _is_float(to_dtype):
+        return wide.astype(to_dtype.numpy_dtype)
+    lo, hi = _INT_LIMITS[to_dtype]
+    return np.clip(np.rint(wide), lo, hi).astype(to_dtype.numpy_dtype)

@@ -1,0 +1,150 @@
+"""C2C simulation: deterministic chip-to-chip vector transport.
+
+Each hemisphere's C2C module owns half the chip's links.  ``Send`` samples a
+320-byte vector off a stream and ships it down a link; the vector arrives at
+the peer after the link's fixed latency, where a ``Receive`` emplaces it
+into a MEM slice (the lightweight DMA path of Section II item 6).  Links
+are plesiochronous: in strict mode a link must be ``Deskew``-ed before
+carrying traffic, otherwise transport would not be aligned to the core
+clock and determinism would be lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..arch.geometry import Hemisphere, SliceAddress, SliceKind
+from ..errors import SimulationError
+from ..isa.base import Instruction
+from ..isa.c2c import Deskew, Receive, Send
+from ..isa.program import IcuId
+from .events import Phase
+from .unit import FunctionalUnit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chip import TspChip
+
+#: Fixed one-way link latency, in core-clock cycles.  The paper does not
+#: publish it; SerDes + deskew buffers on a 30 Gb/s x4 link are a few tens
+#: of nanoseconds, so we model 24 cycles at ~1 GHz.
+DEFAULT_LINK_LATENCY = 24
+
+
+@dataclass
+class C2cLink:
+    """One x4 link endpoint."""
+
+    index: int
+    deskewed: bool = False
+    peer: tuple["C2cUnit", int] | None = None
+    latency: int = DEFAULT_LINK_LATENCY
+    rx_queue: deque = field(default_factory=deque)  # (arrival_cycle, vector)
+    sent_vectors: int = 0
+    received_vectors: int = 0
+
+
+class C2cUnit(FunctionalUnit):
+    """One hemisphere's chip-to-chip module."""
+
+    def __init__(self, chip: "TspChip", address: SliceAddress) -> None:
+        super().__init__(chip, address)
+        n_links = chip.config.c2c_links // chip.config.hemispheres
+        self.links = [C2cLink(i) for i in range(n_links)]
+
+    # ------------------------------------------------------------------
+    def connect(
+        self, link: int, peer_unit: "C2cUnit", peer_link: int,
+        latency: int = DEFAULT_LINK_LATENCY,
+    ) -> None:
+        """Wire a link to a peer endpoint (possibly on another chip)."""
+        self.links[link].peer = (peer_unit, peer_link)
+        self.links[link].latency = latency
+        peer_unit.links[peer_link].peer = (self, link)
+        peer_unit.links[peer_link].latency = latency
+
+    def loopback(self, link: int, latency: int = DEFAULT_LINK_LATENCY) -> None:
+        """Wire a link to itself — useful for single-chip tests."""
+        self.connect(link, self, link, latency)
+
+    # ------------------------------------------------------------------
+    def execute(self, icu: IcuId, instruction: Instruction, cycle: int) -> None:
+        if isinstance(instruction, Deskew):
+            self._exec_deskew(instruction, cycle)
+        elif isinstance(instruction, Send):
+            self._exec_send(instruction, cycle)
+        elif isinstance(instruction, Receive):
+            self._exec_receive(instruction, cycle)
+        else:
+            super().execute(icu, instruction, cycle)
+
+    def _link(self, index: int) -> C2cLink:
+        if not 0 <= index < len(self.links):
+            raise SimulationError(
+                f"{self.address}: link {index} does not exist "
+                f"(hemisphere owns {len(self.links)})"
+            )
+        return self.links[index]
+
+    # ------------------------------------------------------------------
+    def _exec_deskew(self, instruction: Deskew, cycle: int) -> None:
+        link = self._link(instruction.link)
+
+        def _done(_c: int) -> None:
+            link.deskewed = True
+
+        self.chip.events.schedule(
+            cycle + self.dfunc(instruction), Phase.DRIVE, _done
+        )
+
+    def _exec_send(self, instruction: Send, cycle: int) -> None:
+        link = self._link(instruction.link)
+        if link.peer is None:
+            raise SimulationError(
+                f"{self.address}: link {instruction.link} is not connected"
+            )
+        if self.chip.strict_c2c and not link.deskewed:
+            raise SimulationError(
+                f"{self.address}: link {instruction.link} used before Deskew"
+            )
+        peer_unit, peer_index = link.peer
+
+        def _ship(vector: np.ndarray) -> None:
+            arrival = cycle + self.dskew(instruction) + link.latency
+            rx = peer_unit._link(peer_index).rx_queue
+            rx.append((arrival, vector.copy()))
+            link.sent_vectors += 1
+
+        self.capture_at(
+            cycle + self.dskew(instruction),
+            instruction.direction,
+            instruction.stream,
+            _ship,
+        )
+
+    def _exec_receive(self, instruction: Receive, cycle: int) -> None:
+        link = self._link(instruction.link)
+        when = cycle + self.dfunc(instruction)
+
+        def _emplace(_c: int) -> None:
+            if not link.rx_queue:
+                raise SimulationError(
+                    f"{self.address}: Receive on link {instruction.link} "
+                    f"at cycle {_c} with nothing in flight"
+                )
+            arrival, vector = link.rx_queue[0]
+            if arrival > _c:
+                raise SimulationError(
+                    f"{self.address}: Receive at cycle {_c} but the vector "
+                    f"arrives only at {arrival} — schedule after link latency"
+                )
+            link.rx_queue.popleft()
+            link.received_vectors += 1
+            hemisphere = self.address.hemisphere
+            mem = self.chip.mem_unit(hemisphere, instruction.mem_slice)
+            mem.host_write(instruction.address, vector[None, :])
+
+        self.chip.events.schedule(when, Phase.CAPTURE, _emplace)

@@ -1,0 +1,294 @@
+"""Top-level TSP chip simulator.
+
+One :class:`TspChip` owns a floorplan, a stream register file, a functional
+unit per slice, and one :class:`IcuQueue` per independent instruction queue.
+``run()`` executes a :class:`~repro.isa.program.Program` cycle by cycle with
+a fixed intra-cycle phase order that realizes the paper's timing contract:
+
+1. **DRIVE** — results whose ``d_func`` elapsed land on stream registers;
+2. **dispatch** — every ICU queue issues at most one instruction;
+3. **CAPTURE** — operand samples (``d_skew``) read the current registers;
+4. **step** — every stream value advances one hop.
+
+Because the phase order, queue order, and event order are all fixed, two
+runs of the same program are bit-identical — the determinism the TSP
+guarantees by construction (Section IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.geometry import (
+    Direction,
+    Floorplan,
+    Hemisphere,
+    SliceAddress,
+    SliceKind,
+)
+from ..arch.power import ActivityCounts, PowerModel
+from ..arch.timing import TimingModel
+from ..config import ArchConfig
+from ..errors import SimulationError
+from ..isa.base import Instruction
+from ..isa.program import IcuId, Program
+from .c2c import C2cUnit
+from .events import EventQueue, Phase
+from .icu import BarrierController, IcuQueue
+from .memory import MemSliceUnit
+from .mxm import MxmUnit
+from .streamreg import StreamRegisterFile
+from .sxm import SxmUnit
+from .unit import FunctionalUnit
+from .vxm import VxmUnit
+
+
+@dataclass
+class TraceEvent:
+    """One dispatched instruction, for schedule visualization."""
+
+    cycle: int
+    icu: str
+    mnemonic: str
+    text: str
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    cycles: int
+    instructions: int
+    activity: ActivityCounts
+    trace: list[TraceEvent] = field(default_factory=list)
+    ecc_corrections: int = 0
+
+    def seconds(self, clock_ghz: float) -> float:
+        return self.cycles / (clock_ghz * 1e9)
+
+
+class TspChip:
+    """A deterministic, cycle-accurate functional model of one TSP."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        timing: TimingModel | None = None,
+        enable_ecc: bool = False,
+        strict_ifetch: bool = False,
+        strict_c2c: bool = False,
+        trace: bool = False,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.timing = timing or TimingModel()
+        self.floorplan = Floorplan(config)
+        self.srf = StreamRegisterFile(config, self.floorplan)
+        self.events = EventQueue()
+        self.barrier = BarrierController(config.barrier_latency_cycles)
+        self.strict_ifetch = strict_ifetch
+        self.strict_c2c = strict_c2c
+        self.trace_enabled = trace
+        self.trace: list[TraceEvent] = []
+        self.activity = ActivityCounts()
+        self.power_model = PowerModel()
+        self.superlane_enabled = np.ones(config.n_superlanes, dtype=bool)
+        self.weights_installed_cycle: int | None = None
+        self.weights_installed_bytes = 0
+        self.now = 0
+
+        if enable_ecc:
+            self.srf.enable_ecc(True)
+
+        self._units: dict[SliceAddress, FunctionalUnit] = {}
+        for address in self.floorplan.slices:
+            self._units[address] = self._make_unit(address)
+
+    # ------------------------------------------------------------------
+    def _make_unit(self, address: SliceAddress) -> FunctionalUnit:
+        if address.kind is SliceKind.MEM:
+            return MemSliceUnit(self, address)
+        if address.kind is SliceKind.VXM:
+            return VxmUnit(self, address)
+        if address.kind is SliceKind.MXM:
+            return MxmUnit(self, address)
+        if address.kind is SliceKind.SXM:
+            return SxmUnit(self, address)
+        return C2cUnit(self, address)
+
+    # ------------------------------------------------------------------
+    @property
+    def srf_ecc_enabled(self) -> bool:
+        return self.srf.ecc_enabled
+
+    def unit_for(self, icu: IcuId) -> FunctionalUnit:
+        return self._units[icu.address]
+
+    def unit_at(self, address: SliceAddress) -> FunctionalUnit:
+        return self._units[address]
+
+    def mem_unit(self, hemisphere: Hemisphere, index: int) -> MemSliceUnit:
+        address = self.floorplan.mem_slice(hemisphere, index)
+        unit = self._units[address]
+        assert isinstance(unit, MemSliceUnit)
+        return unit
+
+    def c2c_unit(self, hemisphere: Hemisphere) -> C2cUnit:
+        unit = self._units[self.floorplan.c2c(hemisphere)]
+        assert isinstance(unit, C2cUnit)
+        return unit
+
+    # ------------------------------------------------------------------
+    def set_superlane_power(self, superlane: int, on: bool) -> None:
+        if not 0 <= superlane < self.config.n_superlanes:
+            raise SimulationError(f"superlane {superlane} does not exist")
+        self.superlane_enabled[superlane] = on
+
+    def record_dispatch(
+        self, icu: IcuId, instruction: Instruction, cycle: int
+    ) -> None:
+        self.activity.instructions += 1
+        if self.trace_enabled:
+            self.trace.append(
+                TraceEvent(
+                    cycle, str(icu), instruction.mnemonic, str(instruction)
+                )
+            )
+
+    def note_weights_installed(self, cycle: int, n_bytes: int) -> None:
+        """Bookkeeping for the weight-load experiment (E09)."""
+        self.weights_installed_bytes += n_bytes
+        if (
+            self.weights_installed_cycle is None
+            or cycle > self.weights_installed_cycle
+        ):
+            self.weights_installed_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # host-side memory access
+    # ------------------------------------------------------------------
+    def load_memory(
+        self,
+        hemisphere: Hemisphere,
+        slice_index: int,
+        address: int,
+        data: np.ndarray,
+    ) -> None:
+        """Emplace host data into a MEM slice (the PCIe DMA path)."""
+        self.mem_unit(hemisphere, slice_index).host_write(address, data)
+
+    def read_memory(
+        self,
+        hemisphere: Hemisphere,
+        slice_index: int,
+        address: int,
+        n_words: int = 1,
+    ) -> np.ndarray:
+        return self.mem_unit(hemisphere, slice_index).host_read(
+            address, n_words
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        max_cycles: int = 1_000_000,
+        warmup_barrier: bool = False,
+    ) -> RunResult:
+        """Execute a program to completion; returns cycle-exact results.
+
+        ``warmup_barrier`` prepends the paper's compulsory post-reset
+        barrier: every queue parks on ``Sync`` and a designated notifier
+        releases them, aligning all 144 queues to the same logical time.
+        """
+        queues = [
+            IcuQueue(self, icu, list(program.queue(icu)))
+            for icu in program.icus
+        ]
+        if warmup_barrier and queues:
+            from ..isa.icu import Notify, Sync
+
+            # the paper's compulsory post-reset barrier: every queue parks
+            # on Sync; the notifier queue issues Notify first, then parks
+            # too, so all queues resume at the same release cycle and the
+            # compiled schedule keeps its relative timing
+            for q in queues[1:]:
+                q.instructions.insert(0, Sync())
+            queues[0].instructions[0:0] = [Notify(), Sync()]
+
+        start_instructions = self.activity.instructions
+        cycle = 0
+        idle_cycles = 0
+        while True:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"program did not finish within {max_cycles} cycles"
+                )
+            self.now = cycle
+            self.events.run_phase(cycle, Phase.DRIVE)
+            any_alive = False
+            for queue in queues:
+                if queue.step(cycle):
+                    any_alive = True
+            self.events.run_phase(cycle, Phase.CAPTURE)
+            self.srf.step()
+            self.activity.cycles += 1
+
+            pending = self.events.pending > 0
+            if not any_alive and not pending:
+                idle_cycles += 1
+            else:
+                idle_cycles = 0
+            # a queue still burning a trailing NOP is not finished: its
+            # delay is part of the program's timed behaviour
+            all_done = all(
+                q.done and cycle + 1 >= q.busy_until for q in queues
+            )
+            if all_done and not pending:
+                cycle += 1
+                break
+            if not pending and not all_done:
+                # queues exist but none can ever progress
+                stuck = [q for q in queues if not q.done]
+                if stuck and all(q.parked for q in stuck):
+                    releases = [
+                        self.barrier.release_for(q.park_cycle) for q in stuck
+                    ]
+                    if all(r is None for r in releases):
+                        raise SimulationError(
+                            "barrier deadlock: Sync parked with no Notify"
+                        )
+            cycle += 1
+
+        self.activity.stream_hop_bytes = self.srf.hop_bytes_total
+        return RunResult(
+            cycles=cycle,
+            instructions=self.activity.instructions - start_instructions,
+            activity=self.activity,
+            trace=list(self.trace),
+            ecc_corrections=self.srf.corrections,
+        )
+
+    # ------------------------------------------------------------------
+    def step_cycle(self, queues: list[IcuQueue], cycle: int) -> None:
+        """Advance one cycle — used by the lockstep multichip driver."""
+        self.now = cycle
+        self.events.run_phase(cycle, Phase.DRIVE)
+        for queue in queues:
+            queue.step(cycle)
+        self.events.run_phase(cycle, Phase.CAPTURE)
+        self.srf.step()
+        self.activity.cycles += 1
+
+    def make_queues(self, program: Program) -> list[IcuQueue]:
+        return [
+            IcuQueue(self, icu, list(program.queue(icu)))
+            for icu in program.icus
+        ]
+
+    def is_idle(self, queues: list[IcuQueue]) -> bool:
+        return all(q.done for q in queues) and self.events.pending == 0

@@ -1,0 +1,71 @@
+"""Deterministic event queue for the cycle simulator.
+
+The simulator is event-assisted: instruction dispatch happens in the main
+cycle loop, but an instruction's side effects (operand captures, result
+drives, multi-cycle installs) are scheduled as events.  Events at the same
+cycle execute in insertion order — there is no tie-breaking randomness, so
+two runs of the same program are bit-identical (the paper's determinism
+property, which test_determinism verifies).
+
+Two phases exist per cycle:
+
+* ``DRIVE`` events run first and place produced values onto stream
+  registers (visible to that cycle's readers);
+* ``CAPTURE`` events run after instruction dispatch and read operand values
+  off stream registers (then typically do work and schedule future DRIVEs).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from typing import Callable
+
+
+class Phase(enum.IntEnum):
+    """Intra-cycle ordering of event kinds."""
+
+    DRIVE = 0
+    CAPTURE = 1
+
+
+class EventQueue:
+    """A (cycle, phase, insertion-order) priority queue of callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int, Callable[[int], None]]] = []
+        self._counter = itertools.count()
+
+    def schedule(
+        self, cycle: int, phase: Phase, action: Callable[[int], None]
+    ) -> None:
+        """Register ``action(cycle)`` to run at the given cycle and phase."""
+        if cycle < 0:
+            raise ValueError(f"cannot schedule at negative cycle {cycle}")
+        heapq.heappush(
+            self._heap, (cycle, int(phase), next(self._counter), action)
+        )
+
+    def run_phase(self, cycle: int, phase: Phase) -> int:
+        """Execute all events for (cycle, phase); returns the count run."""
+        run = 0
+        while self._heap:
+            c, p, _, _ = self._heap[0]
+            if c != cycle or p != int(phase):
+                break
+            _, _, _, action = heapq.heappop(self._heap)
+            action(cycle)
+            run += 1
+        return run
+
+    def has_work_at_or_before(self, cycle: int) -> bool:
+        return bool(self._heap) and self._heap[0][0] <= cycle
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def next_cycle(self) -> int | None:
+        """Earliest scheduled cycle, or None when empty."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,82 @@
+"""Soft-error (SEU) injection and the error-handling CSR model.
+
+Section II-D: single-bit upsets in SRAM or anywhere along the streaming
+datapath are corrected automatically and recorded in a control-and-status
+register for an error handler to interrogate; accumulating corrections are
+an early wearout signal used to identify marginal chips.  This module
+injects faults and exposes the CSR view that a fleet-health monitor would
+poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.geometry import Direction, Hemisphere
+from .chip import TspChip
+
+
+@dataclass
+class CorrectionRecord:
+    """One logged ECC correction event."""
+
+    kind: str  # "sram" or "stream"
+    location: str
+    bit: int
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic SEU injection against a chip under test."""
+
+    chip: TspChip
+    log: list[CorrectionRecord] = field(default_factory=list)
+
+    def inject_sram_fault(
+        self, hemisphere: Hemisphere, slice_index: int, address: int, bit: int
+    ) -> None:
+        """Flip one stored data bit without refreshing its ECC."""
+        unit = self.chip.mem_unit(hemisphere, slice_index)
+        unit.inject_fault(address, bit)
+        self.log.append(
+            CorrectionRecord(
+                "sram", f"MEM_{hemisphere.value}{slice_index}@{address}", bit
+            )
+        )
+
+    def inject_double_sram_fault(
+        self,
+        hemisphere: Hemisphere,
+        slice_index: int,
+        address: int,
+        bits: tuple[int, int],
+    ) -> None:
+        """Flip two bits in the same word: detectable but uncorrectable."""
+        first, second = bits
+        if first == second:
+            raise ValueError("double fault needs two distinct bits")
+        unit = self.chip.mem_unit(hemisphere, slice_index)
+        unit.inject_fault(address, first)
+        unit.inject_fault(address, second)
+
+    def inject_stream_fault(
+        self, direction: Direction, stream: int, position: int, bit: int
+    ) -> None:
+        """Flip one bit of an in-flight stream value (datapath SEU)."""
+        self.chip.srf.inject_stream_fault(direction, stream, position, bit)
+        self.log.append(
+            CorrectionRecord(
+                "stream", f"S{stream}{direction.value}@{position}", bit
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def csr_corrections(self) -> int:
+        """The CSR counter of automatically corrected soft errors."""
+        return self.chip.srf.corrections
+
+    def wearout_flag(self, threshold: int = 10) -> bool:
+        """A fleet-health proxy: too many corrections marks a marginal chip."""
+        return self.csr_corrections() >= threshold

@@ -1,0 +1,199 @@
+"""Instruction-queue simulation: dispatch, NOP timing, barriers, IFetch.
+
+Every functional slice has an ICU tile; the chip has 144 independent
+instruction queues whose program order the compiler controls explicitly
+(Section II).  This module implements:
+
+* cycle-precise dispatch with ``NOP n`` occupying exactly n cycles;
+* ``Repeat n, d`` re-executing the previous instruction;
+* the ``Sync``/``Notify`` chip-wide barrier with the paper's 35-cycle
+  release latency;
+* the ``Ifetch`` instruction-supply model — each queue has a finite buffer
+  that drains by encoded instruction size and refills 640 bytes per fetch.
+  In strict mode a queue that runs dry raises :class:`IqUnderflowError`,
+  enforcing the paper's "IQs never go empty" requirement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import IqUnderflowError, SimulationError
+from ..isa.base import Instruction
+from ..isa.icu import Config, Ifetch, Nop, Notify, Repeat, Sync
+from ..isa.program import IcuId
+from .events import Phase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .chip import TspChip
+
+
+class BarrierController:
+    """Chip-wide Sync/Notify barrier (Section III-A2).
+
+    A ``Notify`` issued at cycle ``t`` releases every parked ``Sync`` at
+    ``t + barrier_latency`` (35 cycles on the full chip: broadcast plus
+    retire).  Multiple barriers are supported: each release is an epoch, and
+    a Sync parks until the first epoch that releases at or after its park
+    cycle.
+    """
+
+    def __init__(self, latency: int) -> None:
+        self.latency = latency
+        self._releases: list[int] = []
+
+    def notify(self, cycle: int) -> int:
+        release = cycle + self.latency
+        self._releases.append(release)
+        return release
+
+    def release_for(self, park_cycle: int) -> int | None:
+        """Earliest release cycle satisfying a Sync parked at ``park_cycle``."""
+        candidates = [r for r in self._releases if r >= park_cycle]
+        return min(candidates) if candidates else None
+
+
+class IcuQueue:
+    """One independent instruction queue and its dispatcher."""
+
+    def __init__(
+        self,
+        chip: "TspChip",
+        icu: IcuId,
+        instructions: list[Instruction],
+    ) -> None:
+        self.chip = chip
+        self.icu = icu
+        self.instructions = instructions
+        self.pc = 0
+        self.busy_until = 0
+        self.park_cycle: int | None = None
+        self.dispatched = 0
+        self.last_dispatch_cycle = -1
+        self._previous: Instruction | None = None
+
+        # instruction-supply model
+        total_text = sum(i.encoded_size() for i in instructions)
+        capacity = chip.config.iq_capacity_bytes
+        self.buffer_bytes = min(total_text, capacity)
+        self.unfetched_bytes = total_text - self.buffer_bytes
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Retired every instruction — a parked Sync has not retired."""
+        return self.pc >= len(self.instructions) and not self.parked
+
+    @property
+    def parked(self) -> bool:
+        return self.park_cycle is not None
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> bool:
+        """Attempt to dispatch at ``cycle``; returns True if work happened."""
+        if self.done:
+            return False
+        if self.parked:
+            release = self.chip.barrier.release_for(self.park_cycle)
+            if release is None or cycle < release:
+                return True  # parked, but the queue is still alive
+            self.park_cycle = None
+            if self.pc >= len(self.instructions):
+                return False  # the Sync was the final instruction
+        if cycle < self.busy_until:
+            return True
+
+        instruction = self.instructions[self.pc]
+        self._consume_text(instruction, cycle)
+        self.pc += 1
+        self.dispatched += 1
+        self.last_dispatch_cycle = cycle
+        self.chip.record_dispatch(self.icu, instruction, cycle)
+        self._dispatch(instruction, cycle)
+        return True
+
+    # ------------------------------------------------------------------
+    def _consume_text(self, instruction: Instruction, cycle: int) -> None:
+        size = instruction.encoded_size()
+        if self.buffer_bytes < size:
+            if self.chip.strict_ifetch:
+                raise IqUnderflowError(
+                    f"{self.icu} ran dry at cycle {cycle}: buffer "
+                    f"{self.buffer_bytes} B < instruction {size} B "
+                    f"({self.unfetched_bytes} B never fetched)"
+                )
+            # lax mode: assume omniscient prefetch topped the queue up
+            self.buffer_bytes = size
+        self.buffer_bytes -= size
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, instruction: Instruction, cycle: int) -> None:
+        if isinstance(instruction, Nop):
+            self.busy_until = cycle + instruction.count
+            return
+        if isinstance(instruction, Sync):
+            self.park_cycle = cycle
+            self.busy_until = cycle + 1
+            return
+        if isinstance(instruction, Notify):
+            self.chip.barrier.notify(cycle)
+            self.busy_until = cycle + 1
+            return
+        if isinstance(instruction, Ifetch):
+            self._exec_ifetch(instruction, cycle)
+            return
+        if isinstance(instruction, Config):
+            self.chip.set_superlane_power(
+                instruction.superlane, instruction.power_on
+            )
+            self.busy_until = cycle + 1
+            return
+        if isinstance(instruction, Repeat):
+            self._exec_repeat(instruction, cycle)
+            return
+        # a slice-specific instruction: hand to the functional unit
+        unit = self.chip.unit_for(self.icu)
+        unit.execute(self.icu, instruction, cycle)
+        self._previous = instruction
+        self.busy_until = cycle + 1
+
+    def _exec_ifetch(self, instruction: Ifetch, cycle: int) -> None:
+        """Refill the queue with up to 640 bytes of program text.
+
+        The fetch takes only what fits when it lands: bytes beyond the IQ
+        capacity stay unfetched (the compiler paces fetches accordingly).
+        """
+        arrival = cycle + self.chip.timing.functional_delay("Ifetch")
+
+        def _arrive(_c: int) -> None:
+            take = min(
+                self.chip.config.ifetch_bytes,
+                self.unfetched_bytes,
+                self.chip.config.iq_capacity_bytes - self.buffer_bytes,
+            )
+            take = max(take, 0)
+            self.unfetched_bytes -= take
+            self.buffer_bytes += take
+            self.chip.activity.sram_read_bytes += take
+
+        self.chip.events.schedule(arrival, Phase.DRIVE, _arrive)
+        self.busy_until = cycle + 1
+
+    def _exec_repeat(self, instruction: Repeat, cycle: int) -> None:
+        """Re-execute the previous instruction n times, d cycles apart."""
+        previous = self._previous
+        if previous is None:
+            raise SimulationError(
+                f"{self.icu}: Repeat with no previous instruction"
+            )
+        unit = self.chip.unit_for(self.icu)
+        for k in range(instruction.n):
+            when = cycle + k * instruction.d
+            # dispatch through the event queue so iteration timing is exact
+            self.chip.events.schedule(
+                when,
+                Phase.CAPTURE,
+                lambda c, ins=previous: unit.execute(self.icu, ins, c),
+            )
+            self.chip.record_dispatch(self.icu, previous, when)
+        self.busy_until = cycle + (instruction.n - 1) * instruction.d + 1

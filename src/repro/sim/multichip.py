@@ -1,0 +1,107 @@
+"""Lockstep multi-chip simulation over C2C links.
+
+The TSP's off-chip links are deterministic: software-scheduled Send and
+Receive with fixed latency, no flow control, no arbitration (Section II
+item 6).  A :class:`MultiChipSystem` therefore runs all chips in cycle
+lockstep, which preserves the single-chip timing contract across the
+system — the property that lets large-scale TSP systems be scheduled by a
+single compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.geometry import Hemisphere
+from ..config import ArchConfig
+from ..errors import SimulationError
+from ..isa.program import Program
+from .c2c import DEFAULT_LINK_LATENCY
+from .chip import RunResult, TspChip
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One bidirectional cable between two chips."""
+
+    chip_a: int
+    hemisphere_a: Hemisphere
+    link_a: int
+    chip_b: int
+    hemisphere_b: Hemisphere
+    link_b: int
+    latency: int = DEFAULT_LINK_LATENCY
+
+
+class MultiChipSystem:
+    """A set of TSP chips wired by C2C links, simulated in lockstep."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        n_chips: int,
+        links: list[LinkSpec] | None = None,
+        **chip_kwargs,
+    ) -> None:
+        if n_chips < 1:
+            raise SimulationError("a system needs at least one chip")
+        self.config = config
+        self.chips = [TspChip(config, **chip_kwargs) for _ in range(n_chips)]
+        for spec in links or []:
+            self.connect(spec)
+
+    def connect(self, spec: LinkSpec) -> None:
+        a = self.chips[spec.chip_a].c2c_unit(spec.hemisphere_a)
+        b = self.chips[spec.chip_b].c2c_unit(spec.hemisphere_b)
+        a.connect(spec.link_a, b, spec.link_b, spec.latency)
+
+    @staticmethod
+    def ring(config: ArchConfig, n_chips: int, **chip_kwargs) -> "MultiChipSystem":
+        """A ring: each chip's East C2C link 0 feeds the next chip's West."""
+        links = [
+            LinkSpec(i, Hemisphere.EAST, 0, (i + 1) % n_chips, Hemisphere.WEST, 0)
+            for i in range(n_chips)
+        ]
+        return MultiChipSystem(config, n_chips, links, **chip_kwargs)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, programs: list[Program], max_cycles: int = 1_000_000
+    ) -> list[RunResult]:
+        """Execute one program per chip in cycle lockstep."""
+        if len(programs) != len(self.chips):
+            raise SimulationError(
+                f"{len(self.chips)} chips but {len(programs)} programs"
+            )
+        queue_sets = [
+            chip.make_queues(program)
+            for chip, program in zip(self.chips, programs)
+        ]
+        starts = [c.activity.instructions for c in self.chips]
+        cycle = 0
+        while True:
+            if cycle > max_cycles:
+                raise SimulationError(
+                    f"system did not finish within {max_cycles} cycles"
+                )
+            for chip, queues in zip(self.chips, queue_sets):
+                chip.step_cycle(queues, cycle)
+            cycle += 1
+            if all(
+                chip.is_idle(queues)
+                for chip, queues in zip(self.chips, queue_sets)
+            ):
+                break
+        results = []
+        for chip, start in zip(self.chips, starts):
+            chip.activity.stream_hop_bytes = chip.srf.hop_bytes_total
+            results.append(
+                RunResult(
+                    cycles=cycle,
+                    instructions=chip.activity.instructions - start,
+                    activity=chip.activity,
+                    trace=list(chip.trace),
+                    ecc_corrections=chip.srf.corrections,
+                )
+            )
+        return results

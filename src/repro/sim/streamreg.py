@@ -1,0 +1,187 @@
+"""The chip-wide stream register file (Sections II-A, V-c).
+
+Streams are the only inter-slice communication mechanism: 32 eastward and 32
+westward per-lane byte channels.  On every core-clock tick each stream value
+advances exactly one stream-register hop in its direction of flow; the
+hardware tracks neither origin nor destination — values simply propagate
+until they fall off the edge of the chip or a functional slice overwrites
+them.  This module implements that contract literally, which is what makes
+the compiler's ``delta(j, i)`` arithmetic physically true in simulation.
+
+When ECC mode is on, 9 check bits ride with each 16-byte superlane word of
+every stream value (the paper stores 137 bits); a consumer slice verifies
+and corrects before operating (see :meth:`read_checked`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.geometry import Direction, Floorplan
+from ..config import ArchConfig
+from ..errors import SimulationError, StreamContentionError
+from . import ecc
+
+_DIR_INDEX = {Direction.EASTWARD: 0, Direction.WESTWARD: 1}
+
+
+class StreamRegisterFile:
+    """All stream registers of one chip.
+
+    State is a dense array ``values[dir, stream, position, lane]`` plus a
+    validity mask.  ``step()`` advances the flow; ``drive()`` overwrites a
+    position (a producing slice); ``read()`` observes one (a consumer).
+    """
+
+    def __init__(self, config: ArchConfig, floorplan: Floorplan) -> None:
+        self.config = config
+        self.floorplan = floorplan
+        n_pos = floorplan.n_positions
+        lanes = config.n_lanes
+        streams = config.streams_per_direction
+        self._values = np.zeros((2, streams, n_pos, lanes), dtype=np.uint8)
+        self._valid = np.zeros((2, streams, n_pos), dtype=bool)
+        # ECC check bits per superlane word of each stream value
+        self._ecc_enabled = False
+        self._checks = np.zeros(
+            (2, streams, n_pos, config.n_superlanes), dtype=np.uint16
+        )
+        self._driven_this_cycle: set[tuple[int, int, int]] = set()
+        #: bytes that advanced a hop, for the power model
+        self.hop_bytes_total = 0
+        #: single-bit stream errors corrected at consumers (CSR counter)
+        self.corrections = 0
+
+    # ------------------------------------------------------------------
+    def enable_ecc(self, enabled: bool = True) -> None:
+        self._ecc_enabled = enabled
+
+    @property
+    def ecc_enabled(self) -> bool:
+        return self._ecc_enabled
+
+    def override_checks(
+        self,
+        direction: Direction,
+        stream: int,
+        position: int,
+        checks: np.ndarray,
+    ) -> None:
+        """Replace the check bits riding with a stream value.
+
+        Used by MEM reads: check bits are generated at the *producer* and
+        stored with the word (Section II-D), so a read drives the stored
+        checks rather than recomputing them — which is what lets a consumer
+        detect corruption that happened while the word sat in SRAM.
+        """
+        d, s, p = self._index(direction, stream, position)
+        self._checks[d, s, p] = np.asarray(checks, dtype=np.uint16)
+
+    def _index(self, direction: Direction, stream: int, position: int):
+        if not 0 <= stream < self.config.streams_per_direction:
+            raise SimulationError(f"stream {stream} out of range")
+        if not 0 <= position < self.floorplan.n_positions:
+            raise SimulationError(f"position {position} is off-chip")
+        return _DIR_INDEX[direction], stream, position
+
+    # ------------------------------------------------------------------
+    def drive(
+        self,
+        direction: Direction,
+        stream: int,
+        position: int,
+        vector: np.ndarray,
+    ) -> None:
+        """A slice overwrites the stream register at its position.
+
+        Two drives of the same register in one cycle are a compiler bug; the
+        hardware has no arbiter to resolve them, so we fault.
+        """
+        d, s, p = self._index(direction, stream, position)
+        key = (d, s, p)
+        if key in self._driven_this_cycle:
+            raise StreamContentionError(
+                f"two producers drove stream {stream}{direction.value} at "
+                f"position {position} in one cycle"
+            )
+        self._driven_this_cycle.add(key)
+        vec = np.asarray(vector, dtype=np.uint8)
+        if vec.shape != (self.config.n_lanes,):
+            raise SimulationError(
+                f"stream vectors are {self.config.n_lanes} bytes, got "
+                f"{vec.shape}"
+            )
+        self._values[d, s, p] = vec
+        self._valid[d, s, p] = True
+        if self._ecc_enabled:
+            words = vec.reshape(self.config.n_superlanes, -1)
+            self._checks[d, s, p] = ecc.encode_checks(words)
+
+    # ------------------------------------------------------------------
+    def read(
+        self, direction: Direction, stream: int, position: int
+    ) -> np.ndarray:
+        """Observe the value currently at a stream register (no ECC check)."""
+        d, s, p = self._index(direction, stream, position)
+        return self._values[d, s, p].copy()
+
+    def read_checked(
+        self, direction: Direction, stream: int, position: int
+    ) -> np.ndarray:
+        """Consume a value, verifying and correcting ECC (Section II-D)."""
+        d, s, p = self._index(direction, stream, position)
+        value = self._values[d, s, p]
+        if not self._ecc_enabled:
+            return value.copy()
+        words = value.reshape(self.config.n_superlanes, -1)
+        result = ecc.verify_and_correct(words, self._checks[d, s, p])
+        self.corrections += result.corrections
+        corrected = result.corrected_words.reshape(-1)
+        self._values[d, s, p] = corrected
+        return corrected.copy()
+
+    def is_valid(
+        self, direction: Direction, stream: int, position: int
+    ) -> bool:
+        d, s, p = self._index(direction, stream, position)
+        return bool(self._valid[d, s, p])
+
+    # ------------------------------------------------------------------
+    def inject_stream_fault(
+        self, direction: Direction, stream: int, position: int, bit: int
+    ) -> None:
+        """Flip one bit of a stream value in place (datapath SEU)."""
+        d, s, p = self._index(direction, stream, position)
+        byte, bitpos = divmod(bit, 8)
+        self._values[d, s, p, byte] ^= np.uint8(1 << bitpos)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance every stream one hop; edge values fall off the chip."""
+        lanes = self.config.n_lanes
+        self.hop_bytes_total += int(self._valid.sum()) * lanes
+
+        e = _DIR_INDEX[Direction.EASTWARD]
+        w = _DIR_INDEX[Direction.WESTWARD]
+        self._values[e, :, 1:] = self._values[e, :, :-1]
+        self._values[e, :, 0] = 0
+        self._valid[e, :, 1:] = self._valid[e, :, :-1]
+        self._valid[e, :, 0] = False
+
+        self._values[w, :, :-1] = self._values[w, :, 1:]
+        self._values[w, :, -1] = 0
+        self._valid[w, :, :-1] = self._valid[w, :, 1:]
+        self._valid[w, :, -1] = False
+
+        if self._ecc_enabled:
+            self._checks[e, :, 1:] = self._checks[e, :, :-1]
+            self._checks[e, :, 0] = 0
+            self._checks[w, :, :-1] = self._checks[w, :, 1:]
+            self._checks[w, :, -1] = 0
+
+        self._driven_this_cycle.clear()
+
+    # ------------------------------------------------------------------
+    def snapshot_valid(self) -> np.ndarray:
+        """Copy of the validity mask, for tracing and tests."""
+        return self._valid.copy()

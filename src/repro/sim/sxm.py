@@ -1,0 +1,224 @@
+"""SXM simulation: lane shifting, selection, permutation, distribution,
+rotation, and the 16x16 stream transpose (Section III-E).
+
+The SXM is the Y dimension of the on-chip network: while MEM moves streams
+East-West, the SXM moves data *between lanes*.  All operations here are
+single-dispatch: operands are sampled at ``t + d_skew`` and results driven
+at ``t + d_func``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..isa.base import Instruction
+from ..isa.program import IcuId
+from ..isa.sxm import (
+    Distribute,
+    Permute,
+    Rotate,
+    Select,
+    Shift,
+    ShiftDirection,
+    Transpose,
+)
+from .unit import FunctionalUnit
+
+
+class SxmUnit(FunctionalUnit):
+    """One hemisphere's switch execution module."""
+
+    def execute(self, icu: IcuId, instruction: Instruction, cycle: int) -> None:
+        handlers = {
+            Shift: self._exec_shift,
+            Select: self._exec_select,
+            Permute: self._exec_permute,
+            Distribute: self._exec_distribute,
+            Rotate: self._exec_rotate,
+            Transpose: self._exec_transpose,
+        }
+        handler = handlers.get(type(instruction))
+        if handler is None:
+            super().execute(icu, instruction, cycle)
+            return
+        handler(instruction, cycle)
+
+    # ------------------------------------------------------------------
+    def _count(self, n_streams: int = 1) -> None:
+        self.chip.activity.sxm_bytes += n_streams * self.chip.config.n_lanes
+
+    def _simple(
+        self, instruction, cycle: int, transform
+    ) -> None:
+        """Capture one source stream, transform, drive one destination."""
+        out_cycle = cycle + self.dfunc(instruction)
+
+        def _with_value(vector: np.ndarray) -> None:
+            result = self.apply_superlane_power(transform(vector))
+            self.drive_at(
+                out_cycle,
+                instruction.dst_direction,
+                instruction.dst_stream,
+                result,
+            )
+            self._count()
+
+        self.capture_at(
+            cycle + self.dskew(instruction),
+            instruction.direction,
+            instruction.src_stream,
+            _with_value,
+        )
+
+    # ------------------------------------------------------------------
+    def _exec_shift(self, instruction: Shift, cycle: int) -> None:
+        lanes = self.chip.config.n_lanes
+        n = instruction.amount
+
+        def _shift(v: np.ndarray) -> np.ndarray:
+            out = np.zeros_like(v)
+            if n == 0:
+                return v.copy()
+            if n >= lanes:
+                return out
+            if instruction.shift is ShiftDirection.NORTH:
+                out[:-n] = v[n:]  # toward lane 0
+            else:
+                out[n:] = v[:-n]  # toward lane 319
+            return out
+
+        self._simple(instruction, cycle, _shift)
+
+    def _exec_select(self, instruction: Select, cycle: int) -> None:
+        lanes = self.chip.config.n_lanes
+        mask = np.zeros(lanes, dtype=bool)
+        entries = instruction.mask
+        if entries:
+            m = np.asarray(entries, dtype=np.int64)
+            if m.size == lanes:
+                mask = m != 0
+            elif m.size == self.chip.config.lanes_per_superlane:
+                mask = np.tile(m != 0, self.chip.config.n_superlanes)
+            else:
+                raise SimulationError(
+                    f"Select mask must cover {lanes} lanes or one superlane"
+                )
+        out_cycle = cycle + self.dfunc(instruction)
+        state: dict[str, np.ndarray] = {}
+
+        def _maybe() -> None:
+            if "a" not in state or "b" not in state:
+                return
+            result = np.where(mask, state["b"], state["a"]).astype(np.uint8)
+            self.drive_at(
+                out_cycle,
+                instruction.dst_direction,
+                instruction.dst_stream,
+                self.apply_superlane_power(result),
+            )
+            self._count()
+
+        sample = cycle + self.dskew(instruction)
+        self.capture_at(
+            sample,
+            instruction.direction,
+            instruction.src_stream_a,
+            lambda v: (state.__setitem__("a", v), _maybe()),
+        )
+        self.capture_at(
+            sample,
+            instruction.direction,
+            instruction.src_stream_b,
+            lambda v: (state.__setitem__("b", v), _maybe()),
+        )
+
+    def _exec_permute(self, instruction: Permute, cycle: int) -> None:
+        lanes = self.chip.config.n_lanes
+        mapping = np.asarray(instruction.mapping, dtype=np.int64)
+        if mapping.size != lanes:
+            raise SimulationError(
+                f"Permute map covers {mapping.size} lanes, chip has {lanes}"
+            )
+        self._simple(instruction, cycle, lambda v: v[mapping])
+
+    def _exec_distribute(self, instruction: Distribute, cycle: int) -> None:
+        per = self.chip.config.lanes_per_superlane
+        mapping = np.asarray(instruction.mapping, dtype=np.int64)
+        if mapping.size != per:
+            raise SimulationError(
+                f"Distribute map must have {per} entries, got {mapping.size}"
+            )
+        zero = mapping < 0
+        safe = np.where(zero, 0, mapping)
+
+        def _distribute(v: np.ndarray) -> np.ndarray:
+            blocks = v.reshape(-1, per)
+            out = blocks[:, safe]
+            out[:, zero] = 0
+            return out.reshape(-1)
+
+        self._simple(instruction, cycle, _distribute)
+
+    def _exec_rotate(self, instruction: Rotate, cycle: int) -> None:
+        """Generate all n^2 rotations of each superlane's n x n block.
+
+        Lanes beyond n^2 within a superlane are zero-filled on every output
+        stream; output r = (dr, dc) rolls the block up dr rows and left dc
+        columns.
+        """
+        n = instruction.n
+        per = self.chip.config.lanes_per_superlane
+        out_cycle = cycle + self.dfunc(instruction)
+
+        def _with_value(vector: np.ndarray) -> None:
+            blocks = vector.reshape(-1, per)
+            grid = blocks[:, : n * n].reshape(-1, n, n)
+            for r in range(n * n):
+                dr, dc = divmod(r, n)
+                rolled = np.roll(grid, shift=(-dr, -dc), axis=(1, 2))
+                out = np.zeros_like(blocks)
+                out[:, : n * n] = rolled.reshape(-1, n * n)
+                self.drive_at(
+                    out_cycle,
+                    instruction.dst_direction,
+                    instruction.dst_base_stream + r,
+                    self.apply_superlane_power(out.reshape(-1)),
+                )
+            self._count(n * n)
+
+        self.capture_at(
+            cycle + self.dskew(instruction),
+            instruction.direction,
+            instruction.src_stream,
+            _with_value,
+        )
+
+    def _exec_transpose(self, instruction: Transpose, cycle: int) -> None:
+        """16x16 transpose across a 16-stream group, per superlane."""
+        per = self.chip.config.lanes_per_superlane
+        out_cycle = cycle + self.dfunc(instruction)
+
+        def _with_group(vectors: list[np.ndarray]) -> None:
+            # cube[s, superlane, lane]
+            cube = np.stack(
+                [v.reshape(-1, per) for v in vectors], axis=0
+            )
+            transposed = cube.transpose(2, 1, 0)  # swap stream <-> lane
+            for s in range(per):
+                out = transposed[s].reshape(-1)
+                self.drive_at(
+                    out_cycle,
+                    instruction.dst_direction,
+                    instruction.dst_base_stream + s,
+                    self.apply_superlane_power(out),
+                )
+            self._count(per)
+
+        self.capture_group_at(
+            cycle + self.dskew(instruction),
+            instruction.direction,
+            instruction.src_base_stream,
+            per,
+            _with_group,
+        )

@@ -1,0 +1,36 @@
+"""Shared fixtures: chip configurations and builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import groq_tsp_v1, small_test_chip
+from repro.sim import TspChip
+
+
+@pytest.fixture(scope="session")
+def full_config():
+    """The paper's first-generation TSP."""
+    return groq_tsp_v1()
+
+
+@pytest.fixture()
+def config():
+    """The fast 64-lane test chip."""
+    return small_test_chip()
+
+
+@pytest.fixture()
+def chip(config):
+    return TspChip(config)
+
+
+@pytest.fixture()
+def traced_chip(config):
+    return TspChip(config, trace=True)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

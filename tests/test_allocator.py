@@ -1,0 +1,163 @@
+"""Memory and stream allocation: banks, nearness, interval exclusivity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Direction, Hemisphere
+from repro.compiler.allocator import (
+    INPUT_BANK,
+    MemoryAllocator,
+    RESULT_BANK,
+    StreamAllocator,
+)
+from repro.config import small_test_chip
+from repro.errors import AllocationError
+
+
+class TestMemoryAllocator:
+    def test_bank_parity(self, config):
+        """Inputs land in bank 0 (even addresses), results in bank 1."""
+        alloc = MemoryAllocator(config)
+        inputs = alloc.alloc_sequential(Hemisphere.EAST, 1, 4, INPUT_BANK)
+        results = alloc.alloc_sequential(Hemisphere.EAST, 1, 4, RESULT_BANK)
+        for j in range(4):
+            assert inputs.address_of(0, j)[2] % 2 == 0
+            assert results.address_of(0, j)[2] % 2 == 1
+
+    def test_planes_get_distinct_slices(self, config):
+        alloc = MemoryAllocator(config)
+        layout = alloc.alloc_sequential(Hemisphere.WEST, 4, 2)
+        slices = {p.slice_index for p in layout.planes}
+        assert len(slices) == 4
+
+    def test_parallel_rows_distinct_slices(self, config):
+        alloc = MemoryAllocator(config)
+        layout = alloc.alloc_parallel(Hemisphere.EAST, 16)
+        assert len({p.slice_index for p in layout.parallel}) == 16
+        assert layout.is_parallel
+
+    def test_sequential_addresses_bank_strided(self, config):
+        alloc = MemoryAllocator(config)
+        layout = alloc.alloc_sequential(Hemisphere.EAST, 1, 3)
+        addresses = [layout.address_of(0, j)[2] for j in range(3)]
+        assert addresses == [addresses[0], addresses[0] + 2, addresses[0] + 4]
+
+    def test_near_allocation_prefers_close_slices(self, config):
+        alloc = MemoryAllocator(config)
+        layout = alloc.alloc_sequential(
+            Hemisphere.EAST, 1, 1, near_index=0
+        )
+        assert layout.planes[0].slice_index < 8
+
+    def test_capacity_exhaustion(self, config):
+        alloc = MemoryAllocator(config)
+        words = config.mem_words_per_slice_tile
+        with pytest.raises(AllocationError):
+            for _ in range(3 * config.mem_slices_per_hemisphere):
+                alloc.alloc_sequential(Hemisphere.EAST, 1, words)
+
+    def test_too_many_concurrent_slices(self, config):
+        alloc = MemoryAllocator(config)
+        with pytest.raises(AllocationError):
+            alloc.alloc_parallel(
+                Hemisphere.EAST, config.mem_slices_per_hemisphere + 1
+            )
+
+    def test_weight_feed_near_outer_edge(self, config):
+        alloc = MemoryAllocator(config)
+        feed = alloc.alloc_weight_feed(Hemisphere.EAST, 8, 4)
+        outer = config.mem_slices_per_hemisphere - 1
+        assert all(p.slice_index >= outer - 8 for p in feed.planes)
+
+
+class TestStreamAllocator:
+    def test_disjoint_times_share_stream(self, config):
+        alloc = StreamAllocator(config)
+        a = alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+        b = alloc.allocate(Direction.EASTWARD, 1, 11, 20)
+        assert a.base == b.base  # same stream, disjoint windows
+
+    def test_overlapping_times_get_distinct_streams(self, config):
+        alloc = StreamAllocator(config)
+        a = alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+        b = alloc.allocate(Direction.EASTWARD, 1, 5, 15)
+        assert a.base != b.base
+
+    def test_directions_independent(self, config):
+        alloc = StreamAllocator(config)
+        a = alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+        b = alloc.allocate(Direction.WESTWARD, 1, 0, 10)
+        assert a.base == b.base  # each direction has its own 32 streams
+
+    def test_group_alignment(self, config):
+        alloc = StreamAllocator(config)
+        alloc.allocate(Direction.EASTWARD, 1, 0, 10)  # a narrow grant
+        quad = alloc.allocate(Direction.EASTWARD, 4, 0, 10)
+        assert quad.base % 4 == 0  # SG4 alignment
+
+    def test_narrow_grants_pack_high(self, config):
+        """Narrow grants take high streams, keeping aligned low blocks
+        free for weight feeds and transpose groups."""
+        alloc = StreamAllocator(config)
+        single = alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+        wide = alloc.allocate(Direction.EASTWARD, 16, 0, 10)
+        assert single.base == config.streams_per_direction - 1
+        assert wide.base == 0
+
+    def test_exhaustion_raises(self, config):
+        alloc = StreamAllocator(config)
+        for _ in range(config.streams_per_direction):
+            alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+        with pytest.raises(AllocationError):
+            alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+
+    def test_release_returns_capacity(self, config):
+        alloc = StreamAllocator(config)
+        grants = [
+            alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+            for _ in range(config.streams_per_direction)
+        ]
+        alloc.release(grants[0])
+        alloc.allocate(Direction.EASTWARD, 1, 0, 10)
+
+    def test_invalid_window_rejected(self, config):
+        alloc = StreamAllocator(config)
+        with pytest.raises(AllocationError):
+            alloc.allocate(Direction.EASTWARD, 1, 10, 5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 4),  # width (1, 2, or 4 after rounding)
+                st.integers(0, 50),  # start
+                st.integers(0, 30),  # duration
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_two_grants_overlap(self, requests):
+        """Property: the allocator never double-books (stream, time)."""
+        alloc = StreamAllocator(small_test_chip())
+        granted = []
+        for width, start, duration in requests:
+            width = {1: 1, 2: 2, 3: 2, 4: 4}[width]
+            try:
+                granted.append(
+                    alloc.allocate(
+                        Direction.EASTWARD, width, start, start + duration
+                    )
+                )
+            except AllocationError:
+                continue
+        for i, a in enumerate(granted):
+            for b in granted[i + 1 :]:
+                streams_overlap = not (
+                    a.base + a.width <= b.base or b.base + b.width <= a.base
+                )
+                times_overlap = not (
+                    a.t_end < b.t_start or b.t_end < a.t_start
+                )
+                assert not (streams_overlap and times_overlap)

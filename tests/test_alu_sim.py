@@ -1,0 +1,164 @@
+"""VXM ALU semantics against numpy oracles, including saturation modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import DType
+from repro.errors import SimulationError
+from repro.isa.vxm import AluOp
+from repro.sim import alu
+
+
+def int8(*values):
+    return np.array(values, dtype=np.int8)
+
+
+class TestBinarySemantics:
+    def test_add_sat_clips(self):
+        out = alu.apply_binary(AluOp.ADD_SAT, DType.INT8, int8(120), int8(20))
+        assert out[0] == 127
+
+    def test_add_mod_wraps(self):
+        out = alu.apply_binary(AluOp.ADD_MOD, DType.INT8, int8(120), int8(20))
+        assert out[0] == np.int64(140).astype(np.int8)  # wraps to -116
+
+    def test_sub_sat_clips_low(self):
+        out = alu.apply_binary(
+            AluOp.SUB_SAT, DType.INT8, int8(-100), int8(100)
+        )
+        assert out[0] == -128
+
+    def test_mul_sat_clips(self):
+        out = alu.apply_binary(AluOp.MUL_SAT, DType.INT8, int8(50), int8(50))
+        assert out[0] == 127
+
+    def test_mul_mod_wraps(self):
+        out = alu.apply_binary(AluOp.MUL_MOD, DType.INT8, int8(50), int8(50))
+        assert out[0] == np.int64(2500).astype(np.int8)
+
+    def test_max_min(self):
+        a, b = int8(3, -7), int8(-3, 7)
+        assert list(alu.apply_binary(AluOp.MAX, DType.INT8, a, b)) == [3, 7]
+        assert list(alu.apply_binary(AluOp.MIN, DType.INT8, a, b)) == [-3, -7]
+
+    def test_float_sat_equals_mod(self):
+        a = np.array([1.5], dtype=np.float32)
+        b = np.array([2.5], dtype=np.float32)
+        sat = alu.apply_binary(AluOp.ADD_SAT, DType.FP32, a, b)
+        mod = alu.apply_binary(AluOp.ADD_MOD, DType.FP32, a, b)
+        assert sat[0] == mod[0] == 4.0
+
+    def test_unary_op_via_binary_raises(self):
+        with pytest.raises(SimulationError):
+            alu.apply_binary(AluOp.RELU, DType.INT8, int8(1), int8(2))
+
+    @given(
+        st.lists(st.integers(-128, 127), min_size=1, max_size=32),
+        st.lists(st.integers(-128, 127), min_size=1, max_size=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_add_sat_matches_clip_oracle(self, xs, ys):
+        n = min(len(xs), len(ys))
+        x = np.array(xs[:n], dtype=np.int8)
+        y = np.array(ys[:n], dtype=np.int8)
+        out = alu.apply_binary(AluOp.ADD_SAT, DType.INT8, x, y)
+        oracle = np.clip(
+            x.astype(np.int64) + y.astype(np.int64), -128, 127
+        ).astype(np.int8)
+        assert np.array_equal(out, oracle)
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_mod_arithmetic_wraps_like_hardware(self, xs):
+        x = np.array(xs, dtype=np.int8)
+        out = alu.apply_binary(AluOp.ADD_MOD, DType.INT8, x, x)
+        oracle = (x.astype(np.int64) * 2).astype(np.int8)
+        assert np.array_equal(out, oracle)
+
+
+class TestUnarySemantics:
+    def test_relu(self):
+        out = alu.apply_unary(AluOp.RELU, DType.INT8, int8(-5, 0, 5))
+        assert list(out) == [0, 0, 5]
+
+    def test_negate_saturates_min(self):
+        out = alu.apply_unary(AluOp.NEGATE, DType.INT8, int8(-128))
+        assert out[0] == 127  # -(-128) saturates
+
+    def test_abs_saturates_min(self):
+        out = alu.apply_unary(AluOp.ABS, DType.INT8, int8(-128))
+        assert out[0] == 127
+
+    def test_mask(self):
+        out = alu.apply_unary(AluOp.MASK, DType.INT8, int8(0, 3, -2))
+        assert list(out) == [0, 1, 1]
+
+    def test_copy(self):
+        x = int8(1, 2, 3)
+        out = alu.apply_unary(AluOp.COPY, DType.INT8, x)
+        assert np.array_equal(out, x)
+        assert out is not x
+
+    def test_tanh_widens_to_fp32(self):
+        out = alu.apply_unary(AluOp.TANH, DType.INT8, int8(0, 1))
+        assert out.dtype == np.float32
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(np.tanh(1.0), rel=1e-6)
+
+    def test_exp(self):
+        x = np.array([0.0, 1.0], dtype=np.float32)
+        out = alu.apply_unary(AluOp.EXP, DType.FP32, x)
+        assert out[1] == pytest.approx(np.e, rel=1e-6)
+
+    def test_rsqrt(self):
+        x = np.array([4.0, 16.0], dtype=np.float32)
+        out = alu.apply_unary(AluOp.RSQRT, DType.FP32, x)
+        assert list(out) == [0.5, 0.25]
+
+    def test_rsqrt_of_zero_is_inf(self):
+        out = alu.apply_unary(
+            AluOp.RSQRT, DType.FP32, np.array([0.0], dtype=np.float32)
+        )
+        assert np.isinf(out[0])
+
+    def test_fp16_transcendental_stays_fp16(self):
+        x = np.array([1.0], dtype=np.float16)
+        out = alu.apply_unary(AluOp.TANH, DType.FP16, x)
+        assert out.dtype == np.float16
+
+    def test_binary_op_via_unary_raises(self):
+        with pytest.raises(SimulationError):
+            alu.apply_unary(AluOp.ADD_SAT, DType.INT8, int8(1))
+
+
+class TestConvert:
+    def test_int32_to_int8_requantize(self):
+        """The ResNet50 requantization: int32 MXM output -> int8."""
+        x = np.array([1000, -1000, 12], dtype=np.int32)
+        out = alu.apply_convert(DType.INT32, DType.INT8, 0.1, x)
+        assert list(out) == [100, -100, 1]
+
+    def test_saturation_on_narrow(self):
+        x = np.array([10_000], dtype=np.int32)
+        out = alu.apply_convert(DType.INT32, DType.INT8, 1.0, x)
+        assert out[0] == 127
+
+    def test_int8_to_fp32_dequantize(self):
+        x = int8(4)
+        out = alu.apply_convert(DType.INT8, DType.FP32, 0.5, x)
+        assert out.dtype == np.float32
+        assert out[0] == 2.0
+
+    def test_round_half_to_even(self):
+        x = np.array([5, 15], dtype=np.int32)
+        out = alu.apply_convert(DType.INT32, DType.INT8, 0.1, x)
+        assert list(out) == [0, 2]  # 0.5 -> 0, 1.5 -> 2 (banker's)
+
+    @given(st.lists(st.integers(-(2**20), 2**20), min_size=1, max_size=16))
+    @settings(max_examples=40, deadline=None)
+    def test_requant_bounded(self, xs):
+        x = np.array(xs, dtype=np.int32)
+        out = alu.apply_convert(DType.INT32, DType.INT8, 0.001, x)
+        assert out.min() >= -128 and out.max() <= 127

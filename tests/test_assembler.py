@@ -1,0 +1,160 @@
+"""Textual assembly: render/parse round-trips and error handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import DType, Direction
+from repro.compiler import StreamProgramBuilder
+from repro.config import small_test_chip
+from repro.errors import IsaError
+from repro.isa import (
+    Accumulate,
+    AluOp,
+    BinaryOp,
+    Convert,
+    Distribute,
+    Nop,
+    Permute,
+    Read,
+    Select,
+    Transpose,
+    UnaryOp,
+    Write,
+    parse_instruction,
+    parse_program,
+    render_instruction,
+    render_program,
+)
+
+
+SAMPLES = [
+    Nop(42),
+    Read(address=100, stream=7, direction=Direction.WESTWARD),
+    Write(address=3, stream=0),
+    UnaryOp(op=AluOp.TANH, src_stream=2, dst_stream=5, dtype=DType.FP16),
+    BinaryOp(op=AluOp.MUL_MOD, src1_stream=1, src2_stream=2, dst_stream=3),
+    Convert(from_dtype=DType.INT32, to_dtype=DType.INT8, scale=0.0625),
+    Accumulate(plane=1, base_stream=4, accumulate=True, emit=False),
+    Permute(mapping=tuple(reversed(range(8)))),
+    Distribute(mapping=(-1, 0, 3)),
+    Select(src_stream_a=1, src_stream_b=2, mask=(0, 1, 0, 1)),
+    Transpose(src_base_stream=16, unit=1),
+]
+
+
+class TestInstructionRoundTrip:
+    @pytest.mark.parametrize("instruction", SAMPLES, ids=lambda i: i.mnemonic)
+    def test_render_parse_identity(self, instruction):
+        assert parse_instruction(render_instruction(instruction)) == instruction
+
+    def test_enum_fields_use_short_labels(self):
+        text = render_instruction(
+            UnaryOp(op=AluOp.RELU, src_direction=Direction.WESTWARD)
+        )
+        assert "op=relu" in text
+        assert "src_direction=W" in text
+
+    def test_float_precision_preserved(self):
+        instruction = Convert(scale=1.0 / 3.0)
+        assert parse_instruction(
+            render_instruction(instruction)
+        ).scale == instruction.scale
+
+    @given(
+        address=st.integers(0, 8191),
+        stream=st.integers(0, 31),
+        direction=st.sampled_from(list(Direction)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_read_roundtrip_property(self, address, stream, direction):
+        instruction = Read(
+            address=address, stream=stream, direction=direction
+        )
+        assert parse_instruction(render_instruction(instruction)) == instruction
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(IsaError):
+            parse_instruction("Jump target=5")
+
+    def test_unknown_field(self):
+        with pytest.raises(IsaError):
+            parse_instruction("Read foo=5")
+
+    def test_bad_bool(self):
+        with pytest.raises(IsaError):
+            parse_instruction("Config superlane=1, power_on=maybe")
+
+    def test_empty_line(self):
+        with pytest.raises(IsaError):
+            parse_instruction("   ")
+
+    def test_instruction_before_queue(self):
+        with pytest.raises(IsaError, match="before any"):
+            parse_program("Read address=0, stream=0", small_test_chip())
+
+
+class TestProgramRoundTrip:
+    def build_program(self):
+        config = small_test_chip()
+        g = StreamProgramBuilder(config)
+        rng = np.random.default_rng(1)
+        w = rng.integers(-6, 6, (64, 16)).astype(np.int8)
+        x = rng.integers(-6, 6, (2, 64)).astype(np.int8)
+        acc = g.matmul(w, g.constant_tensor("x", x))
+        q = g.convert(acc, DType.INT8, scale=0.02)
+        g.write_back(g.relu(q), name="y")
+        t = g.transpose16(
+            g.constant_tensor(
+                "t", rng.integers(0, 9, (16, 64)).astype(np.int8)
+            )
+        )
+        g.write_back(t, name="tt")
+        return config, g.compile()
+
+    def test_compiled_program_roundtrip(self):
+        config, compiled = self.build_program()
+        text = render_program(compiled.program)
+        back = parse_program(text, config)
+        assert back.n_instructions() == compiled.program.n_instructions()
+        for icu in compiled.program.icus:
+            assert [str(i) for i in back.queue(icu)] == [
+                str(i) for i in compiled.program.queue(icu)
+            ]
+
+    def test_parsed_program_executes_identically(self):
+        """The assembly text is a complete program representation: parsing
+        it back and running it produces the same results."""
+        from repro.compiler import fetch_output, load_compiled
+        from repro.sim import TspChip
+
+        config, compiled = self.build_program()
+        text = render_program(compiled.program)
+        reparsed = parse_program(text, config)
+
+        chip_a = TspChip(config)
+        load_compiled(chip_a, compiled)
+        run_a = chip_a.run(compiled.program)
+        chip_b = TspChip(config)
+        load_compiled(chip_b, compiled)
+        run_b = chip_b.run(reparsed)
+        assert run_a.cycles == run_b.cycles
+        for name, spec in compiled.outputs.items():
+            assert np.array_equal(
+                fetch_output(chip_a, spec), fetch_output(chip_b, spec)
+            )
+
+    def test_comments_and_blank_lines_ignored(self):
+        config = small_test_chip()
+        text = """
+        ; a comment
+        .queue MEM_E0
+            Read address=0, stream=1, direction=E  ; trailing comment
+
+            NOP count=3
+        """
+        program = parse_program(text, config)
+        assert program.n_instructions() == 2

@@ -1,0 +1,132 @@
+"""Roofline, GPU-style baseline, and comparator-spec tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_COMPARATORS,
+    GOYA,
+    GpuModel,
+    Roofline,
+    TPU_V3,
+    V100,
+)
+from repro.config import groq_tsp_v1
+from repro.nn import estimate_network, resnet_layers
+
+
+class TestRoofline:
+    @pytest.fixture(scope="class")
+    def roofline(self):
+        return Roofline(groq_tsp_v1(), clock_ghz=1.0)
+
+    def test_peak_is_820_teraops(self, roofline):
+        assert roofline.peak_teraops == pytest.approx(819.2)
+
+    def test_ridge_point_separates_regimes(self, roofline):
+        ridge = roofline.ridge_intensity()
+        assert roofline.bound_for(ridge / 2) == "memory"
+        assert roofline.bound_for(ridge * 2) == "compute"
+
+    def test_attainable_is_min_of_ceilings(self, roofline):
+        low = roofline.attainable_teraops(1.0)
+        assert low == pytest.approx(
+            roofline.memory_bw_bytes_per_s / 1e12
+        )
+        assert roofline.attainable_teraops(1e6) == roofline.peak_teraops
+
+    def test_roofline_is_monotone(self, roofline):
+        values = [
+            roofline.attainable_teraops(i)
+            for i in np.logspace(-1, 4, 30)
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_operand_bandwidth_is_10_tib_paper_units(self, roofline):
+        """Section V-b: 10 TiB/s of operand stream bandwidth into MXMs."""
+        config = groq_tsp_v1()
+        assert (
+            config.paper_tib_per_s(roofline.mxm_operand_bytes_per_cycle)
+            == 10.0
+        )
+
+    def test_measured_points_below_roof(self, roofline):
+        for k, m, n in [(320, 320, 10_000), (64, 64, 100), (320, 64, 1)]:
+            point = roofline.matmul_point(k, m, n)
+            roof = roofline.attainable_teraops(point.intensity)
+            assert point.achieved_teraops <= roof * 1.001
+
+    def test_large_matmul_is_compute_bound(self, roofline):
+        point = roofline.matmul_point(320, 320, 100_000)
+        assert point.bound == "compute"
+
+    def test_single_vector_matmul_is_memory_bound(self, roofline):
+        point = roofline.matmul_point(320, 320, 1)
+        assert point.bound == "memory"
+
+    def test_series_shape(self, roofline):
+        series = roofline.series([0.1, 1.0, 10.0])
+        assert len(series) == 3
+        assert series[0][1] < series[-1][1]
+
+
+class TestGpuModel:
+    @pytest.fixture(scope="class")
+    def layers(self):
+        return resnet_layers(50)
+
+    def test_batch_1_far_slower_than_tsp(self, layers):
+        gpu = GpuModel()
+        tsp = estimate_network(layers, groq_tsp_v1())
+        gpu_latency = gpu.inference_latency_us(layers, batch=1, jitter=False)
+        assert gpu_latency > 4 * tsp.latency_us
+
+    def test_throughput_grows_with_batch(self, layers):
+        gpu = GpuModel()
+        ips = [
+            gpu.throughput_ips(layers, batch) for batch in (1, 8, 64, 128)
+        ]
+        assert all(b > a for a, b in zip(ips, ips[1:]))
+
+    def test_batch1_crossover(self, layers):
+        """The paper's headline: batch-1 TSP beats even large-batch GPU."""
+        gpu = GpuModel()
+        tsp = estimate_network(layers, groq_tsp_v1())
+        assert tsp.ips > gpu.throughput_ips(layers, batch=128)
+
+    def test_jitter_makes_latency_vary(self, layers):
+        gpu = GpuModel(seed=3)
+        samples = gpu.latency_samples(layers, batch=1, runs=20)
+        assert samples.std() > 0
+
+    def test_jitter_free_is_deterministic(self, layers):
+        gpu = GpuModel()
+        a = gpu.inference_latency_us(layers, 1, jitter=False)
+        b = gpu.inference_latency_us(layers, 1, jitter=False)
+        assert a == b
+
+    def test_utilization_saturates(self):
+        gpu = GpuModel()
+        assert gpu.utilization(1) < gpu.utilization(128)
+        assert gpu.utilization(100_000) <= gpu.max_utilization
+
+
+class TestComparatorSpecs:
+    def test_tsp_vs_tpu_speedup_near_2_5x(self):
+        tsp = estimate_network(resnet_layers(50), groq_tsp_v1())
+        assert tsp.ips / TPU_V3.resnet50_ips == pytest.approx(2.5, rel=0.1)
+
+    def test_tsp_vs_goya_latency_near_5x(self):
+        tsp = estimate_network(resnet_layers(50), groq_tsp_v1())
+        assert GOYA.batch1_latency_us / tsp.latency_us == pytest.approx(
+            4.9, rel=0.1
+        )
+
+    def test_v100_ops_per_transistor(self):
+        v100 = V100.peak_teraops * 1e12 / V100.transistors
+        assert v100 == pytest.approx(6161, rel=0.01)
+
+    def test_all_comparators_have_specs(self):
+        for spec in ALL_COMPARATORS:
+            assert spec.peak_teraops > 0
+            assert spec.transistors > 1e9

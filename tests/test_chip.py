@@ -1,0 +1,184 @@
+"""Chip-level behaviour: determinism, power gating, tracing, limits."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Direction, Hemisphere
+from repro.errors import SimulationError
+from repro.isa import (
+    AluOp,
+    BinaryOp,
+    Config,
+    IcuId,
+    Nop,
+    Program,
+    Read,
+    Write,
+)
+from repro.sim import TspChip, dispatch_counts, render_schedule, render_stagger
+
+E = Direction.EASTWARD
+
+
+def build_add_program(chip):
+    """The Figure 3 / Listing 1 program: Z = X + Y through streams."""
+    fp = chip.floorplan
+    program = Program()
+    w1 = IcuId(fp.mem_slice(Hemisphere.WEST, 1))
+    w0 = IcuId(fp.mem_slice(Hemisphere.WEST, 0))
+    vxm = IcuId(fp.vxm(), 0)
+    e0 = IcuId(fp.mem_slice(Hemisphere.EAST, 0))
+    program.add(w1, Read(address=0, stream=1, direction=E))
+    program.add(w0, Nop(1))
+    program.add(w0, Read(address=0, stream=0, direction=E))
+    # W0 drive@6 -> VXM@7; W1 drive@5 (2 hops) -> VXM@7
+    program.add(vxm, Nop(7))
+    program.add(
+        vxm,
+        BinaryOp(
+            op=AluOp.ADD_SAT, src1_stream=0, src2_stream=1, dst_stream=2,
+            dst_direction=E,
+        ),
+    )
+    program.add(e0, Nop(8))
+    program.add(e0, Write(address=5, stream=2, direction=E))
+    return program
+
+
+def load_operands(chip, rng):
+    x = rng.integers(-60, 60, chip.config.n_lanes).astype(np.int8)
+    y = rng.integers(-60, 60, chip.config.n_lanes).astype(np.int8)
+    chip.load_memory(Hemisphere.WEST, 0, 0, x.view(np.uint8)[None, :])
+    chip.load_memory(Hemisphere.WEST, 1, 0, y.view(np.uint8)[None, :])
+    return x, y
+
+
+class TestStreamingAdd:
+    def test_z_equals_x_plus_y(self, config, rng):
+        chip = TspChip(config)
+        x, y = load_operands(chip, rng)
+        chip.run(build_add_program(chip))
+        z = chip.read_memory(Hemisphere.EAST, 0, 5)[0].view(np.int8)
+        expected = np.clip(
+            x.astype(np.int64) + y.astype(np.int64), -128, 127
+        ).astype(np.int8)
+        assert np.array_equal(z, expected)
+
+
+class TestDeterminism:
+    """Section IV-F: performance is deterministic and precisely
+    predictable from run-to-run execution."""
+
+    def test_identical_cycle_counts(self, config, rng):
+        cycles = []
+        for _run in range(3):
+            chip = TspChip(config)
+            load_operands(chip, np.random.default_rng(7))
+            result = chip.run(build_add_program(chip))
+            cycles.append(result.cycles)
+        assert len(set(cycles)) == 1
+
+    def test_identical_traces(self, config):
+        traces = []
+        for _run in range(2):
+            chip = TspChip(config, trace=True)
+            load_operands(chip, np.random.default_rng(7))
+            chip.run(build_add_program(chip))
+            traces.append(
+                [(e.cycle, e.icu, e.mnemonic) for e in chip.trace]
+            )
+        assert traces[0] == traces[1]
+
+    def test_identical_memory_state(self, config):
+        images = []
+        for _run in range(2):
+            chip = TspChip(config)
+            load_operands(chip, np.random.default_rng(7))
+            chip.run(build_add_program(chip))
+            images.append(chip.read_memory(Hemisphere.EAST, 0, 5).tobytes())
+        assert images[0] == images[1]
+
+
+class TestSuperlanePower:
+    def test_config_gates_lanes(self, config, rng):
+        """Section II-F: powered-down superlanes produce zeros."""
+        chip = TspChip(config)
+        x, y = load_operands(chip, rng)
+        program = build_add_program(chip)
+        # power down superlane 1 before anything else runs
+        gate = IcuId(chip.floorplan.mem_slice(Hemisphere.WEST, 2))
+        program.add(gate, Config(superlane=1, power_on=False))
+        chip.run(program)
+        z = chip.read_memory(Hemisphere.EAST, 0, 5)[0].view(np.int8)
+        lanes = config.lanes_per_superlane
+        assert np.all(z[lanes : 2 * lanes] == 0)
+        expected = np.clip(
+            x.astype(np.int64) + y.astype(np.int64), -128, 127
+        ).astype(np.int8)
+        assert np.array_equal(z[:lanes], expected[:lanes])
+
+    def test_invalid_superlane_rejected(self, config):
+        chip = TspChip(config)
+        with pytest.raises(SimulationError):
+            chip.set_superlane_power(99, False)
+
+
+class TestRunLimits:
+    def test_max_cycles_enforced(self, config):
+        chip = TspChip(config)
+        program = Program()
+        icu = IcuId(chip.floorplan.mem_slice(Hemisphere.WEST, 0))
+        program.add(icu, Nop(1000))
+        with pytest.raises(SimulationError):
+            chip.run(program, max_cycles=10)
+
+    def test_empty_program_finishes(self, config):
+        chip = TspChip(config)
+        result = chip.run(Program())
+        assert result.instructions == 0
+
+    def test_run_result_seconds(self, config):
+        chip = TspChip(config)
+        program = Program()
+        icu = IcuId(chip.floorplan.mem_slice(Hemisphere.WEST, 0))
+        program.add(icu, Nop(90))
+        result = chip.run(program)
+        assert result.seconds(0.9) == pytest.approx(
+            result.cycles / 0.9e9
+        )
+
+
+class TestActivityAccounting:
+    def test_instruction_and_sram_counts(self, config, rng):
+        chip = TspChip(config)
+        load_operands(chip, rng)
+        result = chip.run(build_add_program(chip))
+        assert result.instructions == 7
+        assert result.activity.sram_read_bytes == 2 * config.n_lanes
+        assert result.activity.sram_write_bytes == config.n_lanes
+        assert result.activity.alu_ops == config.n_lanes
+        assert result.activity.stream_hop_bytes > 0
+
+
+class TestTracer:
+    def test_render_schedule_shows_units(self, config, rng):
+        chip = TspChip(config, trace=True)
+        load_operands(chip, rng)
+        chip.run(build_add_program(chip))
+        art = render_schedule(chip.trace)
+        assert "MEM_W0" in art and "VXM.alu0" in art
+        assert "legend:" in art
+
+    def test_render_schedule_empty(self):
+        assert "empty" in render_schedule([])
+
+    def test_render_stagger_figure6(self, full_config):
+        art = render_stagger(full_config.tiles_per_slice, issue_cycle=0)
+        assert "tile 19" in art and "tile  0" in art
+
+    def test_dispatch_counts(self, config, rng):
+        chip = TspChip(config, trace=True)
+        load_operands(chip, rng)
+        chip.run(build_add_program(chip))
+        counts = dispatch_counts(chip.trace)
+        assert counts["MEM_W0"] == 2  # NOP + Read

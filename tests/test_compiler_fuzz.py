@@ -1,0 +1,130 @@
+"""Compiler fuzzing: random dataflow DAGs vs a numpy graph interpreter.
+
+The strongest property the system offers: for *any* program the frontend
+can express, the compiled schedule executed on the cycle simulator produces
+exactly what a direct numpy evaluation of the dataflow graph produces.  Any
+timing-model inconsistency between the scheduler and the simulator breaks
+this, so these tests fuzz the whole stack at once.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import StreamProgramBuilder, execute
+from repro.config import small_test_chip
+
+#: op name -> (numpy oracle on int64, arity)
+OPS = {
+    "add": (lambda x, y: np.clip(x + y, -128, 127), 2),
+    "sub": (lambda x, y: np.clip(x - y, -128, 127), 2),
+    "mul": (lambda x, y: np.clip(x * y, -128, 127), 2),
+    "maximum": (np.maximum, 2),
+    "minimum": (np.minimum, 2),
+    "relu": (lambda x: np.maximum(x, 0), 1),
+    "negate": (lambda x: np.clip(-x, -128, 127), 1),
+    "abs": (lambda x: np.abs(np.clip(x, -127, 127)), 1),
+    "copy": (lambda x: x, 1),
+}
+
+
+def build_random_graph(seed: int, n_ops: int, n_vectors: int, length: int):
+    """A random elementwise DAG over two constants, plus its oracle."""
+    rng = np.random.default_rng(seed)
+    config = small_test_chip()
+    g = StreamProgramBuilder(config)
+
+    x_data = rng.integers(-50, 50, (n_vectors, length)).astype(np.int8)
+    y_data = rng.integers(-50, 50, (n_vectors, length)).astype(np.int8)
+    handles = [g.constant_tensor("x", x_data), g.constant_tensor("y", y_data)]
+    oracles = [x_data.astype(np.int64), y_data.astype(np.int64)]
+
+    op_names = sorted(OPS)
+    for step in range(n_ops):
+        name = op_names[int(rng.integers(len(op_names)))]
+        oracle_fn, arity = OPS[name]
+        if arity == 1:
+            src = int(rng.integers(len(handles)))
+            handle = getattr(g, name)(handles[src])
+            value = oracle_fn(oracles[src])
+        else:
+            a = int(rng.integers(len(handles)))
+            b = int(rng.integers(len(handles)))
+            if handles[a].dtype is not handles[b].dtype:
+                continue
+            handle = getattr(g, name)(handles[a], handles[b])
+            value = oracle_fn(oracles[a], oracles[b])
+        handles.append(handle)
+        oracles.append(value.astype(np.int8).astype(np.int64))
+
+    g.write_back(handles[-1], name="out")
+    return g, oracles[-1].astype(np.int8)
+
+
+class TestFuzzElementwise:
+    @given(
+        seed=st.integers(0, 10_000),
+        n_ops=st.integers(1, 6),
+        n_vectors=st.integers(1, 4),
+        length=st.integers(1, 64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_dag_matches_oracle(self, seed, n_ops, n_vectors, length):
+        g, expected = build_random_graph(seed, n_ops, n_vectors, length)
+        result = execute(g.compile())
+        assert np.array_equal(result["out"], expected)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_deep_chains(self, seed):
+        """Long chains exercise ALU slot allocation and retiming."""
+        g, expected = build_random_graph(
+            seed * 101 + 7, n_ops=12, n_vectors=2, length=32
+        )
+        result = execute(g.compile())
+        assert np.array_equal(result["out"], expected)
+
+    def test_wide_fanout(self):
+        """One value consumed by many ops — many taps on one stream."""
+        rng = np.random.default_rng(0)
+        config = small_test_chip()
+        g = StreamProgramBuilder(config)
+        x_data = rng.integers(-50, 50, (2, 64)).astype(np.int8)
+        x = g.constant_tensor("x", x_data)
+        for i in range(4):
+            g.write_back(g.relu(g.copy(x)), name=f"out{i}")
+        result = execute(g.compile())
+        expected = np.maximum(x_data, 0)
+        for i in range(4):
+            assert np.array_equal(result[f"out{i}"], expected)
+
+
+class TestFuzzMixedPipelines:
+    @given(
+        seed=st.integers(0, 5_000),
+        k=st.integers(8, 64),
+        m=st.integers(4, 64),
+        n=st.integers(1, 3),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_matmul_plus_random_epilogue(self, seed, k, m, n):
+        from repro.arch import DType
+
+        rng = np.random.default_rng(seed)
+        config = small_test_chip()
+        g = StreamProgramBuilder(config)
+        w = rng.integers(-6, 6, (k, m)).astype(np.int8)
+        x = rng.integers(-6, 6, (n, k)).astype(np.int8)
+        acc = g.matmul(w, g.constant_tensor("x", x))
+        scale = float(rng.uniform(0.001, 0.05))
+        q = g.convert(acc, DType.INT8, scale=scale)
+        out = g.relu(q) if seed % 2 else g.abs(q)
+        g.write_back(out, name="y")
+        result = execute(g.compile())
+        oracle = x.astype(np.int64) @ w.astype(np.int64)
+        quantized = np.clip(np.rint(oracle * scale), -128, 127)
+        if seed % 2:
+            expected = np.maximum(quantized, 0)
+        else:
+            expected = np.abs(np.clip(quantized, -127, 127))
+        assert np.array_equal(result["y"], expected.astype(np.int8))

@@ -1,0 +1,98 @@
+"""Compiled stream-indirect gathers (Section III-B indirect addressing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import DType
+from repro.compiler import StreamProgramBuilder, execute
+from repro.config import small_test_chip
+from repro.errors import CompileError
+
+
+def gather_oracle(table, idx):
+    lanes = np.arange(table.shape[1])
+    return np.stack([table[idx[j], lanes] for j in range(idx.shape[0])])
+
+
+class TestCompiledGather:
+    def test_per_lane_lookup(self, config, rng):
+        table = rng.integers(0, 200, (8, 64)).astype(np.uint8)
+        idx = rng.integers(0, 8, (3, 64)).astype(np.uint8)
+        g = StreamProgramBuilder(config)
+        out = g.gather(
+            table, g.constant_tensor("idx", idx, dtype=DType.UINT8)
+        )
+        g.write_back(out, name="o")
+        result = execute(g.compile())
+        assert np.array_equal(result["o"], gather_oracle(table, idx))
+
+    def test_lookup_then_compute(self, config, rng):
+        """Gather output chains into VXM ops like any stream."""
+        table = rng.integers(-90, 90, (6, 64)).astype(np.int8)
+        idx = rng.integers(0, 6, (2, 64)).astype(np.uint8)
+        g = StreamProgramBuilder(config)
+        looked_up = g.gather(
+            table, g.constant_tensor("idx", idx, dtype=DType.UINT8)
+        )
+        g.write_back(g.relu(looked_up), name="o")
+        result = execute(g.compile())
+        expected = np.maximum(
+            gather_oracle(table, idx).view(np.int8), 0
+        )
+        assert np.array_equal(result["o"], expected)
+
+    def test_runtime_indices(self, config, rng):
+        """Indices bound at run time: an embedding-style lookup."""
+        table = rng.integers(0, 200, (16, 64)).astype(np.uint8)
+        g = StreamProgramBuilder(config)
+        idx_h = g.input_tensor("idx", (4, 64), dtype=DType.UINT8)
+        g.write_back(g.gather(table, idx_h), name="o")
+        compiled = g.compile()
+        idx = rng.integers(0, 16, (4, 64)).astype(np.uint8)
+        result = execute(compiled, inputs={"idx": idx})
+        assert np.array_equal(result["o"], gather_oracle(table, idx))
+
+    def test_table_row_limit(self, config, rng):
+        g = StreamProgramBuilder(config)
+        idx = g.constant_tensor(
+            "idx", np.zeros((1, 64), np.uint8), dtype=DType.UINT8
+        )
+        with pytest.raises(CompileError, match="256"):
+            g.gather(np.zeros((300, 64), np.uint8), idx)
+
+    def test_indices_must_be_uint8(self, config, rng):
+        g = StreamProgramBuilder(config)
+        idx = g.constant_tensor(
+            "idx", np.zeros((1, 64), np.int32)
+        )
+        with pytest.raises(CompileError, match="uint8"):
+            g.gather(np.zeros((4, 64), np.uint8), idx)
+
+    def test_table_dtype_checked(self, config):
+        g = StreamProgramBuilder(config)
+        idx = g.constant_tensor(
+            "idx", np.zeros((1, 64), np.uint8), dtype=DType.UINT8
+        )
+        with pytest.raises(CompileError, match="int8"):
+            g.gather(np.zeros((4, 64), np.float32), idx)
+
+    @given(
+        rows=st.integers(1, 16),
+        n=st.integers(1, 4),
+        seed=st.integers(0, 300),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_gather_property(self, rows, n, seed):
+        config = small_test_chip()
+        rng = np.random.default_rng(seed)
+        table = rng.integers(0, 250, (rows, 64)).astype(np.uint8)
+        idx = rng.integers(0, rows, (n, 64)).astype(np.uint8)
+        g = StreamProgramBuilder(config)
+        out = g.gather(
+            table, g.constant_tensor("idx", idx, dtype=DType.UINT8)
+        )
+        g.write_back(out, name="o")
+        result = execute(g.compile())
+        assert np.array_equal(result["o"], gather_oracle(table, idx))

@@ -1,0 +1,86 @@
+"""Dataflow graph IR: construction, traversal, validation."""
+
+import numpy as np
+import pytest
+
+from repro.arch import DType
+from repro.compiler.graph import Graph, OpKind
+from repro.errors import CompileError
+
+
+def add_const(graph, name="c", n=1, length=8):
+    return graph.add_node(
+        OpKind.CONSTANT, [], DType.INT8, n, length, name=name,
+        data=np.zeros((n, length), np.int8),
+    )
+
+
+class TestConstruction:
+    def test_node_ids_sequential(self):
+        graph = Graph()
+        a = add_const(graph, "a")
+        b = add_const(graph, "b")
+        assert (a.id, b.id) == (0, 1)
+
+    def test_missing_input_rejected(self):
+        graph = Graph()
+        with pytest.raises(CompileError):
+            graph.add_node(OpKind.UNARY, [42], DType.INT8, 1, 8)
+
+    def test_outputs_tracked(self):
+        graph = Graph()
+        a = add_const(graph)
+        w = graph.add_node(OpKind.WRITE, [a.id], DType.INT8, 1, 8)
+        assert graph.outputs == [w.id]
+
+    def test_consumers(self):
+        graph = Graph()
+        a = add_const(graph)
+        u = graph.add_node(OpKind.UNARY, [a.id], DType.INT8, 1, 8)
+        assert [n.id for n in graph.consumers(a.id)] == [u.id]
+
+    def test_shape_property(self):
+        graph = Graph()
+        node = add_const(graph, n=4, length=16)
+        assert node.shape == (4, 16)
+
+    def test_str_form(self):
+        graph = Graph()
+        a = add_const(graph)
+        u = graph.add_node(OpKind.UNARY, [a.id], DType.INT8, 1, 8)
+        assert "unary(n0)" in str(u)
+
+
+class TestTraversal:
+    def test_topological_order_respects_edges(self):
+        graph = Graph()
+        a = add_const(graph, "a")
+        b = add_const(graph, "b")
+        s = graph.add_node(OpKind.BINARY, [a.id, b.id], DType.INT8, 1, 8)
+        w = graph.add_node(OpKind.WRITE, [s.id], DType.INT8, 1, 8)
+        order = [n.id for n in graph.topological_order()]
+        assert order.index(a.id) < order.index(s.id)
+        assert order.index(b.id) < order.index(s.id)
+        assert order.index(s.id) < order.index(w.id)
+
+    def test_multi_edge_same_input(self):
+        """add(x, x): the same value consumed twice."""
+        graph = Graph()
+        a = add_const(graph, "a")
+        s = graph.add_node(OpKind.BINARY, [a.id, a.id], DType.INT8, 1, 8)
+        order = [n.id for n in graph.topological_order()]
+        assert order == [a.id, s.id]
+
+    def test_cycle_detected(self):
+        graph = Graph()
+        a = add_const(graph)
+        u = graph.add_node(OpKind.UNARY, [a.id], DType.INT8, 1, 8)
+        u.inputs.append(u.id)  # deliberately corrupt
+        with pytest.raises(CompileError):
+            graph.topological_order()
+
+    def test_validate_requires_outputs(self):
+        graph = Graph()
+        add_const(graph)
+        with pytest.raises(CompileError, match="no outputs"):
+            graph.validate()

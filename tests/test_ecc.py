@@ -1,0 +1,122 @@
+"""SECDED ECC: encode, correct every single-bit flip, detect doubles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryFaultError
+from repro.sim import ecc
+
+
+def random_word(seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 256, ecc.WORD_BYTES, dtype=np.uint8
+    )
+
+
+class TestEncode:
+    def test_check_bits_fit_nine_bits(self):
+        word = random_word()
+        checks = ecc.encode_checks(word)
+        assert checks.dtype == np.uint16
+        assert int(checks[0]) < (1 << ecc.CHECK_BITS)
+
+    def test_batch_encoding_matches_single(self):
+        words = np.stack([random_word(i) for i in range(8)])
+        batch = ecc.encode_checks(words)
+        singles = [int(ecc.encode_checks(w)[0]) for w in words]
+        assert list(batch) == singles
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            ecc.encode_checks(np.zeros((1, 8), dtype=np.uint8))
+
+    def test_137_bits_total(self):
+        """Paper: 128-bit word + 9-bit ECC = 137 bits stored."""
+        assert ecc.DATA_BITS + ecc.CHECK_BITS == 137
+
+
+class TestCorrection:
+    def test_clean_word_passes(self):
+        word = random_word()
+        checks = ecc.encode_checks(word)
+        result = ecc.verify_and_correct(word, checks)
+        assert result.corrections == 0
+        assert result.detected_uncorrectable == 0
+        assert np.array_equal(result.corrected_words[0], word)
+
+    @pytest.mark.parametrize("bit", [0, 1, 7, 8, 63, 64, 126, 127])
+    def test_single_bit_flip_corrected(self, bit):
+        word = random_word(bit)
+        checks = ecc.encode_checks(word)
+        corrupted = ecc.flip_bit(word, bit)
+        result = ecc.verify_and_correct(corrupted, checks)
+        assert result.corrections == 1
+        assert np.array_equal(result.corrected_words[0], word)
+
+    @given(st.integers(0, 127), st.integers(0, 2**31))
+    @settings(max_examples=80, deadline=None)
+    def test_every_data_bit_position_corrects(self, bit, seed):
+        word = np.random.default_rng(seed).integers(
+            0, 256, ecc.WORD_BYTES, dtype=np.uint8
+        )
+        checks = ecc.encode_checks(word)
+        corrupted = ecc.flip_bit(word, bit)
+        result = ecc.verify_and_correct(corrupted, checks)
+        assert np.array_equal(result.corrected_words[0], word)
+
+    def test_double_bit_raises(self):
+        word = random_word(3)
+        checks = ecc.encode_checks(word)
+        corrupted = ecc.flip_bit(ecc.flip_bit(word, 5), 77)
+        with pytest.raises(MemoryFaultError):
+            ecc.verify_and_correct(corrupted, checks)
+
+    def test_double_bit_detected_without_raise(self):
+        word = random_word(4)
+        checks = ecc.encode_checks(word)
+        corrupted = ecc.flip_bit(ecc.flip_bit(word, 5), 77)
+        result = ecc.verify_and_correct(
+            corrupted, checks, raise_on_double=False
+        )
+        assert result.detected_uncorrectable == 1
+
+    @given(
+        st.integers(0, 127),
+        st.integers(0, 127),
+        st.integers(0, 2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_secded_property(self, bit_a, bit_b, seed):
+        """One flip corrects; two distinct flips detect (never silently
+        accept)."""
+        word = np.random.default_rng(seed).integers(
+            0, 256, ecc.WORD_BYTES, dtype=np.uint8
+        )
+        checks = ecc.encode_checks(word)
+        corrupted = ecc.flip_bit(word, bit_a)
+        if bit_a == bit_b:
+            result = ecc.verify_and_correct(
+                ecc.flip_bit(corrupted, bit_b), checks
+            )
+            assert np.array_equal(result.corrected_words[0], word)
+            return
+        corrupted = ecc.flip_bit(corrupted, bit_b)
+        result = ecc.verify_and_correct(
+            corrupted, checks, raise_on_double=False
+        )
+        assert result.detected_uncorrectable == 1
+
+    def test_flip_bit_range_checked(self):
+        with pytest.raises(ValueError):
+            ecc.flip_bit(random_word(), 128)
+
+    def test_corrupted_check_bits_detected(self):
+        """A flip in the stored check bits must not corrupt data."""
+        word = random_word(9)
+        checks = ecc.encode_checks(word)
+        bad_checks = checks ^ np.uint16(1)  # flip one check bit
+        result = ecc.verify_and_correct(word, bad_checks)
+        assert np.array_equal(result.corrected_words[0], word)
+        assert result.corrections == 1

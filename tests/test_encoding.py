@@ -1,0 +1,165 @@
+"""Binary instruction encoding: exhaustive and property-based round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Direction, DType
+from repro.errors import EncodingError
+from repro.isa import (
+    Accumulate,
+    ActivationBufferControl,
+    AluOp,
+    BinaryOp,
+    Convert,
+    Config,
+    Deskew,
+    Distribute,
+    Gather,
+    Ifetch,
+    InstallWeights,
+    LoadWeights,
+    Nop,
+    Notify,
+    Permute,
+    Read,
+    Receive,
+    Repeat,
+    Rotate,
+    Scatter,
+    Select,
+    Send,
+    Shift,
+    Sync,
+    Transpose,
+    UnaryOp,
+    Write,
+    decode,
+    decode_program_text,
+    encode,
+    encode_program_text,
+)
+
+SAMPLES = [
+    Nop(17),
+    Ifetch(stream=5),
+    Sync(),
+    Notify(),
+    Config(superlane=3, power_on=False),
+    Repeat(n=4, d=2),
+    Read(address=1234, stream=9, direction=Direction.WESTWARD),
+    Write(address=77, stream=2),
+    Gather(stream=1, map_stream=3, base=40),
+    Scatter(stream=4, map_stream=5, base=2),
+    UnaryOp(op=AluOp.TANH, src_stream=3, dst_stream=6, dtype=DType.FP16),
+    BinaryOp(op=AluOp.MUL_MOD, src1_stream=1, src2_stream=2, dst_stream=3),
+    Convert(from_dtype=DType.INT32, to_dtype=DType.INT8, scale=0.125),
+    LoadWeights(plane=1, row=100, stream=7),
+    InstallWeights(plane=0, rows=64, cols=320, n_streams=8),
+    ActivationBufferControl(plane=1, n_vectors=12, dtype=DType.FP16),
+    Accumulate(plane=0, base_stream=8, n_vectors=3, accumulate=True, emit=False),
+    Shift(src_stream=1, dst_stream=2, amount=5),
+    Select(src_stream_a=1, src_stream_b=2, dst_stream=3, mask=(0, 1) * 8),
+    Permute(mapping=tuple(reversed(range(16)))),
+    Distribute(mapping=(-1, 0, 1, 2) * 4),
+    Rotate(src_stream=2, dst_base_stream=8, n=4),
+    Transpose(src_base_stream=16, dst_base_stream=0, unit=1),
+    Deskew(link=3),
+    Send(link=7, stream=12),
+    Receive(link=2, mem_slice=10, address=512),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "instruction", SAMPLES, ids=lambda i: i.mnemonic
+    )
+    def test_encode_decode_identity(self, instruction):
+        decoded, consumed = decode(encode(instruction))
+        assert decoded == instruction
+        assert consumed == len(encode(instruction))
+
+    def test_program_text_roundtrip(self):
+        text = encode_program_text(SAMPLES)
+        back = decode_program_text(text)
+        assert back == SAMPLES
+
+    def test_encoded_size_matches_wire(self):
+        for instruction in SAMPLES:
+            assert instruction.encoded_size() == len(encode(instruction))
+
+    def test_instructions_are_compact(self):
+        """IQ feeding requires dense instruction text: every instruction
+        must fit well within one 16-byte MEM word equivalent (maps/masks
+        excepted)."""
+        for instruction in SAMPLES:
+            if instruction.payload() or isinstance(
+                instruction, (Permute, Distribute, Select)
+            ):
+                continue
+            assert instruction.encoded_size() <= 32, str(instruction)
+
+
+class TestErrors:
+    def test_truncated_header(self):
+        with pytest.raises(EncodingError):
+            decode(b"\x01")
+
+    def test_truncated_body(self):
+        data = encode(Read(address=5, stream=1))
+        with pytest.raises(EncodingError):
+            decode(data[:-2])
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            decode(b"\xff\x03\x00")
+
+    def test_out_of_range_scalar(self):
+        from repro.isa.encoding import _encode_field
+
+        with pytest.raises(EncodingError):
+            _encode_field(70000)
+
+
+class TestPropertyBased:
+    @given(
+        address=st.integers(0, 8191),
+        stream=st.integers(0, 31),
+        direction=st.sampled_from(list(Direction)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_read_roundtrip(self, address, stream, direction):
+        instruction = Read(address=address, stream=stream, direction=direction)
+        decoded, _ = decode(encode(instruction))
+        assert decoded == instruction
+
+    @given(
+        op=st.sampled_from([o for o in AluOp if o.arity == 2]),
+        s1=st.integers(0, 31),
+        s2=st.integers(0, 31),
+        dst=st.integers(0, 31),
+        dtype=st.sampled_from(list(DType)),
+        alu=st.integers(0, 15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_binary_roundtrip(self, op, s1, s2, dst, dtype, alu):
+        instruction = BinaryOp(
+            op=op, src1_stream=s1, src2_stream=s2, dst_stream=dst,
+            dtype=dtype, alu=alu,
+        )
+        decoded, _ = decode(encode(instruction))
+        assert decoded == instruction
+
+    @given(st.permutations(list(range(16))))
+    @settings(max_examples=30, deadline=None)
+    def test_permute_roundtrip(self, mapping):
+        instruction = Permute(mapping=tuple(mapping))
+        decoded, _ = decode(encode(instruction))
+        assert decoded == instruction
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    @settings(max_examples=50, deadline=None)
+    def test_convert_scale_roundtrip(self, scale):
+        instruction = Convert(scale=scale)
+        decoded, _ = decode(encode(instruction))
+        assert decoded.scale == scale

@@ -1,0 +1,60 @@
+"""Event queue ordering and phase discipline."""
+
+import pytest
+
+from repro.sim.events import EventQueue, Phase
+
+
+class TestEventQueue:
+    def test_phases_run_in_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(0, Phase.CAPTURE, lambda c: log.append("capture"))
+        q.schedule(0, Phase.DRIVE, lambda c: log.append("drive"))
+        q.run_phase(0, Phase.DRIVE)
+        q.run_phase(0, Phase.CAPTURE)
+        assert log == ["drive", "capture"]
+
+    def test_insertion_order_preserved_within_phase(self):
+        q = EventQueue()
+        log = []
+        for i in range(5):
+            q.schedule(3, Phase.DRIVE, lambda c, i=i: log.append(i))
+        q.run_phase(3, Phase.DRIVE)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_future_events_not_run(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5, Phase.DRIVE, lambda c: log.append("later"))
+        assert q.run_phase(0, Phase.DRIVE) == 0
+        assert log == []
+        assert q.pending == 1
+
+    def test_events_scheduled_during_phase_run_same_phase(self):
+        q = EventQueue()
+        log = []
+
+        def first(cycle):
+            log.append("first")
+            q.schedule(cycle, Phase.CAPTURE, lambda c: log.append("nested"))
+
+        q.schedule(0, Phase.CAPTURE, first)
+        q.run_phase(0, Phase.CAPTURE)
+        assert log == ["first", "nested"]
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, Phase.DRIVE, lambda c: None)
+
+    def test_next_cycle(self):
+        q = EventQueue()
+        assert q.next_cycle() is None
+        q.schedule(9, Phase.DRIVE, lambda c: None)
+        assert q.next_cycle() == 9
+
+    def test_has_work_at_or_before(self):
+        q = EventQueue()
+        q.schedule(4, Phase.DRIVE, lambda c: None)
+        assert not q.has_work_at_or_before(3)
+        assert q.has_work_at_or_before(4)

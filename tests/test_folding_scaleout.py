@@ -1,0 +1,122 @@
+"""BatchNorm folding and multi-chip pipeline scale-out."""
+
+import numpy as np
+import pytest
+
+from repro.config import groq_tsp_v1
+from repro.errors import TspError
+from repro.nn import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    estimate_network,
+    fold_batchnorm_into_conv,
+    fold_batchnorm_into_dense,
+    resnet_layers,
+    scale_out,
+)
+
+
+class TestBatchNormFolding:
+    def make_trained_pair(self, rng):
+        conv = Conv2D(3, 5, kernel=3, rng=rng)
+        bn = BatchNorm(5)
+        # give the BN non-trivial running statistics and affine params
+        bn.running_mean = rng.standard_normal(5)
+        bn.running_var = rng.uniform(0.5, 2.0, 5)
+        bn.gamma = rng.uniform(0.5, 1.5, 5)
+        bn.beta = rng.standard_normal(5)
+        return conv, bn
+
+    def test_folded_conv_matches_conv_bn(self, rng):
+        conv, bn = self.make_trained_pair(rng)
+        folded = fold_batchnorm_into_conv(conv, bn)
+        x = rng.standard_normal((2, 3, 8, 8))
+        reference = bn.forward(conv.forward(x), training=False)
+        assert np.allclose(folded.forward(x), reference, atol=1e-10)
+
+    def test_folding_preserves_geometry(self, rng):
+        conv, bn = self.make_trained_pair(rng)
+        folded = fold_batchnorm_into_conv(conv, bn)
+        assert folded.kernel == conv.kernel
+        assert folded.stride == conv.stride
+        assert folded.w.shape == conv.w.shape
+
+    def test_channel_mismatch_rejected(self, rng):
+        conv = Conv2D(3, 5, rng=rng)
+        bn = BatchNorm(7)
+        with pytest.raises(TspError):
+            fold_batchnorm_into_conv(conv, bn)
+
+    def test_dense_affine_fold(self, rng):
+        dense = Dense(6, 4, rng=rng)
+        scale = rng.uniform(0.5, 1.5, 4)
+        shift = rng.standard_normal(4)
+        folded = fold_batchnorm_into_dense(dense, scale, shift)
+        x = rng.standard_normal((3, 6))
+        reference = dense.forward(x) * scale + shift
+        assert np.allclose(folded.forward(x), reference, atol=1e-10)
+
+    def test_dense_shape_mismatch_rejected(self, rng):
+        dense = Dense(6, 4, rng=rng)
+        with pytest.raises(TspError):
+            fold_batchnorm_into_dense(
+                dense, np.ones(5), np.zeros(5)
+            )
+
+
+class TestScaleOut:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return groq_tsp_v1()
+
+    @pytest.fixture(scope="class")
+    def layers(self):
+        return resnet_layers(50)
+
+    def test_single_chip_matches_network_estimate(self, config, layers):
+        single = estimate_network(layers, config)
+        plan = scale_out(layers, config, 1)
+        assert plan.bottleneck_cycles == single.total_cycles
+        assert plan.throughput_ips == pytest.approx(single.ips)
+
+    def test_every_layer_assigned_exactly_once(self, config, layers):
+        plan = scale_out(layers, config, 4)
+        assigned = [
+            name for stage in plan.stages for name in stage.layer_names
+        ]
+        assert len(assigned) == len(layers)
+        assert len(set(assigned)) == len(assigned)
+
+    def test_two_chips_near_double_throughput(self, config, layers):
+        single = estimate_network(layers, config)
+        plan = scale_out(layers, config, 2)
+        assert plan.speedup_vs(single.ips) > 1.8
+
+    def test_throughput_monotone_in_chips(self, config, layers):
+        ips = [
+            scale_out(layers, config, n).throughput_ips
+            for n in (1, 2, 4, 8)
+        ]
+        assert all(b >= a for a, b in zip(ips, ips[1:]))
+
+    def test_efficiency_degrades_gracefully(self, config, layers):
+        single = estimate_network(layers, config)
+        eight = scale_out(layers, config, 8)
+        assert 0.4 < eight.efficiency(single.ips) <= 1.0
+
+    def test_latency_grows_only_by_transfers(self, config, layers):
+        single = estimate_network(layers, config)
+        plan = scale_out(layers, config, 4)
+        assert plan.latency_us >= single.latency_us
+        # deterministic pipelining adds link hops, not queueing delays
+        assert plan.latency_us < single.latency_us * 1.25
+
+    def test_invalid_chip_count(self, config, layers):
+        with pytest.raises(ValueError):
+            scale_out(layers, config, 0)
+
+    def test_deterministic(self, config, layers):
+        a = scale_out(layers, config, 4)
+        b = scale_out(layers, config, 4)
+        assert [s.cycles for s in a.stages] == [s.cycles for s in b.stages]

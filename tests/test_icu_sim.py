@@ -1,0 +1,170 @@
+"""ICU dispatch semantics: NOP timing, Repeat, barriers, IFetch supply."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Direction, Hemisphere
+from repro.errors import IqUnderflowError, SimulationError
+from repro.isa import (
+    IcuId,
+    Ifetch,
+    Nop,
+    Notify,
+    Program,
+    Read,
+    Repeat,
+    Sync,
+    Write,
+)
+from repro.sim import TspChip
+
+E = Direction.EASTWARD
+
+
+def mem_icu(chip, hemisphere, index):
+    return IcuId(chip.floorplan.mem_slice(hemisphere, index))
+
+
+class TestNopTiming:
+    def test_nop_delays_exactly_n_cycles(self, config, rng):
+        """OpA NOP(N) OpB: exactly N cycles separate the dispatches."""
+        chip = TspChip(config, trace=True)
+        data = rng.integers(0, 256, (2, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 0, data)
+        program = Program()
+        icu = mem_icu(chip, Hemisphere.WEST, 0)
+        program.add(icu, Read(address=0, stream=0, direction=E))
+        program.add(icu, Nop(13))
+        program.add(icu, Read(address=2, stream=1, direction=E))
+        chip.run(program)
+        reads = [e for e in chip.trace if e.mnemonic == "Read"]
+        assert reads[1].cycle - reads[0].cycle == 14  # 1 + 13 NOP cycles
+
+
+class TestRepeat:
+    def test_repeat_re_executes_previous(self, config, rng):
+        chip = TspChip(config, trace=True)
+        data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 4, data)
+        program = Program()
+        icu = mem_icu(chip, Hemisphere.WEST, 0)
+        program.add(icu, Read(address=4, stream=0, direction=E))
+        program.add(icu, Repeat(n=3, d=2))
+        chip.run(program)
+        reads = [e for e in chip.trace if e.mnemonic == "Read"]
+        assert len(reads) == 4  # original + 3 repeats
+        cycles = sorted(e.cycle for e in reads)
+        assert cycles == [0, 1, 3, 5]  # repeats at d=2 spacing
+
+    def test_repeat_without_previous_raises(self, config):
+        chip = TspChip(config)
+        program = Program()
+        program.add(mem_icu(chip, Hemisphere.WEST, 0), Repeat(n=1, d=1))
+        with pytest.raises(SimulationError):
+            chip.run(program)
+
+
+class TestBarrier:
+    def test_sync_parks_until_notify(self, config, rng):
+        chip = TspChip(config, trace=True)
+        data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 0, data)
+        program = Program()
+        parked = mem_icu(chip, Hemisphere.WEST, 0)
+        notifier = mem_icu(chip, Hemisphere.WEST, 1)
+        program.add(parked, Sync())
+        program.add(parked, Read(address=0, stream=0, direction=E))
+        program.add(notifier, Nop(5))
+        program.add(notifier, Notify())
+        chip.run(program)
+        read = next(e for e in chip.trace if e.mnemonic == "Read")
+        # Notify at cycle 5 releases at 5 + 35 barrier cycles
+        assert read.cycle == 5 + config.barrier_latency_cycles
+
+    def test_barrier_latency_is_35_cycles(self, full_config):
+        """Section III-A2: chip-wide barrier in 35 clock cycles."""
+        assert full_config.barrier_latency_cycles == 35
+
+    def test_deadlock_detected(self, config):
+        chip = TspChip(config)
+        program = Program()
+        program.add(mem_icu(chip, Hemisphere.WEST, 0), Sync())
+        with pytest.raises(SimulationError, match="deadlock"):
+            chip.run(program)
+
+    def test_warmup_barrier_aligns_queues(self, config, rng):
+        """The compulsory post-reset barrier aligns all queues to the same
+        logical time without changing relative schedules."""
+        chip = TspChip(config, trace=True)
+        data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 0, data)
+        program = Program()
+        a = mem_icu(chip, Hemisphere.WEST, 0)
+        b = mem_icu(chip, Hemisphere.WEST, 1)
+        program.add(a, Read(address=0, stream=0, direction=E))
+        program.add(b, Nop(3))
+        program.add(b, Read(address=0, stream=1, direction=E))
+        chip.run(program, warmup_barrier=True)
+        reads = sorted(
+            (e for e in chip.trace if e.mnemonic == "Read"),
+            key=lambda e: e.cycle,
+        )
+        # relative 3-cycle offset (the NOP) is preserved after release
+        assert reads[1].cycle - reads[0].cycle == 3
+        assert reads[0].cycle == config.barrier_latency_cycles
+
+
+class TestIfetchSupply:
+    def make_long_program(self, chip, n_reads=40):
+        program = Program()
+        icu = mem_icu(chip, Hemisphere.WEST, 0)
+        for i in range(n_reads):
+            program.add(icu, Read(address=2 * i, stream=0, direction=E))
+        return program
+
+    def test_lax_mode_runs_without_ifetch(self, config):
+        chip = TspChip(config, strict_ifetch=False)
+        program = self.make_long_program(chip)
+        chip.run(program)  # no exception
+
+    def test_strict_mode_underflows_without_ifetch(self, config):
+        small_iq = config.with_overrides(iq_capacity_bytes=64)
+        chip = TspChip(small_iq, strict_ifetch=True)
+        program = self.make_long_program(chip)
+        with pytest.raises(IqUnderflowError):
+            chip.run(program)
+
+    def test_ifetch_refills_buffer(self, config):
+        """An Ifetch tops the IQ back up after its functional delay,
+        taking only what fits below the queue capacity."""
+        small_iq = config.with_overrides(iq_capacity_bytes=64)
+        chip = TspChip(small_iq, strict_ifetch=True)
+        program = Program()
+        icu = mem_icu(chip, Hemisphere.WEST, 0)
+        program.add(icu, Ifetch())
+        program.add(icu, Nop(30))
+        for i in range(12):
+            program.add(icu, Read(address=2 * i, stream=0, direction=E))
+        queues = chip.make_queues(program)
+        queue = queues[0]
+        initial = queue.buffer_bytes
+        assert queue.unfetched_bytes > 0
+        for cycle in range(12):
+            chip.step_cycle(queues, cycle)
+        # the fetch landed (latency 8) and grew the buffer
+        assert queue.buffer_bytes > initial - 2 * Ifetch().encoded_size()
+        assert queue.buffer_bytes <= small_iq.iq_capacity_bytes
+
+    def test_ifetch_insertion_pass_keeps_strict_queue_fed(self, config):
+        """End to end: the compiler pass makes strict mode pass."""
+        from repro.compiler import insert_ifetch
+
+        small_iq = config.with_overrides(iq_capacity_bytes=96)
+        chip = TspChip(small_iq, strict_ifetch=True)
+        program = Program()
+        icu = mem_icu(chip, Hemisphere.WEST, 0)
+        for i in range(12):
+            program.add(icu, Read(address=2 * i, stream=0, direction=E))
+            program.add(icu, Nop(4))
+        fed = insert_ifetch(program, small_iq)
+        chip.run(fed)

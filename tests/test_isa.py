@@ -1,0 +1,248 @@
+"""Instruction construction, validation, and Table I coverage."""
+
+import pytest
+
+from repro.arch import Direction, DType
+from repro.arch.geometry import SliceKind
+from repro.errors import IsaError
+from repro.isa import (
+    Accumulate,
+    ActivationBufferControl,
+    AluOp,
+    BinaryOp,
+    Config,
+    Convert,
+    Deskew,
+    Distribute,
+    Gather,
+    INSTRUCTION_REGISTRY,
+    Ifetch,
+    InstallWeights,
+    LoadWeights,
+    Nop,
+    Notify,
+    Permute,
+    Read,
+    Receive,
+    Repeat,
+    Rotate,
+    Scatter,
+    Select,
+    Send,
+    Shift,
+    Sync,
+    Transpose,
+    UnaryOp,
+    Write,
+    instructions_for_slice,
+)
+
+#: Table I rows: every mnemonic the paper lists per functional area.
+TABLE_1 = {
+    "ICU": ["NOP", "Ifetch", "Sync", "Notify", "Config", "Repeat"],
+    "MEM": ["Read", "Write", "Gather", "Scatter"],
+    "VXM": ["UnaryOp", "BinaryOp", "Convert"],
+    "MXM": ["LW", "IW", "ABC", "ACC"],
+    "SXM": ["Shift", "Select", "Permute", "Distribute", "Rotate", "Transpose"],
+    "C2C": ["Deskew", "Send", "Receive"],
+}
+
+
+class TestTable1Coverage:
+    def test_every_table1_mnemonic_registered(self):
+        for _area, mnemonics in TABLE_1.items():
+            for mnemonic in mnemonics:
+                assert mnemonic in INSTRUCTION_REGISTRY, mnemonic
+
+    def test_vxm_activation_functions_present(self):
+        """ReLU, TanH, Exp, RSqrt appear as ALU operations."""
+        labels = {op.label for op in AluOp}
+        assert {"relu", "tanh", "exp", "rsqrt"} <= labels
+
+    def test_saturating_and_modulo_variants(self):
+        """Section III-C: add_sat/add_mod/mul_sat/mul_mod."""
+        labels = {op.label for op in AluOp}
+        assert {"add_sat", "add_mod", "mul_sat", "mul_mod"} <= labels
+
+    def test_icu_common_instructions_valid_everywhere(self):
+        for kind in SliceKind:
+            names = {c.mnemonic for c in instructions_for_slice(kind)}
+            assert {"NOP", "Ifetch", "Sync", "Notify"} <= names
+
+    def test_mem_instructions_only_on_mem(self):
+        assert SliceKind.MEM in Read.slice_kinds
+        assert SliceKind.VXM not in Read.slice_kinds
+
+    def test_every_instruction_has_description(self):
+        for cls in INSTRUCTION_REGISTRY.values():
+            assert cls.description
+
+
+class TestIcuInstructions:
+    def test_nop_occupies_count_cycles(self):
+        assert Nop(7).issue_cycles() == 7
+
+    def test_nop_16_bit_repeat_field(self):
+        """A NOP can wait up to 65,535 cycles (~65us at 1 GHz)."""
+        Nop(0xFFFF)
+        with pytest.raises(IsaError):
+            Nop(0x10000)
+        with pytest.raises(IsaError):
+            Nop(0)
+
+    def test_repeat_validation(self):
+        assert Repeat(n=3, d=2).issue_cycles() == 6
+        with pytest.raises(IsaError):
+            Repeat(n=0, d=1)
+        with pytest.raises(IsaError):
+            Repeat(n=1, d=0)
+
+    def test_sync_notify_construct(self):
+        assert Sync().mnemonic == "Sync"
+        assert Notify().mnemonic == "Notify"
+        assert Ifetch(stream=3).stream == 3
+        assert Config(superlane=5, power_on=False).superlane == 5
+
+
+class TestMemInstructions:
+    def test_bank_bit_exposed(self):
+        """Section III-B: the bank bit is architecturally exposed."""
+        assert Read(address=4, stream=0).bank == 0
+        assert Read(address=5, stream=0).bank == 1
+        assert Write(address=7, stream=0).bank == 1
+
+    def test_address_range_checked(self):
+        Read(address=8191, stream=0)
+        with pytest.raises(IsaError):
+            Read(address=8192, stream=0)
+        with pytest.raises(IsaError):
+            Write(address=-1, stream=0)
+
+    def test_gather_scatter_base_checked(self):
+        Gather(stream=0, map_stream=1, base=100)
+        with pytest.raises(IsaError):
+            Gather(stream=0, map_stream=1, base=9000)
+        with pytest.raises(IsaError):
+            Scatter(stream=0, map_stream=1, base=-2)
+
+
+class TestVxmInstructions:
+    def test_unary_arity_checked(self):
+        UnaryOp(op=AluOp.RELU)
+        with pytest.raises(IsaError):
+            UnaryOp(op=AluOp.ADD_SAT)
+
+    def test_binary_arity_checked(self):
+        BinaryOp(op=AluOp.MUL_SAT)
+        with pytest.raises(IsaError):
+            BinaryOp(op=AluOp.RELU)
+
+    def test_alu_mesh_range(self):
+        """4x4 mesh: ALU indices 0..15."""
+        UnaryOp(op=AluOp.COPY, alu=15)
+        with pytest.raises(IsaError):
+            UnaryOp(op=AluOp.COPY, alu=16)
+
+    def test_activation_timing_mnemonics(self):
+        assert UnaryOp(op=AluOp.RELU).timing_mnemonic == "ReLU"
+        assert UnaryOp(op=AluOp.TANH).timing_mnemonic == "TanH"
+        assert UnaryOp(op=AluOp.COPY).timing_mnemonic == "UnaryOp"
+
+    def test_convert_fields(self):
+        c = Convert(from_dtype=DType.INT32, to_dtype=DType.INT8, scale=0.25)
+        assert c.scale == 0.25
+
+
+class TestMxmInstructions:
+    def test_plane_range(self):
+        LoadWeights(plane=1)
+        with pytest.raises(IsaError):
+            LoadWeights(plane=2)
+
+    def test_install_cycles_full_plane(self):
+        """16 streams x 320 lanes fill a 320x320 plane in 20 cycles."""
+        iw = InstallWeights(rows=320, cols=320, n_streams=16)
+        assert iw.install_cycles(lanes=320) == 20
+
+    def test_install_cycles_partial_tile(self):
+        iw = InstallWeights(rows=64, cols=320, n_streams=16)
+        assert iw.install_cycles(lanes=320) == 4
+
+    def test_abc_dtype_restricted(self):
+        ActivationBufferControl(dtype=DType.INT8)
+        ActivationBufferControl(dtype=DType.FP16)
+        with pytest.raises(IsaError):
+            ActivationBufferControl(dtype=DType.INT32)
+
+    def test_acc_dtype_and_alignment(self):
+        Accumulate(base_stream=4, out_dtype=DType.INT32)
+        with pytest.raises(IsaError):
+            Accumulate(base_stream=2)  # not SG4-aligned
+        with pytest.raises(IsaError):
+            Accumulate(out_dtype=DType.INT8)
+
+    def test_iw_validation(self):
+        with pytest.raises(IsaError):
+            InstallWeights(n_streams=0)
+        with pytest.raises(IsaError):
+            InstallWeights(rows=0)
+
+
+class TestSxmInstructions:
+    def test_permute_must_be_bijection(self):
+        Permute(mapping=(1, 0, 3, 2))
+        with pytest.raises(IsaError):
+            Permute(mapping=(0, 0, 1, 2))
+
+    def test_distribute_entries_checked(self):
+        Distribute(mapping=(-1, 0, 15))
+        with pytest.raises(IsaError):
+            Distribute(mapping=(16,))
+
+    def test_rotate_n_3_or_4(self):
+        Rotate(n=3)
+        Rotate(n=4)
+        with pytest.raises(IsaError):
+            Rotate(n=5)
+
+    def test_transpose_group_alignment(self):
+        Transpose(src_base_stream=16, dst_base_stream=0)
+        with pytest.raises(IsaError):
+            Transpose(src_base_stream=8)
+
+    def test_transpose_two_units(self):
+        """Each SXM can issue two simultaneous transposes."""
+        Transpose(unit=1)
+        with pytest.raises(IsaError):
+            Transpose(unit=2)
+
+    def test_shift_amount_non_negative(self):
+        Shift(amount=0)
+        with pytest.raises(IsaError):
+            Shift(amount=-1)
+
+
+class TestC2cInstructions:
+    def test_link_range(self):
+        Send(link=15)
+        with pytest.raises(IsaError):
+            Send(link=16)
+        with pytest.raises(IsaError):
+            Deskew(link=-1)
+
+    def test_receive_address(self):
+        Receive(link=0, mem_slice=3, address=10)
+        with pytest.raises(IsaError):
+            Receive(address=-5)
+
+
+class TestPresentation:
+    def test_str_contains_mnemonic_and_fields(self):
+        text = str(Read(address=12, stream=3, direction=Direction.WESTWARD))
+        assert "Read" in text and "12" in text
+
+    def test_opcodes_are_unique(self):
+        from repro.isa.base import OPCODE_BY_MNEMONIC
+
+        opcodes = list(OPCODE_BY_MNEMONIC.values())
+        assert len(opcodes) == len(set(opcodes))

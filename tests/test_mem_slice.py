@@ -1,0 +1,197 @@
+"""MEM slice simulation: reads, writes, gather/scatter, bank discipline."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Direction, Hemisphere
+from repro.errors import BankConflictError, SimulationError
+from repro.isa import Gather, IcuId, Nop, Program, Read, Scatter, Write
+from repro.sim import TspChip
+
+E = Direction.EASTWARD
+W = Direction.WESTWARD
+
+
+def icu_for(chip, hemisphere, index):
+    return IcuId(chip.floorplan.mem_slice(hemisphere, index))
+
+
+class TestHostAccess:
+    def test_host_roundtrip(self, chip, rng):
+        data = rng.integers(0, 256, (3, chip.config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.EAST, 2, 10, data)
+        back = chip.read_memory(Hemisphere.EAST, 2, 10, 3)
+        assert np.array_equal(back, data)
+
+    def test_host_write_bounds(self, chip):
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        with pytest.raises(SimulationError):
+            unit.host_write(
+                unit.n_words - 1,
+                np.zeros((2, chip.config.n_lanes), dtype=np.uint8),
+            )
+
+    def test_host_read_bounds(self, chip):
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        with pytest.raises(SimulationError):
+            unit.host_read(unit.n_words, 1)
+
+    def test_host_write_shape_checked(self, chip):
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        with pytest.raises(SimulationError):
+            unit.host_write(0, np.zeros((1, 8), dtype=np.uint8))
+
+
+class TestReadWrite:
+    def test_read_drives_stream_after_dfunc(self, config, rng):
+        chip = TspChip(config)
+        data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 4, data)
+        program = Program()
+        src = icu_for(chip, Hemisphere.WEST, 0)
+        dst = icu_for(chip, Hemisphere.EAST, 0)
+        program.add(src, Read(address=4, stream=0, direction=E))
+        # W0 -> E0 is 2 hops; drive at dfunc(5): capture at 5+2=7; write
+        # dskew is 1 so dispatch the Write at 6
+        program.add(dst, Nop(6))
+        program.add(dst, Write(address=9, stream=0, direction=E))
+        chip.run(program)
+        assert np.array_equal(
+            chip.read_memory(Hemisphere.EAST, 0, 9)[0], data[0]
+        )
+
+    def test_write_to_same_address_overwrites(self, config, rng):
+        chip = TspChip(config)
+        a = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 0, a)
+        chip.load_memory(Hemisphere.EAST, 0, 9, 255 - a)
+        program = Program()
+        program.add(
+            icu_for(chip, Hemisphere.WEST, 0),
+            Read(address=0, stream=0, direction=E),
+        )
+        dst = icu_for(chip, Hemisphere.EAST, 0)
+        program.add(dst, Nop(6))
+        program.add(dst, Write(address=9, stream=0, direction=E))
+        chip.run(program)
+        assert np.array_equal(
+            chip.read_memory(Hemisphere.EAST, 0, 9)[0], a[0]
+        )
+
+    def test_read_out_of_range_raises(self, config):
+        chip = TspChip(config)
+        program = Program()
+        program.add(
+            icu_for(chip, Hemisphere.WEST, 0),
+            Read(address=500, stream=0, direction=E),
+        )
+        with pytest.raises(SimulationError):
+            chip.run(program)
+
+
+class TestBankDiscipline:
+    def test_two_reads_same_cycle_conflict(self, config):
+        """The pseudo-dual-port SRAM services one read + one write."""
+        chip = TspChip(config)
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        unit._record_access(5, "read", 0)
+        with pytest.raises(BankConflictError):
+            unit._record_access(5, "read", 1)
+
+    def test_read_write_same_bank_conflict(self, config):
+        chip = TspChip(config)
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        unit._record_access(5, "read", 0)
+        with pytest.raises(BankConflictError):
+            unit._record_access(5, "write", 0)
+
+    def test_read_write_opposite_banks_ok(self, config):
+        """Section IV-A: read inputs from one bank, write results to the
+        other, in the same cycle."""
+        chip = TspChip(config)
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        unit._record_access(5, "read", 0)
+        unit._record_access(5, "write", 1)  # no exception
+
+    def test_different_cycles_no_conflict(self, config):
+        chip = TspChip(config)
+        unit = chip.mem_unit(Hemisphere.EAST, 0)
+        unit._record_access(5, "read", 0)
+        unit._record_access(6, "read", 0)
+
+
+class TestGatherScatter:
+    def test_gather_indirect_read(self, config, rng):
+        """Gather: per-lane addresses from the map stream (Section III-B)."""
+        chip = TspChip(config)
+        lanes = config.n_lanes
+        table = rng.integers(0, 256, (8, lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 0, table)
+        offsets = rng.integers(0, 8, lanes).astype(np.uint8)
+        chip.load_memory(Hemisphere.WEST, 1, 2, offsets[None, :])
+
+        program = Program()
+        map_src = icu_for(chip, Hemisphere.WEST, 1)
+        gather_slice = icu_for(chip, Hemisphere.WEST, 0)
+        out = icu_for(chip, Hemisphere.EAST, 0)
+        # map flows W1 -> W0 (1 hop East): drive at 5, at W0 at 6
+        program.add(map_src, Read(address=2, stream=1, direction=E))
+        program.add(gather_slice, Nop(6))
+        program.add(
+            gather_slice, Gather(stream=0, map_stream=1, direction=E, base=0)
+        )
+        # gather dispatched at 6, dfunc 7 -> drive 13 at W0; W0->E0 2 hops
+        # -> arrives 15; Write dskew 1 -> dispatch at 14
+        program.add(out, Nop(14))
+        program.add(out, Write(address=9, stream=0, direction=E))
+        chip.run(program)
+        result = chip.read_memory(Hemisphere.EAST, 0, 9)[0]
+        expected = table[offsets, np.arange(lanes)]
+        assert np.array_equal(result, expected)
+
+    def test_scatter_indirect_write(self, config, rng):
+        chip = TspChip(config)
+        lanes = config.n_lanes
+        values = rng.integers(0, 256, (1, lanes), dtype=np.uint8)
+        offsets = (np.arange(lanes) % 4).astype(np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 0, values)
+        chip.load_memory(Hemisphere.WEST, 1, 2, offsets[None, :])
+
+        target = icu_for(chip, Hemisphere.EAST, 3)
+        # W0 -> E3 is 5 hops, W1 -> E3 is 6: dispatch W0's read one cycle
+        # later so both operands arrive at cycle 11; Scatter samples at
+        # dispatch+1, so it dispatches at 10.
+        program = Program()
+        w0 = icu_for(chip, Hemisphere.WEST, 0)
+        program.add(w0, Nop(1))
+        program.add(w0, Read(address=0, stream=0, direction=E))
+        program.add(
+            icu_for(chip, Hemisphere.WEST, 1),
+            Read(address=2, stream=1, direction=E),
+        )
+        program.add(target, Nop(10))
+        program.add(
+            target,
+            Scatter(stream=0, map_stream=1, direction=E, base=16),
+        )
+        chip.run(program)
+        stored = chip.read_memory(Hemisphere.EAST, 3, 16, 4)
+        expected = np.zeros((4, lanes), dtype=np.uint8)
+        expected[offsets, np.arange(lanes)] = values[0]
+        assert np.array_equal(stored, expected)
+
+    def test_gather_out_of_range_raises(self, config):
+        chip = TspChip(config)
+        program = Program()
+        w1 = icu_for(chip, Hemisphere.WEST, 1)
+        w0 = icu_for(chip, Hemisphere.WEST, 0)
+        offsets = np.full(config.n_lanes, 255, dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 1, 0, offsets[None, :])
+        program.add(w1, Read(address=0, stream=1, direction=E))
+        program.add(w0, Nop(6))
+        program.add(
+            w0,
+            Gather(stream=0, map_stream=1, direction=E, base=200),
+        )
+        with pytest.raises(SimulationError):
+            chip.run(program)

@@ -1,0 +1,192 @@
+"""Reference NN layers: oracles and numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2D,
+    ReLU,
+    col2im,
+    im2col,
+    softmax_cross_entropy,
+)
+
+
+def naive_conv(x, w, b, kernel, stride, pad):
+    n, c, h, w_in = x.shape
+    out_ch = w.shape[1]
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    ho = (h + 2 * pad - kernel) // stride + 1
+    wo = (w_in + 2 * pad - kernel) // stride + 1
+    out = np.zeros((n, out_ch, ho, wo))
+    for img in range(n):
+        for oc in range(out_ch):
+            kernel_w = w[:, oc].reshape(c, kernel, kernel)
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[
+                        img, :, i * stride : i * stride + kernel,
+                        j * stride : j * stride + kernel,
+                    ]
+                    out[img, oc, i, j] = (patch * kernel_w).sum() + b[oc]
+    return out
+
+
+class TestIm2Col:
+    def test_conv_matches_naive(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        conv = Conv2D(3, 4, kernel=3, stride=1, rng=rng)
+        fast = conv.forward(x)
+        slow = naive_conv(x, conv.w, conv.b, 3, 1, 1)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_strided_conv_matches_naive(self, rng):
+        x = rng.standard_normal((1, 2, 9, 9))
+        conv = Conv2D(2, 3, kernel=3, stride=2, rng=rng)
+        assert np.allclose(
+            conv.forward(x), naive_conv(x, conv.w, conv.b, 3, 2, 1),
+            atol=1e-10,
+        )
+
+    def test_col2im_is_adjoint(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining property."""
+        x = rng.standard_normal((1, 2, 6, 6))
+        cols, ho, wo = im2col(x, 3, 3, 1, 1)
+        y = rng.standard_normal(cols.shape)
+        lhs = (cols * y).sum()
+        back = col2im(y, x.shape, 3, 3, 1, 1, ho, wo)
+        rhs = (x * back).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestGradients:
+    def numeric_grad(self, f, x, eps=1e-6):
+        grad = np.zeros_like(x)
+        flat = x.reshape(-1)
+        gflat = grad.reshape(-1)
+        for i in range(flat.size):
+            old = flat[i]
+            flat[i] = old + eps
+            hi = f()
+            flat[i] = old - eps
+            lo = f()
+            flat[i] = old
+            gflat[i] = (hi - lo) / (2 * eps)
+        return grad
+
+    def test_dense_input_gradient(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        x = rng.standard_normal((3, 6))
+        target = rng.standard_normal((3, 4))
+
+        def loss():
+            return 0.5 * ((layer.forward(x, training=True) - target) ** 2).sum()
+
+        out = layer.forward(x, training=True)
+        analytic = layer.backward(out - target)
+        numeric = self.numeric_grad(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-4)
+
+    def test_conv_weight_gradient(self, rng):
+        layer = Conv2D(2, 3, kernel=3, rng=rng)
+        x = rng.standard_normal((2, 2, 5, 5))
+        target = rng.standard_normal(layer.forward(x).shape)
+
+        def loss():
+            return 0.5 * ((layer.forward(x, training=True) - target) ** 2).sum()
+
+        out = layer.forward(x, training=True)
+        layer.backward(out - target)
+        numeric = self.numeric_grad(loss, layer.w)
+        assert np.allclose(layer.dw, numeric, atol=1e-4)
+
+    def test_relu_gradient(self, rng):
+        layer = ReLU()
+        x = rng.standard_normal((4, 5)) + 0.5
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad, (x > 0).astype(float))
+
+    def test_batchnorm_gradient(self, rng):
+        layer = BatchNorm(3)
+        x = rng.standard_normal((4, 3, 2, 2))
+        target = rng.standard_normal(x.shape)
+
+        def loss():
+            return 0.5 * ((layer.forward(x, training=True) - target) ** 2).sum()
+
+        out = layer.forward(x, training=True)
+        analytic = layer.backward(out - target)
+        numeric = self.numeric_grad(loss, x)
+        assert np.allclose(analytic, numeric, atol=1e-3)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        pooled = MaxPool2D(2).forward(x)
+        assert pooled.shape == (1, 1, 2, 2)
+        assert np.array_equal(pooled[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_3x3_stride2(self, rng):
+        """The Figure 11 configuration: 3x3 max pool."""
+        x = rng.standard_normal((1, 2, 7, 7))
+        pooled = MaxPool2D(3, 2).forward(x)
+        assert pooled.shape == (1, 2, 3, 3)
+        assert pooled[0, 0, 0, 0] == x[0, 0, :3, :3].max()
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        x = np.array([[[[1.0, 5.0], [2.0, 3.0]]]])
+        layer = MaxPool2D(2)
+        layer.forward(x, training=True)
+        dx = layer.backward(np.array([[[[1.0]]]]))
+        assert dx[0, 0, 0, 1] == 1.0
+        assert dx.sum() == 1.0
+
+    def test_global_avg_pool(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        out = GlobalAvgPool().forward(x)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+    def test_flatten_roundtrip(self, rng):
+        x = rng.standard_normal((2, 3, 4, 4))
+        layer = Flatten()
+        out = layer.forward(x, training=True)
+        assert out.shape == (2, 48)
+        assert layer.backward(out).shape == x.shape
+
+
+class TestBatchNormInference:
+    def test_running_stats_used_at_eval(self, rng):
+        layer = BatchNorm(2, momentum=0.0)  # running = last batch
+        x = rng.standard_normal((8, 2, 3, 3)) * 4 + 1
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        assert abs(out.mean()) < 0.2
+        assert abs(out.std() - 1.0) < 0.2
+
+
+class TestLoss:
+    def test_softmax_cross_entropy_gradient(self, rng):
+        logits = rng.standard_normal((5, 4))
+        labels = rng.integers(0, 4, 5)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss > 0
+        eps = 1e-6
+        for i in range(3):
+            logits[0, i] += eps
+            hi, _ = softmax_cross_entropy(logits, labels)
+            logits[0, i] -= 2 * eps
+            lo, _ = softmax_cross_entropy(logits, labels)
+            logits[0, i] += eps
+            assert grad[0, i] == pytest.approx((hi - lo) / (2 * eps), abs=1e-4)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert loss < 1e-6

@@ -1,0 +1,107 @@
+"""Quantization strategies (Section IV-D): scales, error bounds, ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.quantize import (
+    QuantParams,
+    Strategy,
+    calibrate,
+    dequantize,
+    fake_quantize,
+    quantize,
+    quantized_matmul,
+)
+
+
+class TestCalibration:
+    def test_scale_covers_absmax(self, rng):
+        x = rng.standard_normal(100) * 7
+        params = calibrate(x)
+        assert params.scale * 127 >= np.abs(x).max() - 1e-9
+
+    def test_per_axis_scales(self, rng):
+        x = rng.standard_normal((4, 50))
+        x[2] *= 100
+        params = calibrate(x, axis=0)
+        assert params.scale.shape == (4,)
+        assert params.scale[2] > 10 * params.scale[0]
+
+    def test_zero_tensor_safe(self):
+        params = calibrate(np.zeros(10))
+        q = quantize(np.zeros(10), params)
+        assert np.all(q == 0)
+
+    def test_q_limits(self):
+        params = QuantParams(scale=np.asarray(1.0), bits=8)
+        assert params.qmin == -128 and params.qmax == 127
+
+
+class TestQuantizeRoundtrip:
+    @given(st.integers(0, 1000), st.integers(4, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_error_bounded_by_half_scale(self, seed, bits):
+        """|x - dq(q(x))| <= scale/2 for in-range values."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(64)
+        params = calibrate(x, bits=bits)
+        err = np.abs(x - dequantize(quantize(x, params), params))
+        assert err.max() <= float(params.scale) / 2 + 1e-12
+
+    def test_int8_range_respected(self, rng):
+        x = rng.standard_normal(100) * 50
+        q = quantize(x, calibrate(x))
+        assert q.dtype == np.int8
+
+    def test_fake_quantize_is_idempotent_on_grid(self, rng):
+        x = rng.standard_normal(32)
+        once = fake_quantize(x)
+        twice = fake_quantize(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestStrategyOrdering:
+    """The paper's result: layer-based beats per-op by ~0.5%; per-axis is
+    the planned improvement.  Verify the error ordering on raw matmuls."""
+
+    def _errors(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((32, 64))
+        w = rng.standard_normal((64, 48))
+        w[:, 0] *= 12  # an outlier channel: per-axis should win
+        exact = x @ w
+        errors = {}
+        for strategy in Strategy:
+            approx = quantized_matmul(x, w, strategy)
+            if strategy is Strategy.PER_OP:
+                approx = fake_quantize(approx)
+            errors[strategy] = float(
+                np.abs(approx - exact).mean() / np.abs(exact).mean()
+            )
+        return errors
+
+    def test_layer_based_beats_per_op(self):
+        errors = self._errors(0)
+        assert errors[Strategy.LAYER_BASED] <= errors[Strategy.PER_OP]
+
+    def test_per_axis_beats_layer_based_with_outliers(self):
+        errors = self._errors(1)
+        assert errors[Strategy.PER_AXIS] <= errors[Strategy.LAYER_BASED]
+
+    def test_quantized_matmul_close_to_exact(self, rng):
+        x = rng.standard_normal((8, 32))
+        w = rng.standard_normal((32, 16))
+        exact = x @ w
+        approx = quantized_matmul(x, w, Strategy.LAYER_BASED)
+        rel = np.abs(approx - exact).mean() / np.abs(exact).mean()
+        assert rel < 0.05
+
+    def test_int32_accumulation_is_exact_for_small_ints(self):
+        """Int8 x int8 products accumulate exactly (the MXM property)."""
+        x = np.array([[1.0, 2.0, 3.0]])
+        w = np.array([[1.0], [1.0], [1.0]])
+        out = quantized_matmul(x * 42, w * 42, Strategy.LAYER_BASED)
+        exact = (x * 42) @ (w * 42)
+        assert np.abs(out - exact).max() / np.abs(exact).max() < 0.03

@@ -1,0 +1,47 @@
+"""Bench reporting helpers."""
+
+import pytest
+
+from repro.bench import ExperimentReport, PaperComparison, ascii_series
+
+
+class TestExperimentReport:
+    def test_render_contains_rows(self):
+        report = ExperimentReport("E06", "ResNet50 throughput")
+        report.add("IPS", 20400, 20254, "images/s")
+        report.add("latency", 49.0, 49.4, "us", note="batch 1")
+        text = report.render()
+        assert "E06" in text
+        assert "IPS" in text and "20400" in text
+        assert "batch 1" in text
+
+    def test_ratio_computed(self):
+        row = PaperComparison("x", 100.0, 95.0)
+        assert row.ratio() == pytest.approx(0.95)
+
+    def test_ratio_none_for_strings(self):
+        row = PaperComparison("x", "n/a", 95.0)
+        assert row.ratio() is None
+
+    def test_ratio_none_for_zero_paper(self):
+        assert PaperComparison("x", 0.0, 1.0).ratio() is None
+
+
+class TestAsciiSeries:
+    def test_plot_contains_points(self):
+        art = ascii_series([(1, 1), (2, 4), (3, 9)], title="squares")
+        assert "squares" in art
+        assert "·" in art
+
+    def test_log_axis(self):
+        art = ascii_series([(1, 1), (1000, 3)], logx=True)
+        assert "log10" in art
+
+    def test_marks_rendered(self):
+        art = ascii_series(
+            [(0, 0), (10, 10)], marks=[(5.0, 5.0, "X")]
+        )
+        assert "X" in art
+
+    def test_empty(self):
+        assert "no data" in ascii_series([])

@@ -1,0 +1,179 @@
+"""ResNet structure, TSP mapping, and the calibrated performance model."""
+
+import pytest
+
+from repro.config import groq_tsp_v1
+from repro.nn import (
+    LayerKind,
+    SCHEDULE_SLACK,
+    estimate_network,
+    map_layer,
+    resnet_layers,
+    total_macs,
+    total_weights,
+    weight_install_summary,
+)
+from repro.nn.resnet import LayerSpec
+
+
+class TestResNetStructure:
+    def test_conv_counts(self):
+        """ResNet50 has 53 conv layers plus the FC (incl. projections)."""
+        layers = resnet_layers(50)
+        convs = [l for l in layers if l.kind is LayerKind.CONV]
+        assert len(convs) == 53
+
+    def test_macs_near_published(self):
+        """~4 GMACs for batch-1 224x224 ResNet50."""
+        macs = total_macs(resnet_layers(50))
+        assert 3.5e9 < macs < 4.5e9
+
+    def test_depth_scaling(self):
+        m50 = total_macs(resnet_layers(50))
+        m101 = total_macs(resnet_layers(101))
+        m152 = total_macs(resnet_layers(152))
+        assert m50 < m101 < m152
+
+    def test_structure_shared_across_depths(self):
+        """Section IV-F: deeper ResNets repeat blocks of the same shape."""
+        names50 = {l.name for l in resnet_layers(50)}
+        names101 = {l.name for l in resnet_layers(101)}
+        assert {"conv1", "fc", "stage1.block1.conv1"} <= names50 & names101
+
+    def test_widened_channels_multiple_of_320(self):
+        """Channels >= 256 pad up to 320-tile multiples (free capacity);
+        narrower channels stay untouched (padding them adds tiles)."""
+        standard = resnet_layers(50)
+        widened = resnet_layers(50, widened_to=320)
+        for before, after in zip(standard, widened):
+            if before.kind is not LayerKind.CONV:
+                continue
+            if before.out_channels >= 256:
+                assert after.out_channels % 320 == 0
+            else:
+                assert after.out_channels == before.out_channels
+
+    def test_weights_roughly_25m(self):
+        assert 20e6 < total_weights(resnet_layers(50)) < 30e6
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            resnet_layers(34)
+
+
+class TestMapper:
+    def test_single_tile_uses_spatial_split(self, full_config):
+        spec = LayerSpec("c", LayerKind.CONV, 64, 64, 1, 1, 56, 56)
+        mapping = map_layer(spec, full_config)
+        assert mapping.k_tiles == mapping.m_tiles == 1
+        assert mapping.spatial_split == 4  # 4 simultaneous conv2d planes
+        assert mapping.rounds == 1
+        assert mapping.stream_cycles == -(-56 * 56 // 4)
+
+    def test_multi_tile_rounds(self, full_config):
+        spec = LayerSpec("c", LayerKind.CONV, 512, 512, 3, 1, 7, 7)
+        mapping = map_layer(spec, full_config)
+        assert mapping.k_tiles == -(-512 * 9 // 320)
+        assert mapping.m_tiles == 2
+        assert mapping.rounds == -(
+            -mapping.k_tiles * mapping.m_tiles // 4
+        )
+        assert mapping.spatial_split == 1
+
+    def test_full_plane_install_is_20_cycles(self, full_config):
+        spec = LayerSpec("c", LayerKind.CONV, 320, 320, 1, 1, 14, 14)
+        mapping = map_layer(spec, full_config)
+        assert mapping.install_cycles == 20
+
+    def test_add_layers_are_free_streaming(self, full_config):
+        spec = LayerSpec("a", LayerKind.ADD, 256, 256, 1, 1, 56, 56)
+        mapping = map_layer(spec, full_config)
+        assert not mapping.is_matrix_op
+        assert mapping.stream_cycles == 0
+
+    def test_utilization_bounded(self, full_config):
+        for spec in resnet_layers(50):
+            mapping = map_layer(spec, full_config)
+            assert 0.0 <= mapping.mxm_utilization <= 1.0
+
+
+class TestWeightInstall:
+    def test_409600_weights_under_40_cycles(self, full_config):
+        """Section V-b: all four planes filled in < 40 cycles."""
+        summary = weight_install_summary(full_config)
+        assert summary["weights"] == 409_600
+        assert summary["install_cycles"] == 20
+        assert summary["with_transit"] < 40
+
+
+class TestPerformanceModel:
+    """The paper's operating points, from the calibrated model."""
+
+    @pytest.fixture(scope="class")
+    def estimates(self):
+        config = groq_tsp_v1()
+        return {
+            depth: estimate_network(resnet_layers(depth), config)
+            for depth in (50, 101, 152)
+        }
+
+    def test_resnet50_throughput_near_20_4k_ips(self, estimates):
+        assert estimates[50].ips == pytest.approx(20_400, rel=0.05)
+
+    def test_resnet50_latency_near_49us(self, estimates):
+        assert estimates[50].latency_us == pytest.approx(49.0, rel=0.05)
+
+    def test_resnet101_projection(self, estimates):
+        """Paper: 14.3K IPS projected to the cycle."""
+        assert estimates[101].ips == pytest.approx(14_300, rel=0.10)
+
+    def test_resnet152_projection(self, estimates):
+        """Paper: 10.7K IPS projected to the cycle."""
+        assert estimates[152].ips == pytest.approx(10_700, rel=0.10)
+
+    def test_throughput_ratios_match_paper(self, estimates):
+        """Deeper-model ratios are structural, not calibration."""
+        r101 = estimates[101].ips / estimates[50].ips
+        r152 = estimates[152].ips / estimates[50].ips
+        assert r101 == pytest.approx(14_300 / 20_400, rel=0.06)
+        assert r152 == pytest.approx(10_700 / 20_400, rel=0.10)
+
+    def test_optimization_saves_thousands_of_cycles(self):
+        """Section IV-C: memory-allocation optimization saved ~5,500."""
+        config = groq_tsp_v1()
+        layers = resnet_layers(50)
+        optimized = estimate_network(layers, config, optimized=True)
+        naive = estimate_network(layers, config, optimized=False)
+        saved = naive.total_cycles - optimized.total_cycles
+        assert 3_000 < saved < 10_000
+
+    def test_deterministic_estimates(self):
+        config = groq_tsp_v1()
+        layers = resnet_layers(50)
+        a = estimate_network(layers, config)
+        b = estimate_network(layers, config)
+        assert a.total_cycles == b.total_cycles
+
+    def test_power_trace_spikes_on_convs(self, estimates):
+        """Figure 10's shape: conv layers hot, adds idle-ish."""
+        estimate = estimates[50]
+        conv_power = [
+            l.power_w for l in estimate.layers if l.kind == "conv"
+        ]
+        add_power = [l.power_w for l in estimate.layers if l.kind == "add"]
+        assert max(conv_power) > 2 * max(add_power)
+
+    def test_widened_model_same_latency_class(self):
+        """Section IV-E: 320-wide channels at similar cost where tiles
+        were already padded to 320."""
+        config = groq_tsp_v1()
+        standard = estimate_network(resnet_layers(50), config)
+        widened = estimate_network(
+            resnet_layers(50, widened_to=320), config
+        )
+        # same tile counts for the 256->320-class layers keeps the
+        # latency within a modest envelope despite more parameters
+        assert widened.total_cycles < 1.5 * standard.total_cycles
+
+    def test_slack_is_a_fixed_documented_constant(self):
+        assert 1.0 <= SCHEDULE_SLACK <= 1.5

@@ -1,0 +1,131 @@
+"""Stream register file: one-hop-per-cycle flow, contention, ECC transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Direction, Floorplan
+from repro.errors import SimulationError, StreamContentionError
+from repro.sim.streamreg import StreamRegisterFile
+
+
+@pytest.fixture()
+def srf(config):
+    return StreamRegisterFile(config, Floorplan(config))
+
+
+def vec(config, fill=7):
+    return np.full(config.n_lanes, fill, dtype=np.uint8)
+
+
+class TestPropagation:
+    def test_eastward_moves_one_hop_per_cycle(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config))
+        for k in range(1, 4):
+            srf.step()
+            assert srf.is_valid(Direction.EASTWARD, 0, 5 + k)
+            assert not srf.is_valid(Direction.EASTWARD, 0, 5 + k - 1)
+            assert np.all(srf.read(Direction.EASTWARD, 0, 5 + k) == 7)
+
+    def test_westward_moves_toward_zero(self, config, srf):
+        srf.drive(Direction.WESTWARD, 3, 5, vec(config, 9))
+        srf.step()
+        assert srf.is_valid(Direction.WESTWARD, 3, 4)
+        assert not srf.is_valid(Direction.WESTWARD, 3, 5)
+
+    def test_value_falls_off_the_edge(self, config, srf):
+        """Section V-c: streams flow until they fall off the edge."""
+        last = Floorplan(config).n_positions - 1
+        srf.drive(Direction.EASTWARD, 0, last, vec(config))
+        srf.step()
+        assert not any(
+            srf.is_valid(Direction.EASTWARD, 0, p) for p in range(last + 1)
+        )
+
+    def test_directions_are_independent(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 1))
+        srf.drive(Direction.WESTWARD, 0, 5, vec(config, 2))
+        srf.step()
+        assert np.all(srf.read(Direction.EASTWARD, 0, 6) == 1)
+        assert np.all(srf.read(Direction.WESTWARD, 0, 4) == 2)
+
+    def test_streams_are_independent(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 1))
+        srf.drive(Direction.EASTWARD, 1, 5, vec(config, 2))
+        srf.step()
+        assert np.all(srf.read(Direction.EASTWARD, 0, 6) == 1)
+        assert np.all(srf.read(Direction.EASTWARD, 1, 6) == 2)
+
+    @given(
+        start=st.integers(0, 10),
+        hops=st.integers(0, 20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_transit_delay_is_exactly_hops(self, start, hops):
+        """The timing-model property: position advances exactly 1/cycle."""
+        from repro.config import small_test_chip
+
+        config = small_test_chip()
+        srf = StreamRegisterFile(config, Floorplan(config))
+        srf.drive(Direction.EASTWARD, 2, start, vec(config, 42))
+        for _ in range(hops):
+            srf.step()
+        target = start + hops
+        if target < Floorplan(config).n_positions:
+            assert srf.is_valid(Direction.EASTWARD, 2, target)
+            assert np.all(srf.read(Direction.EASTWARD, 2, target) == 42)
+
+
+class TestOverwriteAndContention:
+    def test_producer_overwrites_passing_value(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 1))
+        srf.step()  # now at 6
+        srf.drive(Direction.EASTWARD, 0, 6, vec(config, 2))
+        assert np.all(srf.read(Direction.EASTWARD, 0, 6) == 2)
+
+    def test_double_drive_same_cycle_faults(self, config, srf):
+        """No arbiters: two producers on one register is a compile bug."""
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 1))
+        with pytest.raises(StreamContentionError):
+            srf.drive(Direction.EASTWARD, 0, 5, vec(config, 2))
+
+    def test_drive_allowed_again_next_cycle(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 1))
+        srf.step()
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 2))
+
+    def test_bad_vector_shape_rejected(self, config, srf):
+        with pytest.raises(SimulationError):
+            srf.drive(Direction.EASTWARD, 0, 5, np.zeros(3, np.uint8))
+
+    def test_bad_stream_rejected(self, config, srf):
+        with pytest.raises(SimulationError):
+            srf.drive(Direction.EASTWARD, 99, 5, vec(config))
+
+    def test_off_chip_position_rejected(self, config, srf):
+        with pytest.raises(SimulationError):
+            srf.read(Direction.EASTWARD, 0, 10_000)
+
+
+class TestEccTransport:
+    def test_checks_ride_with_the_value(self, config):
+        srf = StreamRegisterFile(config, Floorplan(config))
+        srf.enable_ecc(True)
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 3))
+        srf.step()
+        # corrupt in flight, then consume: the consumer corrects
+        srf.inject_stream_fault(Direction.EASTWARD, 0, 6, bit=0)
+        value = srf.read_checked(Direction.EASTWARD, 0, 6)
+        assert np.all(value == 3)
+        assert srf.corrections == 1
+
+    def test_read_checked_without_ecc_is_passthrough(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config, 3))
+        assert np.all(srf.read_checked(Direction.EASTWARD, 0, 5) == 3)
+        assert srf.corrections == 0
+
+    def test_hop_accounting_for_power(self, config, srf):
+        srf.drive(Direction.EASTWARD, 0, 5, vec(config))
+        srf.step()
+        assert srf.hop_bytes_total == config.n_lanes

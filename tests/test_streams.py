@@ -1,0 +1,93 @@
+"""Stream identifiers, SG alignment, and byte-plane packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Direction, DType, StreamId, stream_group, streams_for_dtype
+from repro.arch.streams import join_byte_planes, split_to_byte_planes
+from repro.errors import IsaError
+
+
+class TestDType:
+    def test_stream_footprints(self):
+        assert DType.INT8.n_streams == 1
+        assert DType.INT16.n_streams == 2
+        assert DType.FP16.n_streams == 2
+        assert DType.INT32.n_streams == 4
+        assert DType.FP32.n_streams == 4
+
+    def test_numpy_mapping(self):
+        assert DType.INT8.numpy_dtype == np.dtype(np.int8)
+        assert DType.FP32.numpy_dtype == np.dtype(np.float32)
+
+    def test_from_label(self):
+        assert DType.from_label("int16") is DType.INT16
+        with pytest.raises(IsaError):
+            DType.from_label("bfloat16")
+
+
+class TestStreamGroups:
+    def test_sg4_alignment(self):
+        """Section I-B: SG4_0 is streams 0..3, SG4_1 is 4..7, etc."""
+        assert stream_group(0, DType.INT32) == [0, 1, 2, 3]
+        assert stream_group(4, DType.INT32) == [4, 5, 6, 7]
+
+    def test_sg2_alignment(self):
+        assert stream_group(2, DType.INT16) == [2, 3]
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(IsaError):
+            stream_group(1, DType.INT16)
+        with pytest.raises(IsaError):
+            stream_group(2, DType.INT32)
+
+    def test_streams_for_dtype(self):
+        ids = streams_for_dtype(4, DType.INT32, Direction.WESTWARD)
+        assert [s.index for s in ids] == [4, 5, 6, 7]
+        assert all(s.direction is Direction.WESTWARD for s in ids)
+
+    def test_stream_id_validation(self):
+        StreamId(Direction.EASTWARD, 31).validate(32)
+        with pytest.raises(IsaError):
+            StreamId(Direction.EASTWARD, 32).validate(32)
+        with pytest.raises(IsaError):
+            StreamId(Direction.EASTWARD, -1)
+
+    def test_stream_id_str(self):
+        assert str(StreamId(Direction.EASTWARD, 7)) == "S7E"
+
+
+class TestBytePlanes:
+    @given(
+        st.sampled_from(list(DType)),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_split_join_roundtrip(self, dtype, n, seed):
+        rng = np.random.default_rng(seed)
+        if dtype in (DType.FP16, DType.FP32):
+            values = rng.standard_normal(n).astype(dtype.numpy_dtype)
+        else:
+            info = np.iinfo(dtype.numpy_dtype)
+            values = rng.integers(
+                info.min, int(info.max) + 1, n, dtype=np.int64
+            ).astype(dtype.numpy_dtype)
+        planes = split_to_byte_planes(values, dtype)
+        assert len(planes) == dtype.n_bytes
+        assert all(p.dtype == np.uint8 for p in planes)
+        back = join_byte_planes(planes, dtype)
+        assert np.array_equal(
+            back.view(np.uint8), values.view(np.uint8).reshape(-1)
+        )
+
+    def test_wrong_plane_count_rejected(self):
+        with pytest.raises(IsaError):
+            join_byte_planes([np.zeros(4, np.uint8)], DType.INT16)
+
+    def test_int32_little_endian_planes(self):
+        values = np.array([0x04030201], dtype=np.int32)
+        planes = split_to_byte_planes(values, DType.INT32)
+        assert [int(p[0]) for p in planes] == [1, 2, 3, 4]

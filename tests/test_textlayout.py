@@ -1,0 +1,123 @@
+"""Instruction-dispatch slice layout (Section IV program-text policy)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Hemisphere
+from repro.compiler import StreamProgramBuilder
+from repro.compiler.textlayout import (
+    layout_program_text,
+    materialize_text,
+    recover_program_text,
+    reserved_dispatch_slices,
+)
+from repro.config import groq_tsp_v1, small_test_chip
+from repro.errors import CompileError
+
+
+def compiled_program(config, n=6):
+    g = StreamProgramBuilder(config)
+    rng = np.random.default_rng(0)
+    x = g.constant_tensor("x", rng.integers(-9, 9, (n, 64)).astype(np.int8))
+    y = g.constant_tensor("y", rng.integers(-9, 9, (n, 64)).astype(np.int8))
+    g.write_back(g.relu(g.add(x, y)), name="z")
+    return g.compile()
+
+
+class TestReservedSlices:
+    def test_outermost_slices_reserved(self, config):
+        slices = reserved_dispatch_slices(config, per_hemisphere=2)
+        n = config.mem_slices_per_hemisphere
+        assert (Hemisphere.WEST, n - 1) in slices
+        assert (Hemisphere.EAST, n - 2) in slices
+        assert len(slices) == 4
+
+    def test_over_reservation_rejected(self, config):
+        with pytest.raises(CompileError):
+            reserved_dispatch_slices(config, per_hemisphere=99)
+
+
+class TestLayout:
+    def test_every_queue_placed(self, config):
+        compiled = compiled_program(config)
+        layout = layout_program_text(compiled.program, config)
+        assert len(layout.placements) == len(compiled.program.icus)
+
+    def test_placements_do_not_overlap(self, config):
+        compiled = compiled_program(config)
+        layout = layout_program_text(compiled.program, config)
+        occupied = set()
+        for p in layout.placements:
+            for w in range(p.n_words):
+                key = (p.hemisphere, p.slice_index, p.base_address + w)
+                assert key not in occupied
+                occupied.add(key)
+
+    def test_words_are_ifetch_pairs(self, config):
+        """Ifetch consumes 640-byte pairs, so placements are even words."""
+        compiled = compiled_program(config)
+        layout = layout_program_text(compiled.program, config)
+        for p in layout.placements:
+            assert p.n_words % 2 == 0
+
+    def test_utilization_reported(self, config):
+        compiled = compiled_program(config)
+        layout = layout_program_text(compiled.program, config)
+        assert 0 < layout.utilization < 1
+        assert layout.total_bytes > 0
+
+    def test_overflow_detected(self, config):
+        compiled = compiled_program(config, n=16)
+        tiny = config.with_overrides(mem_addr_bits=3)  # 8 words per slice
+        with pytest.raises(CompileError, match="overflow"):
+            layout_program_text(compiled.program, tiny, per_hemisphere=1)
+
+    def test_full_chip_resnet_class_text_fits(self):
+        """Even a few thousand instructions fit in two slices/hemisphere."""
+        config = groq_tsp_v1()
+        compiled = compiled_program(config, n=64)
+        layout = layout_program_text(compiled.program, config)
+        assert layout.utilization < 0.1
+
+
+class TestMaterialization:
+    def test_stored_words_decode_back_to_program(self, config):
+        compiled = compiled_program(config)
+        layout = layout_program_text(compiled.program, config)
+        words = materialize_text(compiled.program, layout, config)
+        store = {
+            (hem, idx, addr): data for (hem, idx, addr, data) in words
+        }
+        for icu in compiled.program.icus:
+            placement = layout.placement_for(icu)
+            recovered = recover_program_text(store, placement, config)
+            assert recovered == list(compiled.program.queue(icu))
+
+    def test_words_loadable_into_chip(self, config):
+        """The dispatch slices are ordinary MEM: the text loads over the
+        host DMA path like any other data."""
+        from repro.sim import TspChip
+
+        compiled = compiled_program(config)
+        layout = layout_program_text(compiled.program, config)
+        words = materialize_text(compiled.program, layout, config)
+        chip = TspChip(config)
+        for hemisphere, index, address, data in words:
+            chip.load_memory(hemisphere, index, address, data[None, :])
+        # spot-check one queue round-trips through SRAM
+        placement = layout.placements[0]
+        stored = {
+            (placement.hemisphere, placement.slice_index,
+             placement.base_address + w): chip.read_memory(
+                placement.hemisphere, placement.slice_index,
+                placement.base_address + w,
+            )[0]
+            for w in range(placement.n_words)
+        }
+        icu = [
+            i for i in compiled.program.icus
+            if str(i) == placement.icu
+        ][0]
+        assert recover_program_text(stored, placement, config) == list(
+            compiled.program.queue(icu)
+        )

@@ -1,0 +1,152 @@
+"""The timing contract is load-bearing: mis-schedules visibly fail.
+
+The TSP has no interlocks — "the compiler has cycle-accurate control" and
+nothing in hardware checks operand arrival.  These tests take *correct*
+compiled programs, perturb one instruction by a single cycle, and show the
+machine does what real silicon would: produce wrong data (or trip a
+deterministic fault), never silently re-synchronize.  This is the negative
+space of every green end-to-end test in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import (
+    StreamProgramBuilder,
+    execute,
+    fetch_output,
+    load_compiled,
+)
+from repro.errors import ScheduleError, SimulationError
+from repro.isa import IcuId, Nop, Program
+from repro.sim import TspChip
+
+
+def perturb_first_nop(program: Program, icu_name: str, delta: int) -> Program:
+    """Copy a program with one queue's first NOP lengthened by ``delta``."""
+    out = Program()
+    for icu in program.icus:
+        instructions = list(program.queue(icu))
+        if str(icu) == icu_name:
+            for index, instruction in enumerate(instructions):
+                if isinstance(instruction, Nop):
+                    instructions[index] = Nop(instruction.count + delta)
+                    break
+            else:
+                instructions.insert(0, Nop(delta))
+        out.extend(icu, instructions)
+    return out
+
+
+def build_add(config, rng):
+    g = StreamProgramBuilder(config)
+    x = rng.integers(-60, 60, (2, 64)).astype(np.int8)
+    y = rng.integers(-60, 60, (2, 64)).astype(np.int8)
+    hx = g.constant_tensor("x", x)
+    hy = g.constant_tensor("y", y)
+    g.write_back(g.add(hx, hy), name="z")
+    compiled = g.compile()
+    expected = np.clip(
+        x.astype(np.int64) + y.astype(np.int64), -128, 127
+    ).astype(np.int8)
+    return compiled, expected
+
+
+class TestMisScheduleFails:
+    def test_correct_schedule_is_correct(self, config, rng):
+        compiled, expected = build_add(config, rng)
+        result = execute(compiled)
+        assert np.array_equal(result["z"], expected)
+
+    def test_delayed_consumer_reads_garbage(self, config, rng):
+        """Shift the VXM's dispatch one cycle late: it samples whatever is
+        on the streams then — not the operands."""
+        compiled, expected = build_add(config, rng)
+        vxm_queues = [
+            str(icu)
+            for icu in compiled.program.icus
+            if str(icu).startswith("VXM")
+        ]
+        broken = perturb_first_nop(compiled.program, vxm_queues[0], +1)
+        chip = TspChip(config)
+        load_compiled(chip, compiled)
+        outcome = None
+        try:
+            chip.run(broken)
+            outcome = fetch_output(chip, compiled.outputs["z"])
+        except (SimulationError, ScheduleError):
+            return  # a deterministic fault is also an acceptable failure
+        assert not np.array_equal(outcome, expected)
+
+    def test_delayed_producer_breaks_the_chain(self, config, rng):
+        """Shift one operand's MEM read a cycle late: the add sees a stale
+        or empty register for that operand."""
+        compiled, expected = build_add(config, rng)
+        mem_queues = [
+            str(icu)
+            for icu in compiled.program.icus
+            if str(icu).startswith("MEM")
+            and any(
+                i.mnemonic == "Read" for i in compiled.program.queue(icu)
+            )
+        ]
+        broken = perturb_first_nop(compiled.program, mem_queues[0], +1)
+        chip = TspChip(config)
+        load_compiled(chip, compiled)
+        try:
+            chip.run(broken)
+            outcome = fetch_output(chip, compiled.outputs["z"])
+        except (SimulationError, ScheduleError):
+            return
+        assert not np.array_equal(outcome, expected)
+
+    def test_matmul_acc_timing_is_enforced(self, config, rng):
+        """Pulling the MXM compute queue earlier trips the systolic-depth
+        check (results drained before they exist)."""
+        g = StreamProgramBuilder(config)
+        w = rng.integers(-6, 6, (64, 16)).astype(np.int8)
+        x = rng.integers(-6, 6, (2, 64)).astype(np.int8)
+        g.write_back(g.matmul(w, g.constant_tensor("x", x)), name="r")
+        compiled = g.compile()
+        expected = (x.astype(np.int64) @ w.astype(np.int64)).astype(
+            np.int32
+        )
+        mxm_compute = [
+            str(icu)
+            for icu in compiled.program.icus
+            if "compute" in str(icu)
+        ]
+        broken = perturb_first_nop(compiled.program, mxm_compute[0], -2)
+        chip = TspChip(config)
+        load_compiled(chip, compiled)
+        try:
+            chip.run(broken)
+            outcome = fetch_output(chip, compiled.outputs["r"])
+        except (SimulationError, ScheduleError):
+            return
+        assert not np.array_equal(outcome, expected)
+
+    @pytest.mark.parametrize("delta", [1, 3, 7])
+    def test_any_single_queue_skew_breaks_output(self, config, delta):
+        """Property-ish: skewing any operand-bearing queue by any amount
+        never silently yields the right answer."""
+        rng = np.random.default_rng(delta)
+        compiled, expected = build_add(config, rng)
+        for icu in compiled.program.icus:
+            name = str(icu)
+            has_read = any(
+                i.mnemonic == "Read" for i in compiled.program.queue(icu)
+            )
+            if not has_read:
+                continue
+            broken = perturb_first_nop(compiled.program, name, delta)
+            chip = TspChip(config)
+            load_compiled(chip, compiled)
+            try:
+                chip.run(broken)
+                outcome = fetch_output(chip, compiled.outputs["z"])
+            except (SimulationError, ScheduleError):
+                continue
+            assert not np.array_equal(outcome, expected), (
+                f"skewing {name} by {delta} went unnoticed"
+            )

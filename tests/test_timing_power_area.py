@@ -1,0 +1,109 @@
+"""Timing model (Equation 4), power model, and area model."""
+
+import pytest
+
+from repro.arch import Floorplan, Hemisphere, PowerModel, TimingModel
+from repro.arch.area import AreaModel
+from repro.arch.power import ActivityCounts
+from repro.arch.timing import instruction_time
+from repro.errors import ConfigError, IsaError
+
+
+class TestTimingModel:
+    def test_equation_4(self, full_config):
+        """T = N + d_func + delta(j, i)."""
+        timing = TimingModel()
+        fp = Floorplan(full_config)
+        delta = fp.delta(fp.mem_slice(Hemisphere.EAST, 5), fp.vxm())
+        t = instruction_time(full_config, timing, "Read", delta)
+        assert t == 20 + timing.functional_delay("Read") + 6
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(IsaError):
+            TimingModel().functional_delay("Jump")
+
+    def test_default_skew_is_zero(self):
+        timing = TimingModel()
+        assert timing.operand_skew("Read") == 0
+        assert timing.operand_skew("Write") == 1
+
+    def test_mxm_pipeline_depth(self, full_config):
+        timing = TimingModel()
+        # partial sums hop one 16-row supercell per cycle: 320/16 = 20
+        assert timing.mxm_pipeline_depth(320) == 20
+        assert timing.mxm_pipeline_depth(64) == 4
+
+    def test_every_mnemonic_has_dfunc(self):
+        from repro.isa import INSTRUCTION_REGISTRY
+
+        timing = TimingModel()
+        for cls in INSTRUCTION_REGISTRY.values():
+            instance = cls()
+            timing.functional_delay(instance.timing_mnemonic)
+
+
+class TestPowerModel:
+    def test_idle_power_is_static(self, full_config):
+        power = PowerModel()
+        assert power.average_power_w(
+            full_config, ActivityCounts()
+        ) == pytest.approx(power.static_w)
+
+    def test_dynamic_energy_additive(self):
+        power = PowerModel()
+        a = ActivityCounts(cycles=10, macc_ops=100)
+        b = ActivityCounts(cycles=10, alu_ops=50)
+        merged = a.merge(b)
+        assert merged.cycles == 20
+        assert power.dynamic_energy_pj(merged) == pytest.approx(
+            power.dynamic_energy_pj(a) + power.dynamic_energy_pj(b)
+        )
+
+    def test_superlane_power_down_reduces_static(self, full_config):
+        """Section II-F: powering down superlanes is energy-proportional."""
+        power = PowerModel()
+        full = power.static_power_w(full_config, 20)
+        half = power.static_power_w(full_config, 10)
+        none = power.static_power_w(full_config, 0)
+        assert full > half > none > 0
+
+    def test_peak_power_in_asic_regime(self, full_config):
+        """A saturated 14nm 725mm^2 chip should land in the 100s of watts."""
+        peak = PowerModel().peak_power_w(full_config)
+        assert 150 < peak < 600
+
+    def test_busy_chip_hotter_than_idle(self, full_config):
+        power = PowerModel()
+        busy = ActivityCounts(cycles=100, macc_ops=409_600 * 100)
+        assert power.average_power_w(full_config, busy) > power.static_w
+
+
+class TestAreaModel:
+    def test_icu_under_3_percent(self, full_config):
+        """Section II: the ICU accounts for less than 3% of die area."""
+        area = AreaModel(full_config)
+        assert area.icu_area_under_3_percent()
+        assert area.icu_area_mm2() < 0.03 * full_config.die_area_mm2
+
+    def test_fractions_sum_to_one(self, full_config):
+        from repro.arch.area import DEFAULT_AREA_FRACTIONS, ICU_AREA_FRACTION
+
+        total = sum(DEFAULT_AREA_FRACTIONS.values()) + ICU_AREA_FRACTION
+        assert total == pytest.approx(1.0, abs=0.02)
+
+    def test_bad_fractions_rejected(self, full_config):
+        from repro.arch.geometry import SliceKind
+
+        with pytest.raises(ConfigError):
+            AreaModel(full_config, fractions={SliceKind.MXM: 0.5})
+
+    def test_tsp_vs_v100_ops_per_transistor(self, full_config):
+        """Conclusion: ~30K vs ~6.2K ops/s/transistor — about 5x."""
+        area = AreaModel(full_config)
+        tsp = area.tsp_ops_per_transistor()
+        v100 = area.comparator_ops_per_transistor(130.0, 21.1e9)
+        assert tsp == pytest.approx(30_567, rel=0.01)
+        assert v100 == pytest.approx(6161, rel=0.01)
+        assert area.efficiency_vs(130.0, 21.1e9) == pytest.approx(
+            4.96, rel=0.02
+        )

@@ -1,0 +1,86 @@
+"""Trace export and utilization tooling, plus the report CLI."""
+
+import json
+
+import numpy as np
+
+from repro.arch import Direction, Hemisphere
+from repro.isa import IcuId, Nop, Program, Read, Write
+from repro.sim import (
+    TspChip,
+    to_chrome_trace,
+    utilization_histogram,
+)
+
+
+def traced_run(config, rng):
+    chip = TspChip(config, trace=True)
+    data = rng.integers(0, 256, (1, config.n_lanes), np.uint8)
+    chip.load_memory(Hemisphere.WEST, 0, 0, data)
+    program = Program()
+    src = IcuId(chip.floorplan.mem_slice(Hemisphere.WEST, 0))
+    dst = IcuId(chip.floorplan.mem_slice(Hemisphere.EAST, 0))
+    program.add(src, Read(address=0, stream=0, direction=Direction.EASTWARD))
+    program.add(dst, Nop(6))
+    program.add(dst, Write(address=9, stream=0, direction=Direction.EASTWARD))
+    result = chip.run(program)
+    return chip, result
+
+
+class TestChromeTrace:
+    def test_events_are_json_serializable(self, config, rng):
+        chip, _ = traced_run(config, rng)
+        events = to_chrome_trace(chip.trace, clock_ghz=1.0)
+        json.dumps(events)  # must not raise
+
+    def test_one_row_per_icu(self, config, rng):
+        chip, _ = traced_run(config, rng)
+        events = to_chrome_trace(chip.trace)
+        names = [
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        ]
+        assert "MEM_W0" in names and "MEM_E0" in names
+
+    def test_nops_excluded(self, config, rng):
+        chip, _ = traced_run(config, rng)
+        events = to_chrome_trace(chip.trace)
+        assert all(e["name"] != "NOP" for e in events)
+
+    def test_timestamps_scale_with_clock(self, config, rng):
+        chip, _ = traced_run(config, rng)
+        fast = [
+            e for e in to_chrome_trace(chip.trace, clock_ghz=2.0)
+            if e["ph"] == "X"
+        ]
+        slow = [
+            e for e in to_chrome_trace(chip.trace, clock_ghz=1.0)
+            if e["ph"] == "X"
+        ]
+        nonzero = [
+            (f, s) for f, s in zip(fast, slow) if s["ts"] > 0
+        ]
+        assert nonzero
+        for f, s in nonzero:
+            assert f["ts"] == s["ts"] / 2
+
+
+class TestUtilization:
+    def test_histogram_excludes_nops(self, config, rng):
+        chip, result = traced_run(config, rng)
+        util = utilization_histogram(chip.trace, result.cycles)
+        assert 0 < util["MEM_W0"] <= 1.0
+        # MEM_E0 dispatched 1 write + 1 NOP: only the write counts
+        assert util["MEM_E0"] == 1 / result.cycles
+
+    def test_empty_cases(self):
+        assert utilization_histogram([], 0) == {}
+        assert utilization_histogram([], 100) == {}
+
+
+class TestReportCli:
+    def test_main_runs_and_prints(self, capsys):
+        from repro.report import main
+
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "E11" in out and "ResNet50" in out and "roofline" in out

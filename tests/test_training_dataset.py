@@ -1,0 +1,99 @@
+"""Synthetic dataset generation and the training loop."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Strategy, make_shapes, make_small_cnn, train
+
+
+class TestDataset:
+    def test_deterministic_given_seed(self):
+        a = make_shapes(n_train=50, n_test=20, seed=3)
+        b = make_shapes(n_train=50, n_test=20, seed=3)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = make_shapes(n_train=50, n_test=20, seed=3)
+        b = make_shapes(n_train=50, n_test=20, seed=4)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_shapes_and_labels(self):
+        data = make_shapes(n_train=40, n_test=10, image_size=16, n_classes=3)
+        assert data.x_train.shape == (40, 1, 16, 16)
+        assert data.x_test.shape == (10, 1, 16, 16)
+        assert set(np.unique(data.y_train)) <= {0, 1, 2}
+        assert data.image_size == 16
+
+    def test_normalized(self):
+        data = make_shapes(n_train=100, n_test=10)
+        assert abs(data.x_train.mean()) < 0.3
+        assert 0.5 < data.x_train.std() < 2.0
+
+    def test_class_count_validated(self):
+        with pytest.raises(ValueError):
+            make_shapes(n_classes=1)
+        with pytest.raises(ValueError):
+            make_shapes(n_classes=99)
+
+    def test_classes_are_distinguishable(self):
+        """Mean images of different classes differ substantially."""
+        data = make_shapes(n_train=200, n_test=10, n_classes=2, noise=0.05)
+        mean0 = data.x_train[data.y_train == 0].mean(axis=0)
+        mean1 = data.x_train[data.y_train == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).max() > 0.3
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        data = make_shapes(
+            n_train=300, n_test=100, image_size=16, n_classes=3,
+            noise=0.08, seed=1,
+        )
+        model = make_small_cnn(3, channels=8, image_size=16, seed=1)
+        return train(model, data, epochs=10, lr=0.1, seed=1), data
+
+    def test_loss_decreases(self, trained):
+        result, _ = trained
+        early = np.mean(result.losses[:5])
+        late = np.mean(result.losses[-5:])
+        assert late < early
+
+    def test_beats_chance(self, trained):
+        result, _ = trained
+        assert result.test_accuracy > 0.75  # chance is 0.33
+
+    def test_quantized_inference_close_to_float(self, trained):
+        result, data = trained
+        fp = result.model.accuracy(data.x_test, data.y_test)
+        q = result.model.accuracy(
+            data.x_test, data.y_test, strategy=Strategy.LAYER_BASED
+        )
+        assert abs(fp - q) < 0.15
+
+    def test_top_k_accuracy_monotone(self, trained):
+        result, data = trained
+        top1 = result.model.accuracy(data.x_test, data.y_test, top_k=1)
+        top2 = result.model.accuracy(data.x_test, data.y_test, top_k=2)
+        assert top2 >= top1
+
+    def test_training_is_deterministic(self):
+        data = make_shapes(n_train=60, n_test=20, image_size=12, seed=2)
+        runs = []
+        for _ in range(2):
+            model = make_small_cnn(
+                data.n_classes, channels=4, image_size=12, seed=2
+            )
+            result = train(model, data, epochs=1, seed=2)
+            runs.append(result.losses)
+        assert runs[0] == runs[1]
+
+    def test_wider_model_has_more_parameters(self):
+        narrow = make_small_cnn(4, channels=4)
+        wide = make_small_cnn(4, channels=8)
+
+        def count(model):
+            return sum(p.size for p, _ in model.params_and_grads())
+
+        assert count(wide) > 2 * count(narrow)

@@ -1,0 +1,144 @@
+"""Transformer mapping extension: structure, MACs, scaling behaviour."""
+
+import pytest
+
+from repro.config import groq_tsp_v1
+from repro.nn import (
+    TransformerConfig,
+    estimate_transformer,
+    transformer_layers,
+    transformer_macs,
+)
+from repro.nn.resnet import LayerKind, total_macs
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return groq_tsp_v1()
+
+
+class TestStructure:
+    def test_layer_list_macs_match_closed_form(self):
+        config = TransformerConfig()
+        assert total_macs(transformer_layers(config)) == transformer_macs(
+            config
+        )
+
+    def test_layers_per_block(self):
+        config = TransformerConfig(n_layers=3)
+        layers = transformer_layers(config)
+        assert len(layers) == 3 * 11 + 1  # 11 stages per block + lm head
+
+    def test_attention_n_scales_with_heads(self):
+        config = TransformerConfig()
+        scores = [
+            l for l in transformer_layers(config) if "scores" in l.name
+        ]
+        assert scores[0].n_spatial == config.seq_len * config.n_heads
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(d_model=100, n_heads=3).validate()
+
+    def test_stream_stages_present(self):
+        layers = transformer_layers(TransformerConfig(n_layers=1))
+        kinds = {l.kind for l in layers}
+        assert LayerKind.STREAM_EW in kinds
+        assert LayerKind.ADD in kinds
+
+
+class TestEstimates:
+    def test_prefill_in_sub_millisecond_class(self, chip):
+        est = estimate_transformer(TransformerConfig(), chip)
+        assert 50 < est.prefill_latency_us < 2_000
+
+    def test_sustained_fraction_of_peak(self, chip):
+        """Prefill matmuls are large: sustained throughput should land at
+        a healthy fraction of peak, unlike single-token decoding."""
+        est = estimate_transformer(TransformerConfig(), chip)
+        config = TransformerConfig()
+        ops = 2 * transformer_macs(config)
+        sustained = ops / (est.prefill_latency_us / 1e6) / 1e12
+        assert 0.15 * chip.peak_teraops() < sustained < chip.peak_teraops()
+
+    def test_latency_scales_superlinearly_with_seq(self, chip):
+        """Attention is quadratic in sequence length."""
+        short = estimate_transformer(
+            TransformerConfig(seq_len=128), chip
+        )
+        long = estimate_transformer(
+            TransformerConfig(seq_len=512), chip
+        )
+        ratio = long.prefill_latency_us / short.prefill_latency_us
+        assert ratio > 4.0  # 4x tokens -> > 4x time (quadratic term)
+
+    def test_tokens_per_second_definition(self, chip):
+        config = TransformerConfig()
+        est = estimate_transformer(config, chip)
+        assert est.tokens_per_second == pytest.approx(
+            config.seq_len * est.sequences_per_second, rel=1e-9
+        )
+
+    def test_deterministic(self, chip):
+        a = estimate_transformer(TransformerConfig(), chip)
+        b = estimate_transformer(TransformerConfig(), chip)
+        assert a.network.total_cycles == b.network.total_cycles
+
+    def test_optimized_faster_than_naive(self, chip):
+        config = TransformerConfig(n_layers=4)
+        optimized = estimate_transformer(config, chip, optimized=True)
+        naive = estimate_transformer(config, chip, optimized=False)
+        assert (
+            optimized.network.total_cycles < naive.network.total_cycles
+        )
+
+    def test_deeper_stack_costs_proportionally(self, chip):
+        twelve = estimate_transformer(
+            TransformerConfig(n_layers=12), chip
+        )
+        six = estimate_transformer(TransformerConfig(n_layers=6), chip)
+        ratio = twelve.network.total_cycles / six.network.total_cycles
+        assert 1.7 < ratio < 2.2
+
+
+class TestDecode:
+    """Single-token decoding: the memory-bound roofline regime."""
+
+    def test_decode_is_memory_bound(self, chip):
+        """Decoding sustains a tiny fraction of peak — weight loading
+        dominates (the Figure 9 slope); prefill is compute-bound."""
+        from repro.nn import estimate_decode
+
+        config = TransformerConfig()
+        decode = estimate_decode(config, chip, context_len=256)
+        prefill = estimate_transformer(config, chip)
+        ops = 2 * transformer_macs(config)
+        prefill_sustained = (
+            ops / (prefill.prefill_latency_us / 1e6) / 1e12
+        )
+        assert decode.sustained_teraops() < 0.10 * chip.peak_teraops()
+        assert prefill_sustained > 0.25 * chip.peak_teraops()
+
+    def test_token_latency_in_tens_of_us(self, chip):
+        from repro.nn import estimate_decode
+
+        decode = estimate_decode(TransformerConfig(), chip)
+        assert 5 < decode.token_latency_us < 200
+        assert decode.tokens_per_second > 5_000
+
+    def test_longer_context_costs_more(self, chip):
+        from repro.nn import estimate_decode
+
+        config = TransformerConfig()
+        short = estimate_decode(config, chip, context_len=128)
+        long = estimate_decode(config, chip, context_len=8192)
+        assert long.token_latency_us > short.token_latency_us
+
+    def test_decode_layer_list_shape(self):
+        from repro.nn import decode_layers
+
+        config = TransformerConfig(n_layers=2)
+        layers = decode_layers(config, context_len=512)
+        assert len(layers) == 2 * 8 + 1
+        scores = [l for l in layers if "scores" in l.name]
+        assert scores[0].m_dim == 512  # attention over the cached keys

@@ -1,0 +1,87 @@
+"""End-to-end: a trained CNN's inference on the simulated TSP.
+
+The flagship integration — every multiply-accumulate of the network runs
+through the stream compiler and the cycle-accurate simulator, with the
+paper's layer-based symmetric int8 quantization at the edges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import small_test_chip
+from repro.errors import TspError
+from repro.nn import (
+    BatchNorm,
+    Sequential,
+    TspCnnRunner,
+    make_shapes,
+    make_small_cnn,
+    train,
+)
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    data = make_shapes(
+        n_train=200, n_test=30, image_size=12, n_classes=3, noise=0.08,
+        seed=3,
+    )
+    model = make_small_cnn(3, channels=4, image_size=12, seed=3)
+    train(model, data, epochs=8, lr=0.1, seed=3)
+    runner = TspCnnRunner(
+        model, small_test_chip(), calibration=data.x_train[:32]
+    )
+    return data, model, runner
+
+
+class TestTspCnnInference:
+    def test_predictions_match_host_fp32(self, trained_setup):
+        data, model, runner = trained_setup
+        sample = data.x_test[:8]
+        on_chip = runner.forward(sample)
+        host = model.forward(sample)
+        agreement = (
+            on_chip.logits.argmax(1) == host.argmax(1)
+        ).mean()
+        assert agreement >= 0.9  # int8 edges allow the rare flip
+
+    def test_logits_close_to_host(self, trained_setup):
+        data, model, runner = trained_setup
+        sample = data.x_test[:4]
+        on_chip = runner.forward(sample).logits
+        host = model.forward(sample)
+        rel = np.abs(on_chip - host).mean() / (np.abs(host).mean() + 1e-9)
+        assert rel < 0.10
+
+    def test_every_matrix_layer_ran_on_chip(self, trained_setup):
+        data, _model, runner = trained_setup
+        result = runner.forward(data.x_test[:2])
+        assert result.programs_run == 3  # conv1, conv2, dense
+        assert result.total_cycles > 0
+        assert len(result.layer_cycles) == 3
+        assert all(c > 0 for c in result.layer_cycles.values())
+
+    def test_deterministic_across_runs(self, trained_setup):
+        data, _model, runner = trained_setup
+        sample = data.x_test[:2]
+        a = runner.forward(sample)
+        b = runner.forward(sample)
+        assert a.total_cycles == b.total_cycles
+        assert np.array_equal(a.logits, b.logits)
+
+    def test_accuracy_close_to_host(self, trained_setup):
+        data, model, runner = trained_setup
+        sample, labels = data.x_test[:16], data.y_test[:16]
+        host_acc = float(
+            (model.forward(sample).argmax(1) == labels).mean()
+        )
+        chip_acc = runner.accuracy(sample, labels)
+        assert abs(chip_acc - host_acc) <= 0.15
+
+    def test_unsupported_layer_rejected(self):
+        data = make_shapes(n_train=8, n_test=2, image_size=8, seed=0)
+        model = Sequential([BatchNorm(1)])
+        with pytest.raises(TspError, match="not supported"):
+            TspCnnRunner(
+                model, small_test_chip(), calibration=data.x_train[:4]
+            )
