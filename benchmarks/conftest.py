@@ -4,6 +4,9 @@ Every experiment bench renders an :class:`ExperimentReport` and appends it
 to the session sink; the terminal summary prints all of them after the
 pytest-benchmark tables, and a copy is persisted to
 ``benchmarks/bench_reports.txt`` so EXPERIMENTS.md can be cross-checked.
+
+Chip-config fixtures come from :mod:`repro.testing`, shared with the main
+test suite's conftest.
 """
 
 from __future__ import annotations
@@ -11,6 +14,8 @@ from __future__ import annotations
 import os
 
 import pytest
+
+from repro.testing import make_full_config, make_small_config
 
 _REPORTS: list[str] = []
 
@@ -22,16 +27,12 @@ def report_sink() -> list[str]:
 
 @pytest.fixture(scope="session")
 def full_config():
-    from repro.config import groq_tsp_v1
-
-    return groq_tsp_v1()
+    return make_full_config()
 
 
 @pytest.fixture(scope="session")
 def small_config():
-    from repro.config import small_test_chip
-
-    return small_test_chip()
+    return make_small_config()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -30,6 +30,8 @@ from .textlayout import (
 from .scheduler import (
     CompiledProgram,
     MemWord,
+    PredictedDrive,
+    ScheduleIntent,
     ScheduleStats,
     Scheduler,
     StreamValue,
@@ -46,6 +48,8 @@ __all__ = [
     "MemoryAllocator",
     "Node",
     "OpKind",
+    "PredictedDrive",
+    "ScheduleIntent",
     "ScheduleStats",
     "Scheduler",
     "StreamAllocator",

@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..arch.geometry import Direction, Floorplan, Hemisphere
+from ..arch.geometry import Direction, Floorplan, Hemisphere, SliceKind
 from ..arch.streams import DType
 from ..arch.timing import TimingModel
 from ..config import ArchConfig
@@ -143,6 +143,53 @@ class ScheduleStats:
     stream_grants: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class PredictedDrive:
+    """One stream drive the scheduler's timing model promises will happen.
+
+    ``parallel`` values place ``n_vectors`` rows on streams ``base_stream ..
+    base_stream + width - 1`` all at ``t0``; sequential values drive the
+    ``width``-stream group once per row at ``t0 .. t0 + n_vectors - 1``.
+    """
+
+    name: str
+    direction: Direction
+    base_stream: int
+    width: int
+    position: int
+    t0: int
+    n_vectors: int
+    parallel: bool = False
+
+    def expected_drives(self) -> list[tuple[Direction, int, int, int]]:
+        """(direction, stream, position, cycle) tuples this drive implies."""
+        out = []
+        for k in range(self.n_vectors):
+            t = self.t0 if self.parallel else self.t0 + k
+            for s in range(self.width):
+                out.append(
+                    (self.direction, self.base_stream + s, self.position, t)
+                )
+        # parallel groups repeat the same (stream, cycle) per row; dedup
+        return sorted(set(out), key=lambda e: (e[3], e[1], e[2]))
+
+
+@dataclass
+class ScheduleIntent:
+    """The scheduler's cycle-exact predictions, replayable against a run.
+
+    This is Equation 4 made checkable: ``dispatch_cells`` records every
+    reserved (queue, cycle, mnemonic) cell before NOP padding, and
+    ``drives`` records where and when each scheduled value's vectors are
+    promised to appear on stream registers.  The timing-contract checker in
+    :mod:`repro.verify.invariants` replays both against an actual run.
+    """
+
+    #: str(IcuId) -> {dispatch cycle: mnemonic}
+    dispatch_cells: dict[str, dict[int, str]] = field(default_factory=dict)
+    drives: list[PredictedDrive] = field(default_factory=list)
+
+
 @dataclass
 class CompiledProgram:
     """Everything needed to execute a compiled graph on a chip."""
@@ -153,6 +200,7 @@ class CompiledProgram:
     inputs: dict[str, TensorSpec]
     outputs: dict[str, TensorSpec]
     stats: ScheduleStats
+    intent: ScheduleIntent | None = None
 
 
 @dataclass
@@ -569,7 +617,53 @@ class Scheduler:
             inputs=self.inputs,
             outputs=self.outputs,
             stats=stats,
+            intent=self._build_intent(graph),
         )
+
+    def _build_intent(self, graph: Graph) -> ScheduleIntent:
+        """Record the schedule's timing promises for later verification."""
+        intent = ScheduleIntent()
+        dfunc_read = self.dfunc("Read")
+        for icu, builder in self.queues.items():
+            intent.dispatch_cells[str(icu)] = {
+                t: instruction.mnemonic
+                for t, instruction in builder.cells.items()
+            }
+            if icu.address.kind is not SliceKind.MEM:
+                continue
+            position = self.floorplan.position(icu.address)
+            for t, instruction in builder.cells.items():
+                if isinstance(instruction, Read):
+                    intent.drives.append(
+                        PredictedDrive(
+                            name=f"{icu}.read@{t}",
+                            direction=instruction.direction,
+                            base_stream=instruction.stream,
+                            width=1,
+                            position=position,
+                            t0=t + dfunc_read,
+                            n_vectors=1,
+                        )
+                    )
+        for node_id, value in self.values.items():
+            node = graph.node(node_id)
+            if node.kind is OpKind.TEMPORAL_SHIFT:
+                # the declared t0 is an alignment fiction: the physical
+                # drives happen k cycles later (see _schedule_temporal_shift)
+                continue
+            intent.drives.append(
+                PredictedDrive(
+                    name=node.name,
+                    direction=value.direction,
+                    base_stream=value.grant.base,
+                    width=value.grant.width,
+                    position=value.position,
+                    t0=value.t0,
+                    n_vectors=value.n_vectors,
+                    parallel=value.parallel,
+                )
+            )
+        return intent
 
     # ------------------------------------------------------------------
     def _schedule_node(self, graph: Graph, node: Node) -> None:

@@ -58,3 +58,19 @@ class BankConflictError(SimulationError):
 
 class StreamContentionError(SimulationError):
     """Two producers drove the same stream register in the same cycle."""
+
+
+class VerificationError(TspError):
+    """The conformance layer found a disagreement or a coverage gap."""
+
+
+class DivergenceError(VerificationError):
+    """The simulator and the graph interpreter disagreed bit-for-bit."""
+
+
+class InvariantViolationError(VerificationError):
+    """A runtime invariant checker recorded one or more violations."""
+
+
+class CoverageError(VerificationError):
+    """ISA coverage fell below the required threshold."""

@@ -98,6 +98,9 @@ class TspChip:
         self.weights_installed_cycle: int | None = None
         self.weights_installed_bytes = 0
         self.now = 0
+        #: runtime invariant checkers (see repro.verify.invariants)
+        self.checkers: list = []
+        self.srf.on_drive = self._notify_drive
 
         if enable_ecc:
             self.srf.enable_ecc(True)
@@ -156,6 +159,33 @@ class TspChip:
                     cycle, str(icu), instruction.mnemonic, str(instruction)
                 )
             )
+        for checker in self.checkers:
+            checker.on_dispatch(cycle, str(icu), instruction)
+
+    # ------------------------------------------------------------------
+    # invariant-checker hooks (repro.verify.invariants)
+    # ------------------------------------------------------------------
+    def attach_checker(self, checker) -> None:
+        """Register a runtime invariant checker for subsequent runs."""
+        self.checkers.append(checker)
+
+    def _notify_drive(
+        self, direction: Direction, stream: int, position: int
+    ) -> None:
+        for checker in self.checkers:
+            checker.on_drive(self.now, direction, stream, position)
+
+    def notify_mem_access(
+        self,
+        slice_address: SliceAddress,
+        cycle: int,
+        kind: str,
+        bank: int,
+        address: int,
+    ) -> None:
+        """A MEM slice is about to access SRAM (before conflict faulting)."""
+        for checker in self.checkers:
+            checker.on_mem_access(cycle, str(slice_address), kind, bank, address)
 
     def note_weights_installed(self, cycle: int, n_bytes: int) -> None:
         """Bookkeeping for the weight-load experiment (E09)."""
@@ -264,6 +294,8 @@ class TspChip:
                         )
             cycle += 1
 
+        for checker in self.checkers:
+            checker.finish(cycle)
         self.activity.stream_hop_bytes = self.srf.hop_bytes_total
         return RunResult(
             cycles=cycle,

@@ -72,6 +72,36 @@ class FaultInjector:
             )
         )
 
+    def inject_stream_fault_at(
+        self,
+        cycle: int,
+        direction: Direction,
+        stream: int,
+        position: int,
+        bit: int,
+    ) -> None:
+        """Schedule a stream-bit flip for a future cycle of the next run.
+
+        The flip lands at the top of ``cycle``'s DRIVE phase, before that
+        cycle's producers overwrite anything — so it corrupts whatever value
+        is passing ``position`` at that moment.  A value driven at cycle
+        ``c0`` from position ``p0`` flowing eastward sits at ``p0 + (c -
+        c0)`` during cycle ``c``.
+        """
+        from .events import Phase
+
+        def _flip(_cycle: int) -> None:
+            self.chip.srf.inject_stream_fault(direction, stream, position, bit)
+            self.log.append(
+                CorrectionRecord(
+                    "stream",
+                    f"S{stream}{direction.value}@{position}+c{cycle}",
+                    bit,
+                )
+            )
+
+        self.chip.events.schedule(cycle, Phase.DRIVE, _flip)
+
     # ------------------------------------------------------------------
     def csr_corrections(self) -> int:
         """The CSR counter of automatically corrected soft errors."""

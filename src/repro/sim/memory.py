@@ -101,8 +101,12 @@ class MemSliceUnit(FunctionalUnit):
     # ------------------------------------------------------------------
     # bank accounting
     # ------------------------------------------------------------------
-    def _record_access(self, cycle: int, kind: str, bank: int) -> None:
+    def _record_access(
+        self, cycle: int, kind: str, bank: int, address: int = 0
+    ) -> None:
         """Enforce the pseudo-dual-port constraint at ``cycle``."""
+        # checkers see the access even when it faults below
+        self.chip.notify_mem_access(self.address, cycle, kind, bank, address)
         accesses = self._accesses.setdefault(cycle, [])
         for other_kind, other_bank in accesses:
             if other_kind == kind:
@@ -136,7 +140,9 @@ class MemSliceUnit(FunctionalUnit):
             super().execute(icu, instruction, cycle)
 
     def _exec_read(self, instruction: Read, cycle: int) -> None:
-        self._record_access(cycle, "read", instruction.bank)
+        self._record_access(
+            cycle, "read", instruction.bank, instruction.address
+        )
         address = instruction.address
         if address >= self.n_words:
             raise SimulationError(
@@ -159,7 +165,9 @@ class MemSliceUnit(FunctionalUnit):
 
     def _exec_write(self, instruction: Write, cycle: int) -> None:
         sample_cycle = cycle + self.dskew(instruction)
-        self._record_access(sample_cycle, "write", instruction.bank)
+        self._record_access(
+            sample_cycle, "write", instruction.bank, instruction.address
+        )
 
         def _commit(vector: np.ndarray) -> None:
             self.storage[instruction.address] = vector

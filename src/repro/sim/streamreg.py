@@ -51,6 +51,10 @@ class StreamRegisterFile:
         self.hop_bytes_total = 0
         #: single-bit stream errors corrected at consumers (CSR counter)
         self.corrections = 0
+        #: optional observer called as ``on_drive(direction, stream,
+        #: position)`` on every drive, *before* contention faulting, so
+        #: invariant checkers see the colliding drive too
+        self.on_drive = None
 
     # ------------------------------------------------------------------
     def enable_ecc(self, enabled: bool = True) -> None:
@@ -99,6 +103,8 @@ class StreamRegisterFile:
         """
         d, s, p = self._index(direction, stream, position)
         key = (d, s, p)
+        if self.on_drive is not None:
+            self.on_drive(direction, stream, position)
         if key in self._driven_this_cycle:
             raise StreamContentionError(
                 f"two producers drove stream {stream}{direction.value} at "

@@ -1,0 +1,33 @@
+"""Shared fixture helpers for the test and benchmark suites.
+
+``tests/conftest.py`` and ``benchmarks/conftest.py`` both need the same
+chip configurations and deterministic RNG seeding; the factories live here
+so the two conftests stay thin wrappers instead of drifting copies.  Kept
+inside the package (rather than under ``tests/``) so the benchmark suite
+can import it without path games.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import ArchConfig, groq_tsp_v1, small_test_chip
+
+#: every suite derives its random data from this seed unless a test
+#: deliberately varies it — keeps failures reproducible across suites
+DEFAULT_TEST_SEED = 1234
+
+
+def make_full_config() -> ArchConfig:
+    """The paper's first-generation TSP."""
+    return groq_tsp_v1()
+
+
+def make_small_config() -> ArchConfig:
+    """The fast 64-lane test chip used by most tests."""
+    return small_test_chip()
+
+
+def make_rng(seed: int = DEFAULT_TEST_SEED) -> np.random.Generator:
+    """The suites' deterministic random source."""
+    return np.random.default_rng(seed)

@@ -1,0 +1,42 @@
+"""CLI entry point: ``python -m repro.verify [--threshold 0.9] [--full]``.
+
+Runs the conformance sweep on the small test chip (or the full TSP with
+``--full``), prints the case table and the ISA coverage report, and exits
+non-zero if any case fails or a coverage class drops below the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..config import groq_tsp_v1, small_test_chip
+from .suite import run_conformance
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="TSP simulator conformance sweep and ISA coverage check",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.9,
+        help="minimum per-class opcode coverage fraction (default 0.9)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run on the full groq_tsp_v1 chip instead of the test chip",
+    )
+    args = parser.parse_args(argv)
+
+    config = groq_tsp_v1() if args.full else small_test_chip()
+    summary = run_conformance(config, threshold=args.threshold)
+    print(summary.render())
+    return 0 if summary.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""A pure-numpy interpreter for stream-compiler dataflow graphs.
+
+This is the differential oracle's reference model: it evaluates a
+:class:`~repro.compiler.graph.Graph` with no notion of cycles, streams,
+queues, or placement, using the *same* element-level semantics as the
+functional units (:mod:`repro.sim.alu`, the MXM dot product, the SXM lane
+transforms).  If the scheduler and simulator are correct, running a
+compiled program on the chip must produce bit-identical outputs.
+
+One fidelity rule matters throughout: the hardware operates on full
+``n_lanes``-wide vectors, so every intermediate here is kept as a
+lane-padded ``(n_vectors, n_lanes)`` array and truncated to the declared
+``length`` only at WRITE nodes.  The padding is semantically visible —
+``exp(0) == 1.0`` in the padded region, and a later lane shift can pull
+those values into visible lanes — so truncating early would diverge from
+the chip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..arch.streams import DType
+from ..config import ArchConfig
+from ..errors import VerificationError
+from ..sim import alu
+from ..compiler.graph import Graph, Node, OpKind
+
+
+class GraphInterpreter:
+    """Evaluates dataflow graphs over lane-padded numpy arrays."""
+
+    def __init__(self, config: ArchConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def run(
+        self, graph: Graph, inputs: dict[str, np.ndarray] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Evaluate ``graph``; returns {output name: (n, length) array}."""
+        inputs = inputs or {}
+        values: dict[int, np.ndarray] = {}
+        outputs: dict[str, np.ndarray] = {}
+        for node in graph.topological_order():
+            if node.kind is OpKind.WRITE:
+                src = values[node.inputs[0]]
+                outputs[node.name] = src[:, : node.length].copy()
+            else:
+                values[node.id] = self._eval(graph, node, values, inputs)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def _pad(self, data: np.ndarray, dtype: DType) -> np.ndarray:
+        arr = np.atleast_2d(np.asarray(data, dtype=dtype.numpy_dtype))
+        n, length = arr.shape
+        lanes = self.config.n_lanes
+        if length > lanes:
+            raise VerificationError(
+                f"vector length {length} exceeds the {lanes}-lane maxVL"
+            )
+        padded = np.zeros((n, lanes), dtype=dtype.numpy_dtype)
+        padded[:, :length] = arr
+        return padded
+
+    def _eval(
+        self,
+        graph: Graph,
+        node: Node,
+        values: dict[int, np.ndarray],
+        inputs: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        kind = node.kind
+        if kind is OpKind.CONSTANT:
+            return self._pad(node.data, node.dtype)
+        if kind is OpKind.INPUT:
+            if node.name not in inputs:
+                raise VerificationError(
+                    f"input {node.name!r} was not bound for interpretation"
+                )
+            return self._pad(inputs[node.name], node.dtype)
+
+        srcs = [values[i] for i in node.inputs]
+        if kind is OpKind.UNARY:
+            in_dtype = graph.node(node.inputs[0]).dtype
+            return alu.apply_unary(node.params["op"], in_dtype, srcs[0])
+        if kind is OpKind.BINARY:
+            in_dtype = graph.node(node.inputs[0]).dtype
+            return alu.apply_binary(
+                node.params["op"], in_dtype, srcs[0], srcs[1]
+            )
+        if kind is OpKind.CONVERT:
+            in_dtype = graph.node(node.inputs[0]).dtype
+            return alu.apply_convert(
+                in_dtype, node.dtype, node.params.get("scale", 1.0), srcs[0]
+            )
+        if kind is OpKind.TEMPORAL_SHIFT:
+            k = node.params["k"]
+            out = np.zeros_like(srcs[0])
+            if k < node.n_vectors:
+                out[k:] = srcs[0][: node.n_vectors - k]
+            return out
+        if kind is OpKind.GATHER:
+            return self._eval_gather(graph, node, srcs)
+        if kind is OpKind.MATMUL:
+            return self._eval_matmul(graph, node, srcs)
+        if kind in (
+            OpKind.SHIFT,
+            OpKind.PERMUTE,
+            OpKind.DISTRIBUTE,
+            OpKind.SELECT,
+        ):
+            return self._eval_sxm_lane(node, srcs)
+        if kind is OpKind.ROTATE:
+            return self._eval_rotate(node, srcs[0])
+        if kind is OpKind.TRANSPOSE16:
+            return self._eval_transpose16(node, srcs[0])
+        raise VerificationError(f"cannot interpret {kind.value}")
+
+    # ------------------------------------------------------------------
+    def _eval_gather(
+        self, graph: Graph, node: Node, srcs: list[np.ndarray]
+    ) -> np.ndarray:
+        # padded index lanes are zero, so they read row 0's padded lanes —
+        # exactly what the MEM slice's per-lane indirect read does
+        table, indices = srcs
+        idx = indices.astype(np.int64)
+        if (idx >= table.shape[0]).any():
+            raise VerificationError(f"{node.name}: gather index out of range")
+        lanes = np.arange(self.config.n_lanes)
+        return np.stack([table[row, lanes] for row in idx])
+
+    def _eval_matmul(
+        self, graph: Graph, node: Node, srcs: list[np.ndarray]
+    ) -> np.ndarray:
+        # mirrors MxmUnit._dot/_emit: int8 accumulates in int64 and clips to
+        # int32 at ACC; fp16 multiplies in fp32, accumulates in float64, and
+        # narrows to fp32 at ACC.  Weights are lane-padded (K_p, lanes) with
+        # columns beyond m zero, so padded output lanes are zero too.
+        lanes = self.config.n_lanes
+        weight_dtype: DType = node.params.get("weight_dtype", DType.INT8)
+        tiles: list[np.ndarray] = node.params["weight_tiles"]
+        m = node.params["m"]
+        acts = srcs[1:]
+        n = node.n_vectors
+        if weight_dtype is DType.INT8:
+            acc = np.zeros((n, lanes), dtype=np.int64)
+        else:
+            acc = np.zeros((n, lanes), dtype=np.float64)
+        for tile, act in zip(tiles, acts):
+            k_p = tile.shape[0]
+            w = np.zeros((k_p, lanes), dtype=weight_dtype.numpy_dtype)
+            w[:, :m] = tile
+            a = act[:, :k_p]
+            if weight_dtype is DType.INT8:
+                acc += a.astype(np.int64) @ w.astype(np.int64)
+            else:
+                partial = a.astype(np.float32) @ w.astype(np.float32)
+                acc += partial.astype(np.float64)
+        if node.dtype is DType.INT32:
+            return np.clip(acc, -(2**31), 2**31 - 1).astype(np.int32)
+        return acc.astype(np.float32)
+
+    # ------------------------------------------------------------------
+    def _require_single_plane(self, node: Node) -> None:
+        if node.dtype.n_bytes != 1:
+            raise VerificationError(
+                f"{node.name}: compiled SXM lane ops route a single stream, "
+                f"so {node.dtype.label} values would silently lose byte "
+                "planes — use 1-byte dtypes"
+            )
+
+    def _eval_sxm_lane(self, node: Node, srcs: list[np.ndarray]) -> np.ndarray:
+        self._require_single_plane(node)
+        lanes = self.config.n_lanes
+        x = srcs[0]
+        if node.kind is OpKind.SHIFT:
+            n = node.params["amount"]
+            out = np.zeros_like(x)
+            if n == 0:
+                return x.copy()
+            if n >= lanes:
+                return out
+            if node.params.get("south"):
+                out[:, n:] = x[:, :-n]
+            else:
+                out[:, :-n] = x[:, n:]
+            return out
+        if node.kind is OpKind.PERMUTE:
+            mapping = np.asarray(node.params["mapping"], dtype=np.int64)
+            return x[:, mapping]
+        if node.kind is OpKind.DISTRIBUTE:
+            per = self.config.lanes_per_superlane
+            mapping = np.asarray(node.params["mapping"], dtype=np.int64)
+            zero = mapping < 0
+            safe = np.where(zero, 0, mapping)
+            blocks = x.reshape(x.shape[0], -1, per)
+            out = blocks[:, :, safe]
+            out[:, :, zero] = 0
+            return out.reshape(x.shape[0], -1)
+        # SELECT
+        mask = self._select_mask(node.params["mask"])
+        a, b = srcs
+        return np.where(mask, b, a).astype(node.dtype.numpy_dtype)
+
+    def _select_mask(self, entries) -> np.ndarray:
+        lanes = self.config.n_lanes
+        if not entries:
+            return np.zeros(lanes, dtype=bool)
+        m = np.asarray(entries, dtype=np.int64)
+        if m.size == lanes:
+            return m != 0
+        if m.size == self.config.lanes_per_superlane:
+            return np.tile(m != 0, self.config.n_superlanes)
+        raise VerificationError(
+            f"Select mask must cover {lanes} lanes or one superlane"
+        )
+
+    def _eval_rotate(self, node: Node, x: np.ndarray) -> np.ndarray:
+        self._require_single_plane(node)
+        n = node.params["n"]
+        per = self.config.lanes_per_superlane
+        blocks = x[0].reshape(-1, per)
+        grid = blocks[:, : n * n].reshape(-1, n, n)
+        rows = []
+        for r in range(n * n):
+            dr, dc = divmod(r, n)
+            rolled = np.roll(grid, shift=(-dr, -dc), axis=(1, 2))
+            out = np.zeros_like(blocks)
+            out[:, : n * n] = rolled.reshape(-1, n * n)
+            rows.append(out.reshape(-1))
+        return np.stack(rows)
+
+    def _eval_transpose16(self, node: Node, x: np.ndarray) -> np.ndarray:
+        self._require_single_plane(node)
+        per = self.config.lanes_per_superlane
+        # cube[s, superlane, lane] exactly as SxmUnit._exec_transpose
+        cube = np.stack([row.reshape(-1, per) for row in x], axis=0)
+        transposed = cube.transpose(2, 1, 0)
+        return np.stack([transposed[s].reshape(-1) for s in range(per)])
+
+
+def interpret(
+    graph: Graph,
+    config: ArchConfig,
+    inputs: dict[str, np.ndarray] | None = None,
+) -> dict[str, np.ndarray]:
+    """Convenience wrapper: evaluate ``graph`` under ``config``."""
+    return GraphInterpreter(config).run(graph, inputs)

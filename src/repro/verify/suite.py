@@ -1,0 +1,449 @@
+"""The conformance sweep: every instruction class, oracle-checked.
+
+Compiled cases go through :func:`repro.verify.oracle.assert_conformance`
+with the full checker stack attached (stream collisions, bank discipline,
+the Equation-4/5 timing contract); instructions the stream compiler never
+emits — ``LW``, ``Scatter``, ``Repeat``, ``Config``, ``Ifetch``,
+``Deskew``/``Send``/``Receive`` — are exercised by hand-built programs with
+independently computed expected results.  One :class:`CoverageTracker`
+observes every run, and :func:`run_conformance` fails if any instruction
+class drops below the coverage threshold.
+
+Run standalone with ``python -m repro.verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..arch.geometry import Direction, Hemisphere
+from ..arch.streams import DType, join_byte_planes
+from ..compiler.api import StreamProgramBuilder
+from ..config import ArchConfig, small_test_chip
+from ..errors import CoverageError, VerificationError
+from ..isa import (
+    Accumulate,
+    ActivationBufferControl,
+    Config,
+    Deskew,
+    Gather,
+    IcuId,
+    Ifetch,
+    InstallWeights,
+    LoadWeights,
+    Nop,
+    Program,
+    Read,
+    Receive,
+    Repeat,
+    Scatter,
+    Send,
+    Write,
+)
+from ..sim.chip import TspChip
+from .coverage import CoverageTracker
+from .invariants import (
+    BankDisciplineChecker,
+    InvariantChecker,
+    StreamCollisionChecker,
+    TimingContractChecker,
+)
+from .oracle import assert_conformance
+
+E = Direction.EASTWARD
+W = Direction.WESTWARD
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one conformance case."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ConformanceSummary:
+    """All case outcomes plus the accumulated ISA coverage."""
+
+    results: list[CaseResult] = field(default_factory=list)
+    tracker: CoverageTracker = field(default_factory=CoverageTracker)
+    threshold: float = 0.9
+    coverage_failure: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.coverage_failure is None and all(
+            r.ok for r in self.results
+        )
+
+    def render(self) -> str:
+        lines = ["conformance sweep"]
+        for r in self.results:
+            mark = "pass" if r.ok else "FAIL"
+            lines.append(f"  [{mark}] {r.name}")
+            if r.detail:
+                lines.extend(f"      {l}" for l in r.detail.splitlines()[:12])
+        lines.append("")
+        lines.append(self.tracker.render())
+        if self.coverage_failure:
+            lines.append(f"COVERAGE FAIL: {self.coverage_failure}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# compiled cases (differential oracle + full checker stack)
+# ----------------------------------------------------------------------
+def _int8(shape, lo=-50, hi=50, offset=0):
+    count = int(np.prod(shape))
+    span = hi - lo
+    return ((np.arange(count) * 7 + offset) % span + lo).astype(
+        np.int8
+    ).reshape(shape)
+
+
+def _fp16(shape, offset=0):
+    count = int(np.prod(shape))
+    vals = ((np.arange(count) * 13 + offset) % 31 - 15) / 8.0
+    return vals.astype(np.float16).reshape(shape)
+
+
+def _oracle(builder, tracker, inputs=None, warmup=False, compiled=None):
+    compiled = compiled if compiled is not None else builder.compile()
+    checkers: list[InvariantChecker] = [
+        StreamCollisionChecker(),
+        BankDisciplineChecker(strict_discipline=True),
+        tracker.checker(),
+    ]
+    if not warmup:
+        # the contract only holds for a program executed exactly as compiled
+        checkers.append(TimingContractChecker(compiled.intent))
+    assert_conformance(
+        builder,
+        compiled=compiled,
+        inputs=inputs,
+        checkers=checkers,
+        warmup_barrier=warmup,
+    )
+    for checker in checkers:
+        checker.raise_if_violated()
+
+
+def case_elementwise_int8(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", _int8((4, 50)))
+    y = b.constant_tensor("y", _int8((4, 50), offset=3))
+    b.write_back(b.add(x, y), "sum")
+    b.write_back(b.relu(b.sub(x, y)), "relu")
+    b.write_back(b.maximum(x, y), "max")
+    b.write_back(b.mul(x, y, saturate=True), "prod")
+    _oracle(b, tracker)
+
+
+def case_fp16_transcendental(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", np.abs(_fp16((2, 20))) + 0.5)
+    b.write_back(b.tanh(x), "tanh")
+    b.write_back(b.exp(b.negate(x)), "exp")
+    b.write_back(b.rsqrt(x), "rsqrt")
+    b.write_back(b.convert(x, DType.FP32), "wide")
+    _oracle(b, tracker)
+
+
+def case_temporal_shift(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", _int8((6, 30)))
+    b.write_back(b.add(x, b.temporal_shift(x, 2)), "windowed")
+    _oracle(b, tracker)
+
+
+def case_gather(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    table = _int8((8, 40))
+    idx = b.input_tensor("idx", (3, 40), DType.UINT8)
+    b.write_back(b.gather(table, idx, name="lut"), "gathered")
+    indices = ((np.arange(3 * 40) * 5) % 8).astype(np.uint8).reshape(3, 40)
+    _oracle(b, tracker, inputs={"idx": indices})
+
+
+def case_matmul_int8_ktiled(config: ArchConfig, tracker: CoverageTracker):
+    lanes = config.n_lanes
+    b = StreamProgramBuilder(config)
+    a0 = b.constant_tensor("a0", _int8((3, lanes), lo=-8, hi=8))
+    a1 = b.constant_tensor("a1", _int8((3, lanes), lo=-8, hi=8, offset=5))
+    w = _int8((2 * lanes, 24), lo=-8, hi=8, offset=11)
+    b.write_back(b.matmul(w, [a0, a1], name="w"), "mm")
+    _oracle(b, tracker)
+
+
+def case_matmul_fp16(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    a = b.constant_tensor("a", _fp16((2, 32)))
+    w = _fp16((32, 16), offset=7).astype(np.float16)
+    b.write_back(b.matmul(w, a, name="wf"), "mmf")
+    _oracle(b, tracker)
+
+
+def case_sxm_lane_ops(config: ArchConfig, tracker: CoverageTracker):
+    lanes = config.n_lanes
+    per = config.lanes_per_superlane
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", _int8((2, lanes)))
+    y = b.constant_tensor("y", _int8((2, lanes), offset=9))
+    b.write_back(b.shift(x, 3), "north")
+    b.write_back(b.shift(x, 5, south=True), "south")
+    b.write_back(b.permute(x, list(reversed(range(lanes)))), "rev")
+    mapping = [(i + 1) % per if i != 4 else -1 for i in range(per)]
+    b.write_back(b.distribute(x, mapping), "dist")
+    mask = [i % 2 for i in range(per)]
+    b.write_back(b.select(x, y, mask), "sel")
+    _oracle(b, tracker)
+
+
+def case_rotate(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", _int8((1, config.n_lanes)))
+    b.write_back(b.rotate(x, 3), "rot")
+    _oracle(b, tracker)
+
+
+def case_transpose16(config: ArchConfig, tracker: CoverageTracker):
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", _int8((16, config.n_lanes)))
+    b.write_back(b.transpose16(x), "tr")
+    _oracle(b, tracker)
+
+
+def case_warmup_barrier(config: ArchConfig, tracker: CoverageTracker):
+    """Sync/Notify: the whole schedule shifts uniformly, outputs match."""
+    b = StreamProgramBuilder(config)
+    x = b.constant_tensor("x", _int8((2, 32)))
+    y = b.constant_tensor("y", _int8((2, 32), offset=1))
+    b.write_back(b.add(x, y), "sum")
+    _oracle(b, tracker, warmup=True)
+
+
+# ----------------------------------------------------------------------
+# hand-built programs for instructions the compiler never emits
+# ----------------------------------------------------------------------
+def _hand_chip(config: ArchConfig, tracker: CoverageTracker):
+    chip = TspChip(config, trace=True)
+    checkers = [
+        StreamCollisionChecker(),
+        BankDisciplineChecker(),
+        tracker.checker(),
+    ]
+    for checker in checkers:
+        chip.attach_checker(checker)
+    return chip, checkers
+
+
+def _expect_equal(actual, expected, what: str) -> None:
+    if not np.array_equal(actual, expected):
+        raise VerificationError(
+            f"{what}: simulator produced {actual!r}, expected {expected!r}"
+        )
+
+
+def case_scatter_hand(config: ArchConfig, tracker: CoverageTracker):
+    """Scatter: per-lane indirect write (Section III-B)."""
+    chip, checkers = _hand_chip(config, tracker)
+    fp = chip.floorplan
+    lanes = config.n_lanes
+    values = (np.arange(lanes) * 3 % 251).astype(np.uint8)
+    offsets = (np.arange(lanes) % 4).astype(np.uint8)
+    chip.load_memory(Hemisphere.WEST, 0, 0, values[None, :])
+    chip.load_memory(Hemisphere.WEST, 1, 2, offsets[None, :])
+
+    w0, w1 = fp.mem_slice(Hemisphere.WEST, 0), fp.mem_slice(Hemisphere.WEST, 1)
+    target = fp.mem_slice(Hemisphere.EAST, 3)
+    # time both operands to arrive at the target in the same cycle
+    arrive = 8 + max(fp.delta(w0, target), fp.delta(w1, target))
+    program = Program()
+    for slice_addr, address, stream in ((w0, 0, 0), (w1, 2, 1)):
+        t_dispatch = arrive - fp.delta(slice_addr, target) - 5
+        icu = IcuId(slice_addr)
+        if t_dispatch > 0:
+            program.add(icu, Nop(t_dispatch))
+        program.add(icu, Read(address=address, stream=stream, direction=E))
+    program.add(IcuId(target), Nop(arrive - 1))  # Scatter samples at +1
+    program.add(
+        IcuId(target), Scatter(stream=0, map_stream=1, direction=E, base=16)
+    )
+    chip.run(program)
+    stored = chip.read_memory(Hemisphere.EAST, 3, 16, 4)
+    expected = np.zeros((4, lanes), dtype=np.uint8)
+    expected[offsets, np.arange(lanes)] = values
+    _expect_equal(stored, expected, "scatter")
+    for checker in checkers:
+        checker.raise_if_violated()
+
+
+def case_mxm_lw_staging(config: ArchConfig, tracker: CoverageTracker):
+    """LW-staged install: Read rows -> LW buffer -> IW -> ABC -> ACC."""
+    chip, checkers = _hand_chip(config, tracker)
+    fp = chip.floorplan
+    lanes = config.n_lanes
+    rows = 4
+    w = _int8((rows, lanes), lo=-6, hi=7)
+    act = _int8((lanes,), lo=-4, hi=5, offset=2)
+
+    mem = fp.mem_slice(Hemisphere.EAST, 0)
+    mxm = fp.mxm(Hemisphere.EAST)
+    delta = fp.delta(mem, mxm)
+    for r in range(rows):
+        chip.load_memory(Hemisphere.EAST, 0, 2 * r, w[r].view(np.uint8)[None, :])
+    chip.load_memory(Hemisphere.EAST, 0, 101, act.view(np.uint8)[None, :])
+
+    program = Program()
+    t0 = 1
+    mem_icu = IcuId(mem)
+    program.add(mem_icu, Nop(t0))
+    for r in range(rows):  # weight rows drive at t0+r+5
+        program.add(mem_icu, Read(address=2 * r, stream=0, direction=E))
+    program.add(mem_icu, Nop(1))
+    program.add(mem_icu, Read(address=101, stream=0, direction=E))
+
+    # LW row r samples at t0+r+5+delta (dskew 1)
+    weights_icu = IcuId(mxm, 0)
+    program.add(weights_icu, Nop(t0 + 4 + delta))
+    for r in range(rows):
+        program.add(
+            weights_icu, LoadWeights(plane=0, row=r, stream=0, direction=E)
+        )
+    program.add(weights_icu, Nop(1))  # after the last LW capture
+    program.add(
+        weights_icu,
+        InstallWeights(plane=0, rows=rows, cols=lanes, from_buffer=True),
+    )
+
+    # activation arrives at t0+10+delta; ABC samples at dispatch+1
+    compute_icu = IcuId(mxm, 1)
+    program.add(compute_icu, Nop(t0 + 9 + delta))
+    program.add(
+        compute_icu,
+        ActivationBufferControl(
+            plane=0, base_stream=0, direction=E, n_vectors=1
+        ),
+    )
+    depth = chip.timing.mxm_pipeline_depth(config.mxm_plane_rows)
+    program.add(compute_icu, Nop(depth))
+    program.add(
+        compute_icu,
+        Accumulate(plane=0, base_stream=0, direction=W, n_vectors=1),
+    )
+    # ACC dispatches at t0+10+delta+depth, emits at +dfunc(3) westward
+    emit = t0 + 13 + delta + depth
+    for j in range(4):  # one byte plane per slice
+        out = fp.mem_slice(Hemisphere.EAST, j)
+        icu = IcuId(out)
+        capture = emit + fp.delta(out, mxm)
+        program.add(icu, Nop(capture - 1 - program.dispatch_length(icu)))
+        program.add(icu, Write(address=120, stream=j, direction=W))
+    chip.run(program)
+
+    planes = [
+        chip.read_memory(Hemisphere.EAST, j, 120)[0] for j in range(4)
+    ]
+    result = join_byte_planes(planes, DType.INT32)
+    acc = w.astype(np.int64).T @ act[:rows].astype(np.int64)
+    expected = np.clip(acc, -(2**31), 2**31 - 1).astype(np.int32)
+    _expect_equal(result, expected, "LW-staged matmul")
+    for checker in checkers:
+        checker.raise_if_violated()
+
+
+def case_c2c_loopback(config: ArchConfig, tracker: CoverageTracker):
+    """Deskew/Send/Receive over a looped-back East link."""
+    from ..sim.c2c import DEFAULT_LINK_LATENCY
+
+    chip, checkers = _hand_chip(config, tracker)
+    fp = chip.floorplan
+    chip.c2c_unit(Hemisphere.EAST).loopback(0)
+    data = (np.arange(config.n_lanes) * 11 % 256).astype(np.uint8)
+    chip.load_memory(Hemisphere.EAST, 0, 4, data[None, :])
+
+    program = Program()
+    mem = IcuId(fp.mem_slice(Hemisphere.EAST, 0))
+    c2c = IcuId(fp.c2c(Hemisphere.EAST), 0)
+    program.add(mem, Read(address=4, stream=0, direction=E))
+    hops = fp.delta(fp.mem_slice(Hemisphere.EAST, 0), fp.c2c(Hemisphere.EAST))
+    program.add(c2c, Deskew(link=0))
+    program.add(c2c, Nop(4 + hops - 1))
+    program.add(c2c, Send(link=0, stream=0, direction=E))
+    capture = 5 + hops
+    program.add(c2c, Nop(DEFAULT_LINK_LATENCY))
+    program.add(c2c, Receive(link=0, mem_slice=2, address=8))
+    chip.run(program)
+    landed = chip.read_memory(Hemisphere.EAST, 2, 8)[0]
+    _expect_equal(landed, data, "c2c loopback")
+    for checker in checkers:
+        checker.raise_if_violated()
+
+
+def case_icu_repeat_config(config: ArchConfig, tracker: CoverageTracker):
+    """Config, Ifetch, and Repeat re-dispatching a Read."""
+    chip, checkers = _hand_chip(config, tracker)
+    fp = chip.floorplan
+    data = (np.arange(config.n_lanes) * 5 % 256).astype(np.uint8)
+    chip.load_memory(Hemisphere.WEST, 0, 0, data[None, :])
+
+    src = fp.mem_slice(Hemisphere.WEST, 0)
+    dst = fp.mem_slice(Hemisphere.EAST, 1)
+    program = Program()
+    icu = IcuId(src)
+    program.add(icu, Config(superlane=0, power_on=True))
+    program.add(icu, Ifetch())
+    program.add(icu, Read(address=0, stream=0, direction=E))
+    program.add(icu, Repeat(n=2, d=3))
+    # Repeat re-executes the Read at cycles 3 and 6; the last drives at 11
+    capture = 11 + fp.delta(src, dst)
+    out = IcuId(dst)
+    program.add(out, Nop(capture - 1))
+    program.add(out, Write(address=30, stream=0, direction=E))
+    chip.run(program)
+    landed = chip.read_memory(Hemisphere.EAST, 1, 30)[0]
+    _expect_equal(landed, data, "repeated read")
+    for checker in checkers:
+        checker.raise_if_violated()
+
+
+# ----------------------------------------------------------------------
+CASES = [
+    ("elementwise-int8", case_elementwise_int8),
+    ("fp16-transcendental", case_fp16_transcendental),
+    ("temporal-shift", case_temporal_shift),
+    ("gather", case_gather),
+    ("matmul-int8-ktiled", case_matmul_int8_ktiled),
+    ("matmul-fp16", case_matmul_fp16),
+    ("sxm-lane-ops", case_sxm_lane_ops),
+    ("rotate", case_rotate),
+    ("transpose16", case_transpose16),
+    ("warmup-barrier", case_warmup_barrier),
+    ("scatter-hand", case_scatter_hand),
+    ("mxm-lw-staging", case_mxm_lw_staging),
+    ("c2c-loopback", case_c2c_loopback),
+    ("icu-repeat-config", case_icu_repeat_config),
+]
+
+
+def run_conformance(
+    config: ArchConfig | None = None, threshold: float = 0.9
+) -> ConformanceSummary:
+    """Run every conformance case; never raises, inspect ``summary.ok``."""
+    config = config or small_test_chip()
+    summary = ConformanceSummary(threshold=threshold)
+    for name, case in CASES:
+        try:
+            case(config, summary.tracker)
+            summary.results.append(CaseResult(name, True))
+        except Exception as exc:  # noqa: BLE001 - each case is a test
+            summary.results.append(CaseResult(name, False, str(exc)))
+    try:
+        summary.tracker.check(threshold)
+    except CoverageError as exc:
+        summary.coverage_failure = str(exc)
+    return summary

@@ -1,24 +1,27 @@
-"""Shared fixtures: chip configurations and builders."""
+"""Shared fixtures: chip configurations and builders.
+
+The config/RNG factories are shared with ``benchmarks/conftest.py`` via
+:mod:`repro.testing`.
+"""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.config import groq_tsp_v1, small_test_chip
 from repro.sim import TspChip
+from repro.testing import make_full_config, make_rng, make_small_config
 
 
 @pytest.fixture(scope="session")
 def full_config():
     """The paper's first-generation TSP."""
-    return groq_tsp_v1()
+    return make_full_config()
 
 
 @pytest.fixture()
 def config():
     """The fast 64-lane test chip."""
-    return small_test_chip()
+    return make_small_config()
 
 
 @pytest.fixture()
@@ -33,4 +36,4 @@ def traced_chip(config):
 
 @pytest.fixture()
 def rng():
-    return np.random.default_rng(1234)
+    return make_rng()

@@ -1,0 +1,43 @@
+"""Every example under ``examples/`` must run clean.
+
+Examples are the de-facto API documentation; this test keeps them from
+rotting.  Each is run as its own interpreter process (as a user would),
+with ``src`` on the path, and must exit 0 without writing to stderr.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+EXAMPLES = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 10
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\nstdout:\n{proc.stdout[-2000:]}\n"
+        f"stderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stderr.strip() == "", f"{name} wrote to stderr: {proc.stderr}"

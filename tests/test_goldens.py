@@ -1,0 +1,36 @@
+"""Golden-vector regression: frozen outputs stay bit-identical.
+
+The ``tests/goldens/*.npz`` files pin the end-to-end numerics of the
+compiler + simulator for three representative workloads.  A failure here
+means a change altered observable numerics — either fix the regression or,
+for an *intended* numerics change, regenerate with
+``PYTHONPATH=src python tests/golden_programs.py`` and explain why in the
+commit.
+"""
+
+import numpy as np
+import pytest
+
+from golden_programs import GOLDEN_PROGRAMS, compute_outputs, golden_path
+from repro.verify import assert_conformance
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PROGRAMS))
+def test_golden_outputs_bit_exact(name):
+    with np.load(golden_path(name)) as archive:
+        golden = {key: archive[key] for key in archive.files}
+    outputs = compute_outputs(name)
+    assert sorted(outputs) == sorted(golden)
+    for key, expected in golden.items():
+        actual = outputs[key]
+        assert actual.dtype == expected.dtype, key
+        assert actual.shape == expected.shape, key
+        assert actual.tobytes() == expected.tobytes(), (
+            f"{name}/{key}: output bytes changed vs golden"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_PROGRAMS))
+def test_golden_programs_conform(name):
+    """The goldens also pass the differential oracle."""
+    assert_conformance(GOLDEN_PROGRAMS[name]())
