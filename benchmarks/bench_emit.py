@@ -1,0 +1,232 @@
+"""Emit ``BENCH_sim.json`` — the simulator's perf-trajectory artifact.
+
+Standard housekeeping for a simulator release: measure how many simulated
+cycles per host-second the model sustains, in both execution cores
+(``fast_forward=False`` reference and the quiescent-cycle-skipping fast
+path), on three representative workloads:
+
+* ``dense-64`` / ``dense-320`` — compiled tensor programs with dispatches
+  nearly every cycle.  Fast-forward finds almost nothing to skip; these
+  pin down that the skipping machinery costs ~nothing when idle.
+* ``paced-64`` / ``paced-320`` — a steady-state request stream: one
+  activation read + write-back per request, a new request every
+  ``interval`` cycles, driven by ``Repeat``.  This is the serving shape
+  the paper targets (deadline-paced inference, Section I), and most of
+  its cycles are quiescent — the fast path's headline win.
+
+The artifact schema (``tsp-sim-bench/1``)::
+
+    {
+      "schema": "tsp-sim-bench/1",
+      "host": {"python": ..., "numpy": ..., "machine": ...},
+      "workloads": [
+        {
+          "name": "paced-64", "lanes": 64, "cycles": <simulated cycles>,
+          "modes": {
+            "slow": {"seconds": s, "cycles_per_host_second": r,
+                     "skipped_cycles": 0},
+            "fast": {"seconds": s, "cycles_per_host_second": r,
+                     "skipped_cycles": k}
+          },
+          "speedup": fast_rate / slow_rate,
+          "skipped_fraction": k / cycles
+        }, ...
+      ]
+    }
+
+Runnable standalone (``python benchmarks/bench_emit.py [-o PATH]``) and
+imported by ``test_simulator_performance.py``, which asserts the paced
+speedup floor and writes the same artifact from its own run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.arch import Direction, Floorplan, Hemisphere
+from repro.compiler import StreamProgramBuilder, load_compiled
+from repro.compiler.scheduler import CompiledProgram
+from repro.isa import IcuId, Nop, Program, Read, Repeat, Write
+from repro.sim import TspChip
+from repro.testing import make_full_config, make_small_config
+
+SCHEMA = "tsp-sim-bench/1"
+
+
+# ----------------------------------------------------------------------
+# workload builders
+def build_busy_program(config, n: int = 48) -> CompiledProgram:
+    """Back-to-back elementwise + matmul work: a dispatch almost every cycle."""
+    g = StreamProgramBuilder(config)
+    rng = np.random.default_rng(0)
+    x = g.constant_tensor("x", rng.integers(-9, 9, (n, 64)).astype(np.int8))
+    y = g.constant_tensor("y", rng.integers(-9, 9, (n, 64)).astype(np.int8))
+    z = g.relu(g.add(x, y))
+    g.write_back(z, name="z")
+    w = rng.integers(-6, 6, (64, 64)).astype(np.int8)
+    a = rng.integers(-6, 6, (8, 64)).astype(np.int8)
+    g.write_back(g.matmul(w, g.constant_tensor("a", a)), name="mm")
+    return g.compile()
+
+
+def build_busy_program_full(config) -> CompiledProgram:
+    """The 320-lane chip: heavier per-cycle state, same dense shape."""
+    g = StreamProgramBuilder(config)
+    rng = np.random.default_rng(0)
+    x = g.constant_tensor("x", rng.integers(-9, 9, (16, 320)).astype(np.int8))
+    y = g.constant_tensor("y", rng.integers(-9, 9, (16, 320)).astype(np.int8))
+    g.write_back(g.relu(g.add(x, y)), name="z")
+    return g.compile()
+
+
+def build_paced_program(
+    config, requests: int = 1500, interval: int = 64
+) -> Program:
+    """A deadline-paced request stream, mostly quiescent between requests.
+
+    One MEM slice reads an activation vector eastward every ``interval``
+    cycles (``Read`` + ``Repeat``); the far hemisphere writes the arriving
+    vector back on the same cadence.  Between requests the chip is fully
+    quiescent — the span the fast-forward core exists to skip.
+    """
+    floorplan = Floorplan(config)
+    program = Program()
+    src = IcuId(floorplan.mem_slice(Hemisphere.WEST, 0))
+    dst = IcuId(floorplan.mem_slice(Hemisphere.EAST, 0))
+    program.add(src, Read(address=0, stream=0, direction=Direction.EASTWARD))
+    program.add(src, Repeat(n=requests - 1, d=interval))
+    # offset the write-back queue so its capture lands after the read's
+    # value has crossed the chip, then repeat on the same cadence
+    program.add(dst, Nop(8))
+    program.add(
+        dst, Write(address=1, stream=0, direction=Direction.EASTWARD)
+    )
+    program.add(dst, Repeat(n=requests - 1, d=interval))
+    return program
+
+
+# ----------------------------------------------------------------------
+# measurement
+def measure(config, program, fast_forward: bool, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` wall time for one program on a fresh chip."""
+    best = None
+    cycles = skipped = 0
+    for _ in range(repeats):
+        chip = TspChip(config)
+        if isinstance(program, CompiledProgram):
+            load_compiled(chip, program)
+            to_run = program.program
+        else:
+            to_run = program
+        start = time.perf_counter()
+        result = chip.run(to_run, fast_forward=fast_forward)
+        elapsed = time.perf_counter() - start
+        cycles, skipped = result.cycles, result.skipped_cycles
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "seconds": round(best, 6),
+        "cycles_per_host_second": round(cycles / best, 1),
+        "skipped_cycles": skipped,
+        "cycles": cycles,
+    }
+
+
+def measure_workload(name, lanes, config, program, repeats: int = 3) -> dict:
+    slow = measure(config, program, fast_forward=False, repeats=repeats)
+    fast = measure(config, program, fast_forward=True, repeats=repeats)
+    cycles = fast["cycles"]
+    entry = {
+        "name": name,
+        "lanes": lanes,
+        "cycles": cycles,
+        "modes": {
+            "slow": {k: v for k, v in slow.items() if k != "cycles"},
+            "fast": {k: v for k, v in fast.items() if k != "cycles"},
+        },
+        "speedup": round(
+            fast["cycles_per_host_second"] / slow["cycles_per_host_second"],
+            2,
+        ),
+        "skipped_fraction": round(fast["skipped_cycles"] / cycles, 4),
+    }
+    return entry
+
+
+def collect(quick: bool = False) -> dict:
+    """Measure every workload in both modes; return the artifact payload."""
+    small = make_small_config()
+    full = make_full_config()
+    repeats = 1 if quick else 3
+    paced_small = 400 if quick else 1500
+    paced_full = 100 if quick else 400
+    workloads = [
+        measure_workload(
+            "dense-64", 64, small, build_busy_program(small), repeats
+        ),
+        measure_workload(
+            "dense-320", 320, full, build_busy_program_full(full), repeats
+        ),
+        measure_workload(
+            "paced-64",
+            64,
+            small,
+            build_paced_program(small, requests=paced_small),
+            repeats,
+        ),
+        measure_workload(
+            "paced-320",
+            320,
+            full,
+            build_paced_program(full, requests=paced_full),
+            repeats,
+        ),
+    ]
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workloads": workloads,
+    }
+
+
+def write_artifact(payload: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", default="BENCH_sim.json", help="artifact path"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller paced workloads, single repeat (CI smoke)",
+    )
+    args = parser.parse_args(argv)
+    payload = collect(quick=args.quick)
+    write_artifact(payload, args.output)
+    for w in payload["workloads"]:
+        fast = w["modes"]["fast"]["cycles_per_host_second"]
+        slow = w["modes"]["slow"]["cycles_per_host_second"]
+        print(
+            f"{w['name']:>10}: slow {slow:>12,.0f} cyc/s   "
+            f"fast {fast:>12,.0f} cyc/s   speedup {w['speedup']:.2f}x   "
+            f"skipped {w['skipped_fraction']:.1%}"
+        )
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

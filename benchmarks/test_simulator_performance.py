@@ -2,27 +2,24 @@
 
 Not a paper experiment — standard housekeeping for a simulator release:
 how many simulated cycles per host-second the model sustains on
-representative programs, so users can size their experiments.
+representative programs, so users can size their experiments.  Workload
+builders and the ``BENCH_sim.json`` artifact schema live in
+:mod:`bench_emit`; this module adds the pytest-benchmark timing tables
+plus the fast-forward acceptance gate (≥3× on the paced workloads).
 """
 
-import numpy as np
+import os
+
+import bench_emit
+from bench_emit import (
+    build_busy_program,
+    build_busy_program_full,
+    build_paced_program,
+)
 
 from repro.bench import ExperimentReport
-from repro.compiler import StreamProgramBuilder, execute, load_compiled
+from repro.compiler import load_compiled
 from repro.sim import TspChip
-
-
-def build_busy_program(config, n=48):
-    g = StreamProgramBuilder(config)
-    rng = np.random.default_rng(0)
-    x = g.constant_tensor("x", rng.integers(-9, 9, (n, 64)).astype(np.int8))
-    y = g.constant_tensor("y", rng.integers(-9, 9, (n, 64)).astype(np.int8))
-    z = g.relu(g.add(x, y))
-    g.write_back(z, name="z")
-    w = rng.integers(-6, 6, (64, 64)).astype(np.int8)
-    a = rng.integers(-6, 6, (8, 64)).astype(np.int8)
-    g.write_back(g.matmul(w, g.constant_tensor("a", a)), name="mm")
-    return g.compile()
 
 
 def test_simulated_cycles_per_second(report_sink, small_config, benchmark):
@@ -69,14 +66,57 @@ def test_full_chip_simulation_rate(report_sink, full_config, benchmark):
     assert rate > 200
 
 
-def build_busy_program_full(config):
-    g = StreamProgramBuilder(config)
-    rng = np.random.default_rng(0)
-    x = g.constant_tensor(
-        "x", rng.integers(-9, 9, (16, 320)).astype(np.int8)
+def test_paced_program_rate(report_sink, small_config, benchmark):
+    """Steady-state request stream under the fast-forward core."""
+    program = build_paced_program(small_config, requests=1500, interval=64)
+
+    def run_once():
+        chip = TspChip(small_config)
+        result = chip.run(program)
+        assert result.skipped_cycles > 0
+        return result.cycles
+
+    cycles = benchmark(run_once)
+    rate = cycles / benchmark.stats.stats.mean
+    report = ExperimentReport(
+        "housekeeping", "Fast-forward core on a paced request stream"
     )
-    y = g.constant_tensor(
-        "y", rng.integers(-9, 9, (16, 320)).astype(np.int8)
+    report.add("simulated cycles per run", "—", cycles)
+    report.add("simulated cycles / host second", "—", round(rate))
+    report_sink.append(report.render())
+    assert rate > 10_000
+
+
+def test_fast_forward_speedup_and_artifact(report_sink, tmp_path):
+    """The acceptance gate: ≥3× on the paced workloads, artifact emitted.
+
+    Measures every workload in both execution cores via
+    :func:`bench_emit.collect` and writes the ``BENCH_sim.json``
+    perf-trajectory artifact next to this file (CI uploads it).  The
+    dense workloads only need to prove fast-forward is not a regression;
+    the paced workloads carry the ≥3× floor.
+    """
+    quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+    payload = bench_emit.collect(quick=quick)
+    out = os.path.join(os.path.dirname(__file__), "BENCH_sim.json")
+    bench_emit.write_artifact(payload, out)
+
+    report = ExperimentReport(
+        "housekeeping", "Fast-forward vs cycle-by-cycle core"
     )
-    g.write_back(g.relu(g.add(x, y)), name="z")
-    return g.compile()
+    by_name = {w["name"]: w for w in payload["workloads"]}
+    for name, w in by_name.items():
+        report.add(
+            f"{name} speedup",
+            "—",
+            w["speedup"],
+            f"x ({w['skipped_fraction']:.0%} skipped)",
+        )
+    report_sink.append(report.render())
+
+    for name in ("dense-64", "dense-320"):
+        # dense programs have nothing to skip; fast path must not regress
+        assert by_name[name]["speedup"] > 0.8, by_name[name]
+    for name in ("paced-64", "paced-320"):
+        assert by_name[name]["speedup"] >= 3.0, by_name[name]
+        assert by_name[name]["skipped_fraction"] > 0.5, by_name[name]

@@ -21,7 +21,7 @@ nor per-tile static power.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
 from ..config import ArchConfig
 
@@ -50,6 +50,24 @@ class ActivityCounts:
             stream_hop_bytes=self.stream_hop_bytes + other.stream_hop_bytes,
             sxm_bytes=self.sxm_bytes + other.sxm_bytes,
             instructions=self.instructions + other.instructions,
+        )
+
+    def copy(self) -> "ActivityCounts":
+        """An independent snapshot of the current tally."""
+        return replace(self)
+
+    def delta(self, start: "ActivityCounts") -> "ActivityCounts":
+        """Counts accumulated since a ``start`` snapshot of this tally.
+
+        Lets a chip keep one cumulative tally across several runs while
+        each :class:`~repro.sim.chip.RunResult` reports only its own
+        window.
+        """
+        return ActivityCounts(
+            **{
+                f.name: getattr(self, f.name) - getattr(start, f.name)
+                for f in fields(self)
+            }
         )
 
 

@@ -57,13 +57,21 @@ class TraceEvent:
 
 @dataclass
 class RunResult:
-    """Outcome of one program execution."""
+    """Outcome of one program execution.
+
+    All counts are per-run windows: a chip reused for back-to-back runs
+    keeps its own cumulative tallies, but each result reports only what
+    its run contributed.  ``skipped_cycles`` counts the quiescent cycles
+    the fast-forward core crossed in bulk (0 on the cycle-by-cycle path);
+    they are included in ``cycles``.
+    """
 
     cycles: int
     instructions: int
     activity: ActivityCounts
     trace: list[TraceEvent] = field(default_factory=list)
     ecc_corrections: int = 0
+    skipped_cycles: int = 0
 
     def seconds(self, clock_ghz: float) -> float:
         return self.cycles / (clock_ghz * 1e9)
@@ -228,12 +236,21 @@ class TspChip:
         program: Program,
         max_cycles: int = 1_000_000,
         warmup_barrier: bool = False,
+        fast_forward: bool = True,
     ) -> RunResult:
         """Execute a program to completion; returns cycle-exact results.
 
         ``warmup_barrier`` prepends the paper's compulsory post-reset
         barrier: every queue parks on ``Sync`` and a designated notifier
         releases them, aligning all 144 queues to the same logical time.
+
+        ``fast_forward`` enables the quiescent-cycle-skipping core: spans
+        where no queue can dispatch and no event is due are crossed in one
+        bulk stream shift.  Because the TSP is fully deterministic with
+        compiler-known timing (Section IV-F), the next active cycle is
+        computable in advance and skipping is bit-identical to the
+        cycle-by-cycle path — ``fast_forward=False`` keeps the slow loop
+        as the reference (see :mod:`repro.verify.lockstep`).
         """
         queues = [
             IcuQueue(self, icu, list(program.queue(icu)))
@@ -250,29 +267,29 @@ class TspChip:
                 q.instructions.insert(0, Sync())
             queues[0].instructions[0:0] = [Notify(), Sync()]
 
-        start_instructions = self.activity.instructions
+        self.begin_run()
+        # per-run snapshots: the chip's tallies stay cumulative across
+        # back-to-back runs, the result reports only this run's window
+        self.activity.stream_hop_bytes = self.srf.hop_bytes_total
+        activity_start = self.activity.copy()
+        trace_start = len(self.trace)
+        corrections_start = self.srf.corrections
+        skipped = 0
         cycle = 0
-        idle_cycles = 0
         while True:
-            if cycle > max_cycles:
+            if cycle >= max_cycles:
                 raise SimulationError(
                     f"program did not finish within {max_cycles} cycles"
                 )
             self.now = cycle
             self.events.run_phase(cycle, Phase.DRIVE)
-            any_alive = False
             for queue in queues:
-                if queue.step(cycle):
-                    any_alive = True
+                queue.step(cycle)
             self.events.run_phase(cycle, Phase.CAPTURE)
             self.srf.step()
             self.activity.cycles += 1
 
             pending = self.events.pending > 0
-            if not any_alive and not pending:
-                idle_cycles += 1
-            else:
-                idle_cycles = 0
             # a queue still burning a trailing NOP is not finished: its
             # delay is part of the program's timed behaviour
             all_done = all(
@@ -292,18 +309,105 @@ class TspChip:
                         raise SimulationError(
                             "barrier deadlock: Sync parked with no Notify"
                         )
-            cycle += 1
+            if fast_forward:
+                nxt = self.next_active_cycle(queues, cycle)
+                # no candidate: every live queue is parked with no release
+                # in sight — single-step, preserving the slow path's
+                # behaviour (deadlock fault or max_cycles timeout)
+                target = min(
+                    cycle + 1 if nxt is None else nxt, max_cycles
+                )
+                span = target - (cycle + 1)
+                if span > 0:
+                    self.skip_cycles(cycle + 1, span)
+                    skipped += span
+                cycle = target
+            else:
+                cycle += 1
 
         for checker in self.checkers:
             checker.finish(cycle)
         self.activity.stream_hop_bytes = self.srf.hop_bytes_total
         return RunResult(
             cycles=cycle,
-            instructions=self.activity.instructions - start_instructions,
-            activity=self.activity,
-            trace=list(self.trace),
-            ecc_corrections=self.srf.corrections,
+            instructions=self.activity.instructions
+            - activity_start.instructions,
+            activity=self.activity.delta(activity_start),
+            trace=list(self.trace[trace_start:]),
+            ecc_corrections=self.srf.corrections - corrections_start,
+            skipped_cycles=skipped,
         )
+
+    # ------------------------------------------------------------------
+    # fast-forward core
+    # ------------------------------------------------------------------
+    def next_active_cycle(
+        self,
+        queues: list[IcuQueue],
+        cycle: int,
+        include_drain: bool = True,
+    ) -> int | None:
+        """First cycle after ``cycle`` that needs full processing.
+
+        The min over the earliest per-queue next-dispatch cycle, the
+        earliest pending event deadline, and — once every queue has
+        retired, when ``include_drain`` — the cycle at which the longest
+        trailing ``busy_until`` horizon elapses (where ``run``'s
+        termination check can first pass).  The multichip driver passes
+        ``include_drain=False``: its idle test does not wait out trailing
+        NOP horizons, so a finished chip must not constrain the shared
+        skip horizon.  ``None`` means this chip never acts again on its
+        own (every live queue parked with no release in sight).
+
+        Every cycle strictly between ``cycle`` and the returned cycle is
+        quiescent: no dispatch, no event, no state transition other than
+        the one-hop stream advance, so it can be crossed in bulk by
+        :meth:`skip_cycles` without changing any outcome.
+        """
+        nxt = self.events.next_active_cycle(cycle)
+        all_done = True
+        horizon = 0
+        for q in queues:
+            if q.done:
+                if q.busy_until > horizon:
+                    horizon = q.busy_until
+                continue
+            all_done = False
+            wake = q.next_active_cycle(cycle)
+            if wake is not None and (nxt is None or wake < nxt):
+                nxt = wake
+        if all_done and include_drain:
+            wake = max(horizon - 1, cycle + 1)
+            if nxt is None or wake < nxt:
+                nxt = wake
+        return nxt
+
+    def skip_cycles(self, first_cycle: int, n: int) -> None:
+        """Bulk-advance ``n`` quiescent cycles: one vectorized stream
+        shift, activity integrated analytically, checkers notified once.
+        """
+        if n <= 0:
+            return
+        self.srf.step_n(n)
+        self.activity.cycles += n
+        for checker in self.checkers:
+            # duck-typed: pre-existing custom checkers may lack the hook
+            notify = getattr(checker, "on_cycles_skipped", None)
+            if notify is not None:
+                notify(first_cycle, n)
+
+    # ------------------------------------------------------------------
+    def memory_image(self) -> dict[str, bytes]:
+        """Raw bytes of every materialized MEM slice, keyed by slice name.
+
+        Used by the lockstep fast-vs-slow comparator to assert that two
+        execution modes left bit-identical architectural memory state.
+        """
+        image: dict[str, bytes] = {}
+        for address, unit in self._units.items():
+            if isinstance(unit, MemSliceUnit) and unit._storage is not None:
+                image[str(address)] = unit._storage.tobytes()
+        return image
 
     # ------------------------------------------------------------------
     def step_cycle(self, queues: list[IcuQueue], cycle: int) -> None:
@@ -315,6 +419,23 @@ class TspChip:
         self.events.run_phase(cycle, Phase.CAPTURE)
         self.srf.step()
         self.activity.cycles += 1
+
+    def begin_run(self) -> None:
+        """Reset cycle-keyed transient state before a run starts at cycle 0.
+
+        Durable state (SRAM, installed weights, cumulative tallies) is
+        kept; only logs and epochs indexed by the previous run's cycle
+        numbers are dropped, so back-to-back ``run()`` calls on one chip
+        behave like runs on a freshly powered chip with warm memory.
+        """
+        self.barrier.begin_run()
+        for unit in self._units.values():
+            unit.begin_run()
+        # anything still in flight drains off the edge during the idle
+        # gap between runs; its remaining hops are billed to that gap —
+        # callers snapshot hop_bytes_total after this, so neither run's
+        # reported window is polluted by the other's traffic
+        self.srf.step_n(self.floorplan.n_positions)
 
     def make_queues(self, program: Program) -> list[IcuQueue]:
         return [

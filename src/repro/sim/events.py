@@ -69,3 +69,17 @@ class EventQueue:
     def next_cycle(self) -> int | None:
         """Earliest scheduled cycle, or None when empty."""
         return self._heap[0][0] if self._heap else None
+
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle after ``cycle`` needing event service, or None.
+
+        The fast-forward core must not skip past any pending event.  An
+        event scheduled at or before ``cycle`` (stale, or same-cycle work
+        registered after its phase already ran) reports ``cycle + 1``, so
+        the skipping path degrades to the cycle-by-cycle behaviour of the
+        slow loop instead of jumping over it.
+        """
+        if not self._heap:
+            return None
+        first = self._heap[0][0]
+        return first if first > cycle else cycle + 1

@@ -42,6 +42,11 @@ class BarrierController:
         self.latency = latency
         self._releases: list[int] = []
 
+    def begin_run(self) -> None:
+        """Cycle numbering restarts per run; old epochs must not release
+        a Sync parked by a later run."""
+        self._releases.clear()
+
     def notify(self, cycle: int) -> int:
         release = cycle + self.latency
         self._releases.append(release)
@@ -87,6 +92,26 @@ class IcuQueue:
     @property
     def parked(self) -> bool:
         return self.park_cycle is not None
+
+    # ------------------------------------------------------------------
+    def next_active_cycle(self, cycle: int) -> int | None:
+        """Earliest cycle after ``cycle`` at which this queue can act.
+
+        ``None`` means the queue never acts again on its own: it has
+        retired everything, or it is parked on a ``Sync`` with no released
+        ``Notify`` (a later Notify is itself a dispatch on another queue,
+        i.e. an active cycle, after which the horizon is recomputed).
+        Between ``cycle`` and the returned cycle, :meth:`step` is a
+        guaranteed no-op — the contract the fast-forward core relies on.
+        """
+        if self.done:
+            return None
+        if self.parked:
+            release = self.chip.barrier.release_for(self.park_cycle)
+            if release is None:
+                return None
+            return release if release > cycle else cycle + 1
+        return self.busy_until if self.busy_until > cycle else cycle + 1
 
     # ------------------------------------------------------------------
     def step(self, cycle: int) -> bool:

@@ -42,6 +42,10 @@ class MemSliceUnit(FunctionalUnit):
         # (cycle -> set of access kinds) for bank-conflict detection
         self._accesses: dict[int, list[tuple[str, int]]] = {}
 
+    def begin_run(self) -> None:
+        # cycle-keyed: run N+1's cycle 0 must not conflict with run N's
+        self._accesses.clear()
+
     @property
     def storage(self) -> np.ndarray:
         if self._storage is None:

@@ -47,6 +47,12 @@ class StreamRegisterFile:
             (2, streams, n_pos, config.n_superlanes), dtype=np.uint16
         )
         self._driven_this_cycle: set[tuple[int, int, int]] = set()
+        #: live stream values, so quiescent steps can skip the dense shift
+        self._n_valid = 0
+        #: set when state was mutated behind ``drive()``'s back (fault
+        #: injection, raw check overrides) — disables the empty-chip
+        #: shortcut so such bytes still propagate exactly
+        self._dirty = False
         #: bytes that advanced a hop, for the power model
         self.hop_bytes_total = 0
         #: single-bit stream errors corrected at consumers (CSR counter)
@@ -80,6 +86,8 @@ class StreamRegisterFile:
         """
         d, s, p = self._index(direction, stream, position)
         self._checks[d, s, p] = np.asarray(checks, dtype=np.uint16)
+        if not self._valid[d, s, p]:
+            self._dirty = True
 
     def _index(self, direction: Direction, stream: int, position: int):
         if not 0 <= stream < self.config.streams_per_direction:
@@ -118,7 +126,9 @@ class StreamRegisterFile:
                 f"{vec.shape}"
             )
         self._values[d, s, p] = vec
-        self._valid[d, s, p] = True
+        if not self._valid[d, s, p]:
+            self._valid[d, s, p] = True
+            self._n_valid += 1
         if self._ecc_enabled:
             words = vec.reshape(self.config.n_superlanes, -1)
             self._checks[d, s, p] = ecc.encode_checks(words)
@@ -160,32 +170,78 @@ class StreamRegisterFile:
         d, s, p = self._index(direction, stream, position)
         byte, bitpos = divmod(bit, 8)
         self._values[d, s, p, byte] ^= np.uint8(1 << bitpos)
+        self._dirty = True
 
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance every stream one hop; edge values fall off the chip."""
-        lanes = self.config.n_lanes
-        self.hop_bytes_total += int(self._valid.sum()) * lanes
+        if self._n_valid or self._dirty:
+            self._shift(1)
+        self._driven_this_cycle.clear()
 
+    def step_n(self, n: int) -> None:
+        """Advance ``n`` hops at once — the fast-forward bulk path.
+
+        Bit-identical to calling :meth:`step` ``n`` times: values past the
+        chip edge fall off, and ``hop_bytes_total`` integrates each value's
+        completed hops analytically instead of summing the mask ``n``
+        times.  Used by :meth:`~repro.sim.chip.TspChip.run` to cross
+        quiescent cycle spans in one shot.
+        """
+        if n == 1:
+            self.step()
+            return
+        if n > 0 and (self._n_valid or self._dirty):
+            self._shift(n)
+        self._driven_this_cycle.clear()
+
+    def _shift(self, n: int) -> None:
+        """Move all content ``n`` positions; charge completed hops.
+
+        A hop is charged only when a value actually lands on the next
+        stream register: an eastward value at position ``p`` completes
+        ``min(n, last - p)`` hops before falling off the east edge (and
+        symmetrically westward), so edge values are never billed for the
+        cycle in which they leave the chip.
+        """
+        lanes = self.config.n_lanes
+        n_pos = self.floorplan.n_positions
+        last = n_pos - 1
         e = _DIR_INDEX[Direction.EASTWARD]
         w = _DIR_INDEX[Direction.WESTWARD]
-        self._values[e, :, 1:] = self._values[e, :, :-1]
-        self._values[e, :, 0] = 0
-        self._valid[e, :, 1:] = self._valid[e, :, :-1]
-        self._valid[e, :, 0] = False
 
-        self._values[w, :, :-1] = self._values[w, :, 1:]
-        self._values[w, :, -1] = 0
-        self._valid[w, :, :-1] = self._valid[w, :, 1:]
-        self._valid[w, :, -1] = False
+        e_pos = np.nonzero(self._valid[e])[1]
+        w_pos = np.nonzero(self._valid[w])[1]
+        hops = int(np.minimum(last - e_pos, n).sum())
+        hops += int(np.minimum(w_pos, n).sum())
+        self.hop_bytes_total += hops * lanes
 
-        if self._ecc_enabled:
-            self._checks[e, :, 1:] = self._checks[e, :, :-1]
-            self._checks[e, :, 0] = 0
-            self._checks[w, :, :-1] = self._checks[w, :, 1:]
-            self._checks[w, :, -1] = 0
+        k = min(n, n_pos)
+        if k == n_pos:
+            self._values[:] = 0
+            self._valid[:] = False
+            self._checks[:] = 0
+            self._n_valid = 0
+            self._dirty = False
+        else:
+            self._values[e, :, k:] = self._values[e, :, :-k]
+            self._values[e, :, :k] = 0
+            self._valid[e, :, k:] = self._valid[e, :, :-k]
+            self._valid[e, :, :k] = False
 
-        self._driven_this_cycle.clear()
+            self._values[w, :, :-k] = self._values[w, :, k:]
+            self._values[w, :, -k:] = 0
+            self._valid[w, :, :-k] = self._valid[w, :, k:]
+            self._valid[w, :, -k:] = False
+
+            if self._ecc_enabled:
+                self._checks[e, :, k:] = self._checks[e, :, :-k]
+                self._checks[e, :, :k] = 0
+                self._checks[w, :, :-k] = self._checks[w, :, k:]
+                self._checks[w, :, -k:] = 0
+
+            fell = int((last - e_pos < k).sum()) + int((w_pos < k).sum())
+            self._n_valid -= fell
 
     # ------------------------------------------------------------------
     def snapshot_valid(self) -> np.ndarray:

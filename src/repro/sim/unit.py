@@ -41,6 +41,15 @@ class FunctionalUnit:
             f"{self.address} cannot execute {instruction.mnemonic}"
         )
 
+    def begin_run(self) -> None:
+        """Per-run reset: drop state keyed by the previous run's cycles.
+
+        Cycle numbering restarts at 0 on every ``run()`` call, so any
+        cycle-keyed transient log (e.g. the MEM bank-conflict window)
+        would alias the old run's accesses onto the new one.  Durable
+        state — SRAM contents, installed weights — is deliberately kept.
+        """
+
     # -- timing helpers --------------------------------------------------
     def dfunc(self, instruction: Instruction) -> int:
         return instruction.dfunc(self.chip.timing)

@@ -14,6 +14,10 @@ scheduled.  This package makes that claim checkable for the reproduction:
   :class:`~repro.sim.chip.TspChip` that watch stream drives, SRAM bank
   accesses, and instruction dispatch against the scheduler's predictions
   (Equation 4/5);
+* :mod:`repro.verify.lockstep` — executes one compiled program under both
+  the fast-forward and cycle-by-cycle simulator cores and asserts
+  bit-identical memory, outputs, traces, cycle counts, and checker event
+  streams — the equivalence proof-obligation of the skipping core;
 * :mod:`repro.verify.coverage` — tracks which opcodes, dtypes, and slice
   families a run exercises and enforces a coverage threshold;
 * :mod:`repro.verify.suite` — the conformance sweep exercising every
@@ -28,6 +32,12 @@ from .invariants import (
     StreamCollisionChecker,
     TimingContractChecker,
     Violation,
+)
+from .lockstep import (
+    LockstepResult,
+    RecordingChecker,
+    assert_lockstep,
+    run_lockstep,
 )
 from .oracle import (
     DifferentialResult,
@@ -47,11 +57,15 @@ __all__ = [
     "DivergenceReport",
     "GraphInterpreter",
     "InvariantChecker",
+    "LockstepResult",
+    "RecordingChecker",
     "StreamCollisionChecker",
     "TimingContractChecker",
     "Violation",
     "assert_conformance",
+    "assert_lockstep",
     "interpret",
     "run_conformance",
     "run_differential",
+    "run_lockstep",
 ]

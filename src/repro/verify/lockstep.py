@@ -1,0 +1,239 @@
+"""Lockstep fast-vs-slow comparator for the fast-forward core.
+
+The fast-forward execution core (:meth:`repro.sim.chip.TspChip.run` with
+``fast_forward=True``) claims to be *provably equivalent* to the
+cycle-by-cycle reference path: skipping a quiescent span changes no
+architectural outcome because the TSP's timing is fully deterministic and
+compiler-known (Section IV-F).  This module turns that claim into a
+checkable property: :func:`run_lockstep` executes the same compiled
+program on two fresh chips — one per mode — and compares every observable
+surface bit-for-bit:
+
+* output tensors and the full materialized MEM image;
+* cycle count, per-run instruction count, and every activity tally
+  (including the analytically integrated ``stream_hop_bytes``);
+* the dispatch trace;
+* the checker event streams (every dispatch, stream drive, and SRAM
+  access observed by an attached recorder);
+* ECC correction counts.
+
+``assert_lockstep`` raises :class:`~repro.errors.DivergenceError` with a
+rendered report on any mismatch, mirroring the differential oracle's
+contract.  The compiler fuzz suite routes every generated program through
+it, so the corpus continuously re-proves the equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..compiler.runner import bind_input, load_compiled
+from ..compiler.scheduler import CompiledProgram
+from ..errors import DivergenceError, SimulationError
+from ..sim.chip import RunResult, TspChip
+from .invariants import InvariantChecker
+
+
+class RecordingChecker(InvariantChecker):
+    """Records the full observable event stream of one run.
+
+    Attached to both the fast and slow chips so the comparator can assert
+    that the two modes presented *identical* streams to the invariant
+    layer — not merely identical end states.
+    """
+
+    name = "recording"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: list[tuple] = []
+        self.skips: list[tuple[int, int]] = []
+        self.final_cycle: int | None = None
+
+    def on_dispatch(self, cycle, icu, instruction) -> None:
+        self.events.append(
+            ("dispatch", cycle, icu, instruction.mnemonic, str(instruction))
+        )
+
+    def on_drive(self, cycle, direction, stream, position) -> None:
+        self.events.append(("drive", cycle, direction.value, stream, position))
+
+    def on_mem_access(self, cycle, slice_name, kind, bank, address) -> None:
+        self.events.append(("mem", cycle, slice_name, kind, bank, address))
+
+    def on_cycles_skipped(self, first_cycle, n_cycles) -> None:
+        # bookkeeping only: skips are a fast-path artifact, not an
+        # architectural event, so they are excluded from the comparison
+        self.skips.append((first_cycle, n_cycles))
+
+    def finish(self, cycle) -> None:
+        self.final_cycle = cycle
+
+
+@dataclass
+class LockstepExecution:
+    """One half of a lockstep pair."""
+
+    run: RunResult
+    outputs: dict[str, np.ndarray]
+    memory: dict[str, bytes]
+    recorder: RecordingChecker
+
+
+@dataclass
+class LockstepResult:
+    """Both executions plus every detected divergence."""
+
+    slow: LockstepExecution
+    fast: LockstepExecution
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def render(self) -> str:
+        lines = [
+            "lockstep comparator: fast-forward and cycle-by-cycle paths "
+            "disagree"
+        ]
+        lines.extend(f"  {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def _execute_mode(
+    compiled: CompiledProgram,
+    inputs: dict[str, np.ndarray],
+    fast_forward: bool,
+    timing,
+    max_cycles: int,
+    warmup_barrier: bool,
+    enable_ecc: bool,
+) -> LockstepExecution:
+    from ..compiler.runner import fetch_output
+
+    chip = TspChip(
+        compiled.config, timing=timing, trace=True, enable_ecc=enable_ecc
+    )
+    recorder = RecordingChecker()
+    chip.attach_checker(recorder)
+    load_compiled(chip, compiled)
+    for name, spec in compiled.inputs.items():
+        if name not in inputs:
+            raise SimulationError(f"input {name!r} was not bound")
+        bind_input(chip, spec, inputs[name])
+    run = chip.run(
+        compiled.program,
+        max_cycles=max_cycles,
+        warmup_barrier=warmup_barrier,
+        fast_forward=fast_forward,
+    )
+    outputs = {
+        name: fetch_output(chip, spec)
+        for name, spec in compiled.outputs.items()
+    }
+    return LockstepExecution(
+        run=run,
+        outputs=outputs,
+        memory=chip.memory_image(),
+        recorder=recorder,
+    )
+
+
+def run_lockstep(
+    compiled: CompiledProgram,
+    inputs: dict[str, np.ndarray] | None = None,
+    timing=None,
+    max_cycles: int = 1_000_000,
+    warmup_barrier: bool = False,
+    enable_ecc: bool = False,
+) -> LockstepResult:
+    """Execute ``compiled`` in both modes on fresh chips; compare all state."""
+    inputs = inputs or {}
+    slow = _execute_mode(
+        compiled, inputs, False, timing, max_cycles, warmup_barrier,
+        enable_ecc,
+    )
+    fast = _execute_mode(
+        compiled, inputs, True, timing, max_cycles, warmup_barrier,
+        enable_ecc,
+    )
+    result = LockstepResult(slow=slow, fast=fast)
+    _compare(result)
+    return result
+
+
+def assert_lockstep(compiled: CompiledProgram, **kwargs) -> LockstepResult:
+    """``run_lockstep`` that raises :class:`DivergenceError` on mismatch."""
+    result = run_lockstep(compiled, **kwargs)
+    if not result.ok:
+        raise DivergenceError(result.render())
+    return result
+
+
+# ----------------------------------------------------------------------
+def _compare(result: LockstepResult) -> None:
+    slow, fast = result.slow, result.fast
+    note = result.mismatches.append
+
+    if slow.run.cycles != fast.run.cycles:
+        note(
+            f"cycle count: slow={slow.run.cycles} fast={fast.run.cycles}"
+        )
+    if slow.run.instructions != fast.run.instructions:
+        note(
+            f"instructions: slow={slow.run.instructions} "
+            f"fast={fast.run.instructions}"
+        )
+    if slow.run.ecc_corrections != fast.run.ecc_corrections:
+        note(
+            f"ecc corrections: slow={slow.run.ecc_corrections} "
+            f"fast={fast.run.ecc_corrections}"
+        )
+    if slow.run.activity != fast.run.activity:
+        note(
+            f"activity counts: slow={slow.run.activity} "
+            f"fast={fast.run.activity}"
+        )
+
+    if slow.run.trace != fast.run.trace:
+        for i, (a, b) in enumerate(zip(slow.run.trace, fast.run.trace)):
+            if a != b:
+                note(f"trace[{i}]: slow={a} fast={b}")
+                break
+        else:
+            note(
+                f"trace length: slow={len(slow.run.trace)} "
+                f"fast={len(fast.run.trace)}"
+            )
+
+    sev, fev = slow.recorder.events, fast.recorder.events
+    if sev != fev:
+        for i, (a, b) in enumerate(zip(sev, fev)):
+            if a != b:
+                note(f"checker event[{i}]: slow={a} fast={b}")
+                break
+        else:
+            note(f"checker events: slow={len(sev)} fast={len(fev)}")
+    if slow.recorder.final_cycle != fast.recorder.final_cycle:
+        note(
+            f"checker finish cycle: slow={slow.recorder.final_cycle} "
+            f"fast={fast.recorder.final_cycle}"
+        )
+
+    for name in sorted(set(slow.outputs) | set(fast.outputs)):
+        a, b = slow.outputs.get(name), fast.outputs.get(name)
+        if a is None or b is None:
+            note(f"output {name!r} missing from one mode")
+        elif a.shape != b.shape or a.tobytes() != b.tobytes():
+            note(f"output {name!r} differs bit-wise")
+
+    slices = sorted(set(slow.memory) | set(fast.memory))
+    for name in slices:
+        a, b = slow.memory.get(name), fast.memory.get(name)
+        if a is None or b is None:
+            note(f"MEM slice {name} materialized in only one mode")
+        elif a != b:
+            note(f"MEM slice {name} differs bit-wise")

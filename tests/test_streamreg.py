@@ -129,3 +129,94 @@ class TestEccTransport:
         srf.drive(Direction.EASTWARD, 0, 5, vec(config))
         srf.step()
         assert srf.hop_bytes_total == config.n_lanes
+
+    def test_full_chip_traversal_bills_interior_hops_only(self, config):
+        """Regression: the edge hop is not a hop — the value falls off.
+
+        A vector driven at position 0 eastward crosses ``n_positions - 1``
+        register boundaries before leaving the chip; the old accounting
+        charged it one extra hop at the edge it never completed.
+        """
+        srf = StreamRegisterFile(config, Floorplan(config))
+        n_pos = Floorplan(config).n_positions
+        srf.drive(Direction.EASTWARD, 0, 0, vec(config))
+        for _ in range(n_pos + 2):  # run past the edge
+            srf.step()
+        assert srf.hop_bytes_total == (n_pos - 1) * config.n_lanes
+
+    def test_edge_drive_bills_nothing(self, config, srf):
+        last = Floorplan(config).n_positions - 1
+        srf.drive(Direction.EASTWARD, 0, last, vec(config))
+        srf.drive(Direction.WESTWARD, 1, 0, vec(config))
+        srf.step()
+        assert srf.hop_bytes_total == 0
+
+
+class TestStepN:
+    """``step_n(k)`` must be observably identical to ``k`` single steps."""
+
+    def _populate(self, config, srf, seed):
+        rng = np.random.default_rng(seed)
+        n_pos = Floorplan(config).n_positions
+        for direction in (Direction.EASTWARD, Direction.WESTWARD):
+            for _ in range(4):
+                stream = int(rng.integers(config.streams_per_direction))
+                position = int(rng.integers(n_pos))
+                try:
+                    srf.drive(
+                        direction,
+                        stream,
+                        position,
+                        vec(config, int(rng.integers(1, 200))),
+                    )
+                except StreamContentionError:
+                    pass
+        srf.step()  # commit the drives so step_n starts from clean state
+
+    def _snapshot(self, config, srf):
+        n_pos = Floorplan(config).n_positions
+        state = []
+        for direction in (Direction.EASTWARD, Direction.WESTWARD):
+            for stream in range(config.streams_per_direction):
+                for position in range(n_pos):
+                    if srf.is_valid(direction, stream, position):
+                        state.append(
+                            (
+                                direction,
+                                stream,
+                                position,
+                                srf.read(direction, stream, position).tobytes(),
+                            )
+                        )
+        return state
+
+    @given(k=st.integers(1, 40), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_step_n_equals_k_steps(self, k, seed):
+        from repro.config import small_test_chip
+
+        config = small_test_chip()
+        floorplan = Floorplan(config)
+        bulk = StreamRegisterFile(config, floorplan)
+        single = StreamRegisterFile(config, floorplan)
+        self._populate(config, bulk, seed)
+        self._populate(config, single, seed)
+
+        bulk.step_n(k)
+        for _ in range(k):
+            single.step()
+
+        assert self._snapshot(config, bulk) == self._snapshot(config, single)
+        assert bulk.hop_bytes_total == single.hop_bytes_total
+
+    def test_step_n_past_the_edge_clears_everything(self, config, srf):
+        n_pos = Floorplan(config).n_positions
+        srf.drive(Direction.EASTWARD, 0, 3, vec(config))
+        srf.step_n(n_pos + 10)
+        assert self._snapshot(config, srf) == []
+        # 3 → edge is n_pos - 1 - 3 completed hops
+        assert srf.hop_bytes_total == (n_pos - 1 - 3) * config.n_lanes
+
+    def test_step_n_on_empty_file_is_free(self, config, srf):
+        srf.step_n(10_000)
+        assert srf.hop_bytes_total == 0
