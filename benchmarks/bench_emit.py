@@ -14,10 +14,15 @@ path), on three representative workloads:
   the paper targets (deadline-paced inference, Section I), and most of
   its cycles are quiescent — the fast path's headline win.
 
-The artifact schema (``tsp-sim-bench/1``)::
+Each workload is additionally measured with a
+:class:`repro.obs.TelemetryCollector` attached to the fast path
+(``fast_telemetry``), so the artifact tracks the cost of observability
+alongside the cost of simulation itself.
+
+The artifact schema (``tsp-sim-bench/2``)::
 
     {
-      "schema": "tsp-sim-bench/1",
+      "schema": "tsp-sim-bench/2",
       "host": {"python": ..., "numpy": ..., "machine": ...},
       "workloads": [
         {
@@ -26,10 +31,12 @@ The artifact schema (``tsp-sim-bench/1``)::
             "slow": {"seconds": s, "cycles_per_host_second": r,
                      "skipped_cycles": 0},
             "fast": {"seconds": s, "cycles_per_host_second": r,
-                     "skipped_cycles": k}
+                     "skipped_cycles": k},
+            "fast_telemetry": {...same, collector attached...}
           },
           "speedup": fast_rate / slow_rate,
-          "skipped_fraction": k / cycles
+          "skipped_fraction": k / cycles,
+          "telemetry_overhead": fast_rate / telemetry_rate - 1
         }, ...
       ]
     }
@@ -42,8 +49,10 @@ speedup floor and writes the same artifact from its own run.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
+import statistics
 import time
 
 import numpy as np
@@ -52,10 +61,11 @@ from repro.arch import Direction, Floorplan, Hemisphere
 from repro.compiler import StreamProgramBuilder, load_compiled
 from repro.compiler.scheduler import CompiledProgram
 from repro.isa import IcuId, Nop, Program, Read, Repeat, Write
+from repro.obs import TelemetryCollector
 from repro.sim import TspChip
 from repro.testing import make_full_config, make_small_config
 
-SCHEMA = "tsp-sim-bench/1"
+SCHEMA = "tsp-sim-bench/2"
 
 
 # ----------------------------------------------------------------------
@@ -112,20 +122,39 @@ def build_paced_program(
 
 # ----------------------------------------------------------------------
 # measurement
-def measure(config, program, fast_forward: bool, repeats: int = 3) -> dict:
-    """Best-of-``repeats`` wall time for one program on a fresh chip."""
+def measure(
+    config,
+    program,
+    fast_forward: bool,
+    repeats: int = 3,
+    attach_telemetry: bool = False,
+) -> dict:
+    """Best-of-``repeats`` wall time for one program on a fresh chip.
+
+    The collector pauses garbage collection around the timed region:
+    a GC pass landing inside one run but not another would swamp the
+    millisecond-scale differences this artifact exists to track.
+    """
     best = None
     cycles = skipped = 0
     for _ in range(repeats):
         chip = TspChip(config)
+        if attach_telemetry:
+            chip.attach_telemetry(TelemetryCollector())
         if isinstance(program, CompiledProgram):
             load_compiled(chip, program)
             to_run = program.program
         else:
             to_run = program
-        start = time.perf_counter()
-        result = chip.run(to_run, fast_forward=fast_forward)
-        elapsed = time.perf_counter() - start
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = chip.run(to_run, fast_forward=fast_forward)
+            elapsed = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         cycles, skipped = result.cycles, result.skipped_cycles
         if best is None or elapsed < best:
             best = elapsed
@@ -138,8 +167,29 @@ def measure(config, program, fast_forward: bool, repeats: int = 3) -> dict:
 
 
 def measure_workload(name, lanes, config, program, repeats: int = 3) -> dict:
-    slow = measure(config, program, fast_forward=False, repeats=repeats)
-    fast = measure(config, program, fast_forward=True, repeats=repeats)
+    # interleave the three modes so host-speed drift (frequency scaling,
+    # noisy neighbours) lands on all of them alike instead of skewing the
+    # speedup/overhead ratios, then keep each mode's best round
+    slow = fast = telemetry = None
+    speedups = []
+    overheads = []
+    for _ in range(repeats):
+        s = measure(config, program, fast_forward=False, repeats=1)
+        f = measure(config, program, fast_forward=True, repeats=1)
+        t = measure(
+            config, program, fast_forward=True, repeats=1,
+            attach_telemetry=True,
+        )
+        # ratios are taken within a round (adjacent runs), medians across
+        # rounds, so a disturbance in one round cannot skew the figures
+        speedups.append(s["seconds"] / f["seconds"])
+        overheads.append(t["seconds"] / f["seconds"] - 1.0)
+        if slow is None or s["seconds"] < slow["seconds"]:
+            slow = s
+        if fast is None or f["seconds"] < fast["seconds"]:
+            fast = f
+        if telemetry is None or t["seconds"] < telemetry["seconds"]:
+            telemetry = t
     cycles = fast["cycles"]
     entry = {
         "name": name,
@@ -148,12 +198,13 @@ def measure_workload(name, lanes, config, program, repeats: int = 3) -> dict:
         "modes": {
             "slow": {k: v for k, v in slow.items() if k != "cycles"},
             "fast": {k: v for k, v in fast.items() if k != "cycles"},
+            "fast_telemetry": {
+                k: v for k, v in telemetry.items() if k != "cycles"
+            },
         },
-        "speedup": round(
-            fast["cycles_per_host_second"] / slow["cycles_per_host_second"],
-            2,
-        ),
+        "speedup": round(statistics.median(speedups), 2),
         "skipped_fraction": round(fast["skipped_cycles"] / cycles, 4),
+        "telemetry_overhead": round(statistics.median(overheads), 4),
     }
     return entry
 
@@ -223,7 +274,8 @@ def main(argv=None) -> None:
         print(
             f"{w['name']:>10}: slow {slow:>12,.0f} cyc/s   "
             f"fast {fast:>12,.0f} cyc/s   speedup {w['speedup']:.2f}x   "
-            f"skipped {w['skipped_fraction']:.1%}"
+            f"skipped {w['skipped_fraction']:.1%}   "
+            f"telemetry {w['telemetry_overhead']:+.1%}"
         )
     print(f"wrote {args.output}")
 

@@ -70,6 +70,43 @@ class ActivityCounts:
             }
         )
 
+    #: (domain, counter) -> ActivityCounts field: how the fine-grained
+    #: telemetry hierarchy rolls up into this coarse tally.  Ifetch refills
+    #: read program text out of the same SRAM as data, so they land in
+    #: ``sram_read_bytes`` alongside MEM-slice reads.
+    FINE_ROLLUP = {
+        ("mem", "read_bytes"): "sram_read_bytes",
+        ("mem", "write_bytes"): "sram_write_bytes",
+        ("icu", "ifetch_bytes"): "sram_read_bytes",
+        ("icu", "dispatches"): "instructions",
+        ("mxm", "macc_ops"): "macc_ops",
+        ("vxm", "alu_ops"): "alu_ops",
+        ("sxm", "bytes"): "sxm_bytes",
+        ("srf", "hop_bytes"): "stream_hop_bytes",
+    }
+
+    @classmethod
+    def from_fine(
+        cls, unit_totals: dict, cycles: int = 0
+    ) -> "ActivityCounts":
+        """Roll a telemetry counter hierarchy up into an activity tally.
+
+        ``unit_totals`` maps ``"domain:instance"`` unit names to
+        ``{counter: total}`` dicts (the shape of
+        :meth:`repro.obs.TelemetryCollector.totals`).  Counters without a
+        :data:`FINE_ROLLUP` entry (bank conflicts, stall/parked cycles,
+        occupancy, C2C link traffic, weight installs) have no dynamic-energy
+        term here and are ignored.
+        """
+        activity = cls(cycles=cycles)
+        for unit, counters in unit_totals.items():
+            domain = unit.split(":", 1)[0]
+            for counter, value in counters.items():
+                target = cls.FINE_ROLLUP.get((domain, counter))
+                if target is not None:
+                    setattr(activity, target, getattr(activity, target) + value)
+        return activity
+
 
 @dataclass(frozen=True)
 class PowerModel:

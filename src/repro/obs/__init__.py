@@ -1,0 +1,30 @@
+"""Chip-wide telemetry: counters, Perfetto traces, bottleneck attribution.
+
+Three layers, all exact under fast-forward simulation:
+
+* :mod:`repro.obs.counters` — the hierarchical per-unit counter registry
+  (:class:`TelemetryCollector`), windowed and integrated analytically
+  across quiescent-span skips so dense and fast-forward runs produce
+  bit-identical telemetry.
+* :mod:`repro.obs.trace` — :class:`PerfettoTraceBuilder`, joining
+  compile-time schedule intent with runtime dispatch into Chrome/Perfetto
+  trace JSON (true durations, counter tracks, producer→consumer flows).
+* :mod:`repro.obs.attribution` — :func:`attribute` /
+  :func:`render_report`, the per-phase roofline + top-slices + stall
+  taxonomy report behind ``python -m repro.obs``.
+"""
+
+from .attribution import attribute, render_report, write_report
+from .counters import AutoTelemetry, TelemetryCollector
+from .trace import PerfettoTraceBuilder, instruction_duration, write_trace
+
+__all__ = [
+    "AutoTelemetry",
+    "PerfettoTraceBuilder",
+    "TelemetryCollector",
+    "attribute",
+    "instruction_duration",
+    "render_report",
+    "write_report",
+    "write_trace",
+]

@@ -1,0 +1,609 @@
+"""The chip-wide telemetry counter registry.
+
+A :class:`TelemetryCollector` is the observability analogue of the paper's
+determinism argument: because every state transition on the TSP happens at
+a compiler-known cycle, *telemetry does not need to sample* — every counter
+increment can be attributed to an exact cycle, bucketed into fixed-width
+windows, and the result is a fact, not an estimate.
+
+The registry is hierarchical: counters are keyed ``domain:unit`` →
+``counter name`` → ``window index`` → value, e.g.
+
+    mem:MEM_W3   read_bytes / write_bytes / bank_conflicts
+    icu:MEM_W3   dispatches / dispatch_cycles / stall_cycles /
+                 parked_cycles / ifetch_bytes
+    mxm:MXM_E.plane0   macc_ops / weight_bytes
+    vxm:alu5     alu_ops
+    sxm:SXM_E    bytes
+    c2c:C2C_E.link0    sent_bytes / received_bytes
+    srf:E, srf:W       hop_bytes / occupancy_cycles
+
+plus scalar high/low-water marks (instruction-queue depth).
+
+**Exactness under fast-forward.**  Counters fall into two classes:
+
+* *Transition-attributed* counters (dispatches, SRAM bytes, MACCs, ALU
+  ops, stall/parked spans) are incremented at state transitions —
+  dispatches and scheduled events — which the fast-forward core executes
+  at exactly the same cycles as the dense core (a skipped span contains no
+  transition by construction of ``next_active_cycle``).  Multi-cycle spans
+  (a ``NOP 500``'s occupancy, a parked ``Sync``) are known in full at the
+  transition that starts them, so :meth:`count_span` distributes them over
+  windows in closed form.
+* *Flow-integrated* counters (stream hop bytes, per-direction SRF
+  occupancy) change on every cycle a value is in flight.  During a bulk
+  ``step_n(n)`` skip the per-cycle totals form a non-increasing step
+  function of the per-value remaining-hop counts, which
+  :meth:`on_stream_shift` integrates analytically into the same windows
+  the dense path fills one cycle at a time.
+
+Both classes are therefore bit-identical between the dense and
+fast-forward cores — a property ``repro.verify.lockstep`` asserts on every
+compiled program in the fuzz corpus.
+
+Collectors are opt-in: a chip with no collector attached executes zero
+telemetry code beyond one ``is not None`` test per instrumentation site
+(and none per cycle).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from ..arch.power import ActivityCounts
+
+# registry keys of the four SRF counters — the only ones touched on every
+# live cycle, so the hot paths below pre-resolve their buckets
+_SRF_E_HOP = ("srf:E", "hop_bytes")
+_SRF_W_HOP = ("srf:W", "hop_bytes")
+_SRF_E_OCC = ("srf:E", "occupancy_cycles")
+_SRF_W_OCC = ("srf:W", "occupancy_cycles")
+
+
+class TelemetryCollector:
+    """Hierarchical per-unit perf counters in fixed-width cycle windows.
+
+    Attach to a chip with :meth:`~repro.sim.chip.TspChip.attach_telemetry`;
+    every instrumentation hook in the simulator feeds it.  One collector
+    is meant to observe one chip; cycle numbering restarts at 0 on every
+    ``run()``, so windows of back-to-back runs on the same chip alias onto
+    each other (totals stay exact; attach a fresh collector per run when
+    per-window data matters).
+    """
+
+    def __init__(
+        self, window_cycles: int = 256, name: str | None = None
+    ) -> None:
+        if window_cycles < 1:
+            raise ValueError("window_cycles must be >= 1")
+        self.window_cycles = window_cycles
+        self.name = name
+        #: (unit, counter) -> {window index -> amount}
+        self._windows: dict[tuple[str, str], dict[int, int]] = {}
+        #: (unit, counter) -> running total (== sum of the windows)
+        self._totals: dict[tuple[str, str], int] = {}
+        #: (unit, counter) -> extremum scalars (queue depth marks)
+        self._high: dict[tuple[str, str], int] = {}
+        self._low: dict[tuple[str, str], int] = {}
+        #: observed cycles, accumulated by ``on_run_end``
+        self.cycles = 0
+        #: (cycle, IcuId, Instruction) per dispatch, for the trace builder
+        self.dispatch_log: list[tuple] = []
+        # hot-path caches: pre-resolved (key, bucket) slots for the
+        # counters touched on every dispatch and every live SRF cycle,
+        # so those hooks skip :meth:`count`'s key construction + lookups
+        self._dispatch_state: dict = {}
+        self._icu_state: dict = {}
+        self._mem_state: dict = {}
+        self._srf_eh: dict[int, int] | None = None
+        self._srf_wh: dict[int, int] | None = None
+        self._srf_eo: dict[int, int] | None = None
+        self._srf_wo: dict[int, int] | None = None
+        # bound at attach time (used by the trace/attribution layers)
+        self.config = None
+        self.floorplan = None
+        self.timing = None
+
+    # ------------------------------------------------------------------
+    def bind(self, chip) -> None:
+        """Remember the observed chip's geometry and timing model."""
+        self.config = chip.config
+        self.floorplan = chip.floorplan
+        self.timing = chip.timing
+
+    # ------------------------------------------------------------------
+    # primitive accumulation
+    # ------------------------------------------------------------------
+    def _bucket(self, key: tuple[str, str]) -> dict[int, int]:
+        """Resolve (registering if new) the window dict of one counter."""
+        buckets = self._windows.get(key)
+        if buckets is None:
+            buckets = self._windows[key] = {}
+            self._totals[key] = 0
+        return buckets
+
+    def count(self, unit: str, counter: str, cycle: int, amount: int = 1) -> None:
+        """Attribute ``amount`` to the window containing ``cycle``."""
+        key = (unit, counter)
+        window = cycle // self.window_cycles
+        buckets = self._windows.get(key)
+        if buckets is None:
+            buckets = self._windows[key] = {}
+            self._totals[key] = 0
+        buckets[window] = buckets.get(window, 0) + amount
+        self._totals[key] += amount
+
+    def count_span(
+        self,
+        unit: str,
+        counter: str,
+        start_cycle: int,
+        n_cycles: int,
+        per_cycle: int = 1,
+    ) -> None:
+        """Attribute ``per_cycle`` to each of ``n_cycles`` starting at
+        ``start_cycle``, distributed over windows in closed form.
+
+        Bit-identical to calling :meth:`count` once per covered cycle —
+        the discipline that keeps multi-cycle spans exact when the
+        fast-forward core crosses them without visiting each cycle.
+        """
+        if n_cycles <= 0 or per_cycle == 0:
+            return
+        key = (unit, counter)
+        width = self.window_cycles
+        buckets = self._windows.get(key)
+        if buckets is None:
+            buckets = self._windows[key] = {}
+            self._totals[key] = 0
+        first = start_cycle // width
+        last = (start_cycle + n_cycles - 1) // width
+        if first == last:
+            buckets[first] = buckets.get(first, 0) + n_cycles * per_cycle
+        else:
+            head = (first + 1) * width - start_cycle
+            buckets[first] = buckets.get(first, 0) + head * per_cycle
+            full = width * per_cycle
+            for w in range(first + 1, last):
+                buckets[w] = buckets.get(w, 0) + full
+            tail = start_cycle + n_cycles - last * width
+            buckets[last] = buckets.get(last, 0) + tail * per_cycle
+        self._totals[key] += n_cycles * per_cycle
+
+    def mark_high(self, unit: str, counter: str, value: int) -> None:
+        key = (unit, counter)
+        if key not in self._high or value > self._high[key]:
+            self._high[key] = value
+
+    def mark_low(self, unit: str, counter: str, value: int) -> None:
+        key = (unit, counter)
+        if key not in self._low or value < self._low[key]:
+            self._low[key] = value
+
+    # ------------------------------------------------------------------
+    # simulator hooks (see the instrumentation sites in repro.sim)
+    # ------------------------------------------------------------------
+    def on_dispatch(self, cycle: int, icu, instruction) -> None:
+        """Every dispatched instruction, including Repeat iterations."""
+        state = self._dispatch_state.get(icu)
+        if state is None:
+            key = (f"icu:{icu}", "dispatches")
+            state = self._dispatch_state[icu] = (key, self._bucket(key))
+        key, buckets = state
+        window = cycle // self.window_cycles
+        buckets[window] = buckets.get(window, 0) + 1
+        self._totals[key] += 1
+        self.dispatch_log.append((cycle, icu, instruction))
+
+    def on_icu_dispatch(
+        self,
+        icu_name: str,
+        cycle: int,
+        instruction,
+        busy_until: int,
+        buffer_bytes: int,
+    ) -> None:
+        """A queue consumed one dispatch slot (Repeat iterations excluded)."""
+        state = self._icu_state.get(icu_name)
+        if state is None:
+            unit = f"icu:{icu_name}"
+            dc_key = (unit, "dispatch_cycles")
+            sc_key = (unit, "stall_cycles")
+            state = self._icu_state[icu_name] = (
+                dc_key,
+                self._bucket(dc_key),
+                sc_key,
+                self._bucket(sc_key),
+                (unit, "iq_low_water_bytes"),
+            )
+        dc_key, dc_buckets, sc_key, sc_buckets, low_key = state
+        width = self.window_cycles
+        window = cycle // width
+        dc_buckets[window] = dc_buckets.get(window, 0) + 1
+        totals = self._totals
+        totals[dc_key] += 1
+        if busy_until > cycle + 1:
+            # NOP burn, Repeat pacing, multi-cycle occupancy: the queue is
+            # stalled (cannot dispatch) from cycle+1 until busy_until —
+            # same closed-form window split as count_span, inlined
+            start = cycle + 1
+            first = start // width
+            last = (busy_until - 1) // width
+            if first == last:
+                sc_buckets[first] = (
+                    sc_buckets.get(first, 0) + busy_until - start
+                )
+            else:
+                head = (first + 1) * width - start
+                sc_buckets[first] = sc_buckets.get(first, 0) + head
+                for w in range(first + 1, last):
+                    sc_buckets[w] = sc_buckets.get(w, 0) + width
+                tail = busy_until - last * width
+                sc_buckets[last] = sc_buckets.get(last, 0) + tail
+            totals[sc_key] += busy_until - start
+        low = self._low
+        if low_key not in low or buffer_bytes < low[low_key]:
+            low[low_key] = buffer_bytes
+
+    def on_icu_parked(
+        self, icu_name: str, park_cycle: int, release_cycle: int
+    ) -> None:
+        """A parked ``Sync`` released; bill the wait to its span."""
+        self.count_span(
+            f"icu:{icu_name}",
+            "parked_cycles",
+            park_cycle + 1,
+            release_cycle - park_cycle - 1,
+        )
+
+    def on_iq_depth(self, icu_name: str, buffer_bytes: int) -> None:
+        unit = f"icu:{icu_name}"
+        self.mark_high(unit, "iq_high_water_bytes", buffer_bytes)
+        self.mark_low(unit, "iq_low_water_bytes", buffer_bytes)
+
+    def on_ifetch(
+        self, icu_name: str, cycle: int, n_bytes: int, buffer_bytes: int
+    ) -> None:
+        unit = f"icu:{icu_name}"
+        self.count(unit, "ifetch_bytes", cycle, n_bytes)
+        self.mark_high(unit, "iq_high_water_bytes", buffer_bytes)
+
+    def on_mem_traffic(
+        self, slice_name: str, cycle: int, kind: str, n_bytes: int
+    ) -> None:
+        state = self._mem_state.get((slice_name, kind))
+        if state is None:
+            key = (f"mem:{slice_name}", f"{kind}_bytes")
+            state = self._mem_state[(slice_name, kind)] = (
+                key, self._bucket(key),
+            )
+        key, buckets = state
+        window = cycle // self.window_cycles
+        buckets[window] = buckets.get(window, 0) + n_bytes
+        self._totals[key] += n_bytes
+
+    def on_bank_conflict(self, slice_name: str, cycle: int) -> None:
+        self.count(f"mem:{slice_name}", "bank_conflicts", cycle)
+
+    def on_macc(
+        self, unit_name: str, plane: int, cycle: int, n_ops: int
+    ) -> None:
+        self.count(f"mxm:{unit_name}.plane{plane}", "macc_ops", cycle, n_ops)
+
+    def on_weights(
+        self, unit_name: str, plane: int, cycle: int, n_bytes: int
+    ) -> None:
+        self.count(
+            f"mxm:{unit_name}.plane{plane}", "weight_bytes", cycle, n_bytes
+        )
+
+    def on_alu(self, alu: int, cycle: int, n_ops: int) -> None:
+        self.count(f"vxm:alu{alu}", "alu_ops", cycle, n_ops)
+
+    def on_sxm(self, unit_name: str, cycle: int, n_bytes: int) -> None:
+        self.count(f"sxm:{unit_name}", "bytes", cycle, n_bytes)
+
+    def on_c2c(
+        self, unit_name: str, link: int, cycle: int, kind: str, n_bytes: int
+    ) -> None:
+        self.count(f"c2c:{unit_name}.link{link}", f"{kind}_bytes", cycle, n_bytes)
+
+    def on_run_end(self, final_cycle: int) -> None:
+        self.cycles += final_cycle
+
+    # ------------------------------------------------------------------
+    def _init_srf(self) -> None:
+        """Resolve and cache the four SRF counter buckets.
+
+        All four are registered together on the first live shift, in both
+        cores alike, so dense/fast snapshots stay identical.
+        """
+        self._srf_eh = self._bucket(_SRF_E_HOP)
+        self._srf_wh = self._bucket(_SRF_W_HOP)
+        self._srf_eo = self._bucket(_SRF_E_OCC)
+        self._srf_wo = self._bucket(_SRF_W_OCC)
+
+    def on_stream_shift(
+        self,
+        first_cycle: int,
+        n: int,
+        e_pos: np.ndarray,
+        w_pos: np.ndarray,
+        last: int,
+        lanes: int,
+        hops_e: int | None = None,
+        hops_w: int | None = None,
+        fell_e: int | None = None,
+        fell_w: int | None = None,
+    ) -> None:
+        """Integrate SRF hop bytes and occupancy over an ``n``-cycle shift.
+
+        ``e_pos``/``w_pos`` are the pre-shift positions of valid values.
+        An eastward value at position ``p`` completes ``min(n, last - p)``
+        hops (it is never billed for the cycle it falls off the edge, the
+        same contract as ``StreamRegisterFile.hop_bytes_total``) and
+        occupies a live register for ``min(n, last - p + 1)`` cycles;
+        westward is the mirror image.  The per-cycle totals over the span
+        are the non-increasing step functions of those per-value counts,
+        integrated into windows by :meth:`_integrate` — bit-identical to
+        what the dense core accumulates one cycle at a time.
+
+        ``hops_*``/``fell_*`` are the per-direction completed-hop and
+        fall-off totals ``StreamRegisterFile._shift`` computes anyway
+        (recomputed here when absent).  Whenever the span lands in a
+        single telemetry window — every dense cycle and most skips —
+        those four integers settle the whole charge: the hop charge is
+        ``hops * lanes`` and the occupancy total is ``hops + fell``,
+        because a value occupies one cycle more than it hops exactly when
+        it falls off inside the span.  Only window-crossing spans pay for
+        the per-value integration.
+        """
+        live_e = e_pos.size
+        live_w = w_pos.size
+        if live_e == 0 and live_w == 0:
+            return
+        eh = self._srf_eh
+        if eh is None:
+            self._init_srf()
+            eh = self._srf_eh
+        totals = self._totals
+        window = first_cycle // self.window_cycles
+        if (first_cycle + n - 1) // self.window_cycles == window:
+            if hops_e is None:
+                k = min(n, last + 1)
+                hops_e = int(np.minimum(last - e_pos, n).sum())
+                hops_w = int(np.minimum(w_pos, n).sum())
+                fell_e = int(np.count_nonzero(last - e_pos < k))
+                fell_w = int(np.count_nonzero(w_pos < k))
+            if live_e:
+                occ = hops_e + fell_e
+                eo = self._srf_eo
+                eo[window] = eo.get(window, 0) + occ
+                totals[_SRF_E_OCC] += occ
+                if hops_e:
+                    amount = hops_e * lanes
+                    eh[window] = eh.get(window, 0) + amount
+                    totals[_SRF_E_HOP] += amount
+            if live_w:
+                occ = hops_w + fell_w
+                wo = self._srf_wo
+                wo[window] = wo.get(window, 0) + occ
+                totals[_SRF_W_OCC] += occ
+                if hops_w:
+                    wh = self._srf_wh
+                    amount = hops_w * lanes
+                    wh[window] = wh.get(window, 0) + amount
+                    totals[_SRF_W_HOP] += amount
+            return
+        # span crosses a window boundary: exact per-value integration.
+        # below ~a hundred live values plain Python beats numpy dispatch
+        # overhead by a wide margin — and sparse occupancy is exactly the
+        # regime the fast-forward core (and hence this hook) lives in
+        if live_e + live_w <= 128:
+            if live_e:
+                e_list = e_pos.tolist()
+                self._integrate(
+                    _SRF_E_HOP, eh, first_cycle,
+                    [min(n, last - p) for p in e_list], lanes,
+                )
+                self._integrate(
+                    _SRF_E_OCC, self._srf_eo, first_cycle,
+                    [min(n, last - p + 1) for p in e_list], 1,
+                )
+            if live_w:
+                w_list = w_pos.tolist()
+                self._integrate(
+                    _SRF_W_HOP, self._srf_wh, first_cycle,
+                    [min(n, p) for p in w_list], lanes,
+                )
+                self._integrate(
+                    _SRF_W_OCC, self._srf_wo, first_cycle,
+                    [min(n, p + 1) for p in w_list], 1,
+                )
+            return
+        self._integrate(
+            _SRF_E_HOP, eh, first_cycle, np.minimum(last - e_pos, n), lanes
+        )
+        self._integrate(
+            _SRF_W_HOP, self._srf_wh, first_cycle, np.minimum(w_pos, n),
+            lanes,
+        )
+        self._integrate(
+            _SRF_E_OCC, self._srf_eo, first_cycle,
+            np.minimum(last - e_pos + 1, n), 1,
+        )
+        self._integrate(
+            _SRF_W_OCC, self._srf_wo, first_cycle, np.minimum(w_pos + 1, n),
+            1,
+        )
+
+    def _integrate(
+        self,
+        key: tuple[str, str],
+        buckets: dict[int, int],
+        start_cycle: int,
+        durations,
+        scale: int,
+    ) -> None:
+        """Charge ``#{d > k} * scale`` at ``start_cycle + k`` for each k.
+
+        ``durations`` (a list or ndarray) holds one entry per in-flight
+        value: how many of the span's cycles that value contributes.  The
+        per-cycle total is a non-increasing step function with at most
+        ``len(unique(d))`` segments, each charged in closed form over the
+        windows it crosses (same head/full/tail split as
+        :meth:`count_span`, against the pre-resolved ``buckets``).
+        """
+        remaining = len(durations)
+        if remaining == 0:
+            return
+        width = self.window_cycles
+        if remaining == 1:
+            # the overwhelmingly common fast-forward case: one live value
+            d = int(durations[0])
+            if d <= 0:
+                return
+            first = start_cycle // width
+            last = (start_cycle + d - 1) // width
+            if first == last:
+                buckets[first] = buckets.get(first, 0) + d * scale
+            else:
+                head = (first + 1) * width - start_cycle
+                buckets[first] = buckets.get(first, 0) + head * scale
+                full = width * scale
+                for w in range(first + 1, last):
+                    buckets[w] = buckets.get(w, 0) + full
+                tail = start_cycle + d - last * width
+                buckets[last] = buckets.get(last, 0) + tail * scale
+            self._totals[key] += d * scale
+            return
+        if isinstance(durations, list):
+            tally = sorted(Counter(durations).items())
+        else:
+            values, counts = np.unique(durations, return_counts=True)
+            tally = zip(values.tolist(), counts.tolist())
+        totals = self._totals
+        prev = 0
+        for d, c in tally:
+            d = int(d)
+            if d > prev and remaining > 0:
+                per_cycle = remaining * scale
+                n_cycles = d - prev
+                start = start_cycle + prev
+                first = start // width
+                last = (start + n_cycles - 1) // width
+                if first == last:
+                    buckets[first] = (
+                        buckets.get(first, 0) + n_cycles * per_cycle
+                    )
+                else:
+                    head = (first + 1) * width - start
+                    buckets[first] = buckets.get(first, 0) + head * per_cycle
+                    full = width * per_cycle
+                    for w in range(first + 1, last):
+                        buckets[w] = buckets.get(w, 0) + full
+                    tail = start + n_cycles - last * width
+                    buckets[last] = buckets.get(last, 0) + tail * per_cycle
+                totals[key] += n_cycles * per_cycle
+            remaining -= int(c)
+            prev = d
+
+    # ------------------------------------------------------------------
+    # read-out
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Canonical, JSON-able image of every counter and scalar.
+
+        The lockstep comparator asserts snapshot equality between the
+        dense and fast-forward cores; dict comparison is order-blind, so
+        any hook ordering that differs only *within* a cycle is fine.
+        """
+        counters: dict[str, dict[str, dict[str, int]]] = {}
+        for (unit, name), buckets in self._windows.items():
+            counters.setdefault(unit, {})[name] = {
+                str(w): buckets[w] for w in sorted(buckets)
+            }
+        scalars: dict[str, dict[str, int]] = {}
+        for (unit, name), value in self._high.items():
+            scalars.setdefault(unit, {})[name] = value
+        for (unit, name), value in self._low.items():
+            scalars.setdefault(unit, {})[name] = value
+        return {
+            "window_cycles": self.window_cycles,
+            "cycles": self.cycles,
+            "counters": counters,
+            "scalars": scalars,
+        }
+
+    def totals(self) -> dict[str, dict[str, int]]:
+        """Whole-run totals per unit (sum of every window)."""
+        out: dict[str, dict[str, int]] = {}
+        for (unit, name), total in self._totals.items():
+            out.setdefault(unit, {})[name] = total
+        return out
+
+    def windows_for(self, unit: str, counter: str) -> dict[int, int]:
+        """The window series of one counter (empty dict if never touched)."""
+        return dict(self._windows.get((unit, counter), {}))
+
+    def domain_windows(self, domain: str, counter: str) -> dict[int, int]:
+        """Window series summed over every unit of one domain prefix."""
+        merged: dict[int, int] = {}
+        prefix = domain + ":"
+        for (unit, name), buckets in self._windows.items():
+            if name == counter and unit.startswith(prefix):
+                for w, v in buckets.items():
+                    merged[w] = merged.get(w, 0) + v
+        return merged
+
+    def rollup(self) -> ActivityCounts:
+        """The coarse :class:`ActivityCounts` view of the fine registry.
+
+        Exactly equals the chip's own ``RunResult.activity`` window for
+        the run(s) this collector observed — asserted by the telemetry
+        test suite — making the flat power-model tally a derived view of
+        the counter hierarchy rather than an independent set of books.
+        """
+        return ActivityCounts.from_fine(self.totals(), cycles=self.cycles)
+
+
+class AutoTelemetry:
+    """Attach a fresh collector to every chip constructed while active.
+
+    Used by ``python -m repro.obs <script.py>`` to profile an unmodified
+    script: set :attr:`repro.sim.chip.TspChip.auto_telemetry` to an
+    instance, run the script, and read ``collectors``.
+    """
+
+    def __init__(self, window_cycles: int = 256) -> None:
+        self.window_cycles = window_cycles
+        self.collectors: list[TelemetryCollector] = []
+
+    def register(self, chip) -> TelemetryCollector:
+        collector = TelemetryCollector(
+            window_cycles=self.window_cycles,
+            name=f"chip{len(self.collectors)}",
+        )
+        chip.attach_telemetry(collector)
+        self.collectors.append(collector)
+        return collector
+
+    def install(self) -> "AutoTelemetry":
+        from ..sim.chip import TspChip
+
+        TspChip.auto_telemetry = self
+        return self
+
+    def uninstall(self) -> None:
+        from ..sim.chip import TspChip
+
+        if TspChip.auto_telemetry is self:
+            TspChip.auto_telemetry = None
+
+    def __enter__(self) -> "AutoTelemetry":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()

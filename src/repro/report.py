@@ -10,6 +10,7 @@ library calls the benchmark suite makes.
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,7 +25,76 @@ from .nn import (
 )
 
 
-def bandwidth_report(config) -> ExperimentReport:
+@dataclass
+class MeasuredTelemetry:
+    """Counter-registry readout of one profiled on-chip workload.
+
+    The measured rows in the experiment reports read from this — the
+    telemetry registry of real simulated runs — rather than each report
+    recomputing its own ad-hoc tallies from ``RunResult`` fields.
+    """
+
+    config: object  # the simulated chip's ArchConfig (test scale)
+    collectors: list
+    layer_cycles: dict[str, int]
+
+    @property
+    def cycles(self) -> int:
+        return sum(c.cycles for c in self.collectors)
+
+    def total(self, domain: str, counter: str) -> int:
+        return sum(
+            sum(c.domain_windows(domain, counter).values())
+            for c in self.collectors
+        )
+
+    def per_cycle(self, domain: str, counter: str) -> float:
+        return self.total(domain, counter) / max(1, self.cycles)
+
+    @property
+    def sram_bytes_per_cycle(self) -> float:
+        """SRAM traffic per cycle: MEM reads + writes + instruction fetch."""
+        return (
+            self.total("mem", "read_bytes")
+            + self.total("mem", "write_bytes")
+            + self.total("icu", "ifetch_bytes")
+        ) / max(1, self.cycles)
+
+    @property
+    def stream_bytes_per_cycle(self) -> float:
+        return self.per_cycle("srf", "hop_bytes")
+
+
+def measure_on_chip() -> MeasuredTelemetry:
+    """Run a small CNN's on-chip inference with telemetry attached.
+
+    The same deployment path as E17 (``TspCnnRunner``), at test-chip
+    scale, profiled through :class:`repro.obs.AutoTelemetry`: one
+    collector per compiled layer program, whose counter registry the
+    measured report rows read from.
+    """
+    from .nn import TspCnnRunner, make_shapes, make_small_cnn
+    from .obs import AutoTelemetry
+
+    config = small_test_chip()
+    data = make_shapes(
+        n_train=32, n_test=4, image_size=12, n_classes=3, seed=3
+    )
+    model = make_small_cnn(3, channels=4, image_size=12, seed=3)
+    runner = TspCnnRunner(model, config, calibration=data.x_train[:16])
+    auto = AutoTelemetry(window_cycles=128)
+    with auto:
+        result = runner.forward(data.x_test[:2])
+    return MeasuredTelemetry(
+        config=config,
+        collectors=auto.collectors,
+        layer_cycles=dict(result.layer_cycles),
+    )
+
+
+def bandwidth_report(
+    config, measured: MeasuredTelemetry | None = None
+) -> ExperimentReport:
     report = ExperimentReport("E11", "Bandwidth budget (Eq. 1, Eq. 2)")
     report.add("Eq.1 stream registers", 20.0,
                config.paper_tib_per_s(config.stream_bytes_per_cycle),
@@ -37,10 +107,28 @@ def bandwidth_report(config) -> ExperimentReport:
                "paper-TiB/s")
     report.add("on-chip SRAM", 220, config.mem_total_bytes / 2**20, "MiB")
     report.add("C2C off-chip", 3.84, config.c2c_tbps, "Tb/s")
+    if measured is not None:
+        small = measured.config
+        report.add(
+            "measured SRAM traffic (CNN, test chip)",
+            f"<= {small.sram_bytes_per_cycle}",
+            round(measured.sram_bytes_per_cycle, 1), "B/cycle",
+            note="telemetry registry: mem + ifetch",
+        )
+        # chip-wide hop bytes may exceed the Eq.1 export figure: every
+        # SRF position hops concurrently, Eq.1 counts the slice-facing
+        # read/write ports only
+        report.add(
+            "measured stream hops (CNN, test chip)", "—",
+            round(measured.stream_bytes_per_cycle, 1), "B/cycle",
+            note="telemetry registry: srf",
+        )
     return report
 
 
-def density_report(config) -> ExperimentReport:
+def density_report(
+    config, measured: MeasuredTelemetry | None = None
+) -> ExperimentReport:
     area = AreaModel(config)
     report = ExperimentReport("E16", "Compute density (conclusion)")
     report.add("peak @ 1 GHz", 820, round(config.peak_teraops(1.0), 1),
@@ -52,6 +140,12 @@ def density_report(config) -> ExperimentReport:
     report.add("V100 ops/s/transistor", 6_200,
                round(area.comparator_ops_per_transistor(
                    V100.peak_teraops, V100.transistors)))
+    if measured is not None:
+        report.add(
+            "measured MACC ops/cycle (CNN, test chip)", "—",
+            round(measured.per_cycle("mxm", "macc_ops"), 1),
+            note="telemetry registry: mxm",
+        )
     return report
 
 
@@ -63,7 +157,9 @@ def weight_load_report(config) -> ExperimentReport:
     return report
 
 
-def resnet_report(config) -> tuple[ExperimentReport, object]:
+def resnet_report(
+    config, measured: MeasuredTelemetry | None = None
+) -> tuple[ExperimentReport, object]:
     paper = {50: 20_400, 101: 14_300, 152: 10_700}
     report = ExperimentReport("E06/E07", "ResNet family, batch 1 @ 900 MHz")
     resnet50 = None
@@ -78,6 +174,21 @@ def resnet_report(config) -> tuple[ExperimentReport, object]:
     naive = estimate_network(resnet_layers(50), config, optimized=False)
     report.add("optimization saving (E12)", 5_500,
                naive.total_cycles - resnet50.total_cycles, "cycles")
+    if measured is not None:
+        # the simulated CNN companion (E17 path): registry-counted MACCs
+        # ground the family's analytic cycle model in a measured run
+        report.add(
+            "CNN-on-chip cycles (measured, test chip)", "—",
+            measured.cycles,
+            note=", ".join(
+                f"{k} {v}" for k, v in measured.layer_cycles.items()
+            ),
+        )
+        report.add(
+            "CNN-on-chip MACCs (measured, test chip)", "—",
+            measured.total("mxm", "macc_ops"),
+            note="telemetry registry: mxm",
+        )
     return report, resnet50
 
 
@@ -178,10 +289,11 @@ def main(argv: list[str] | None = None) -> int:
     config = groq_tsp_v1()
     print("Groq TSP reproduction — paper-vs-measured summary\n")
 
-    report, resnet50 = resnet_report(config)
+    measured = measure_on_chip()
+    report, resnet50 = resnet_report(config, measured)
     sections = [
-        bandwidth_report(config),
-        density_report(config),
+        bandwidth_report(config, measured),
+        density_report(config, measured),
         weight_load_report(config),
         report,
         comparison_report(config, resnet50),

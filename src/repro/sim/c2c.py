@@ -117,6 +117,11 @@ class C2cUnit(FunctionalUnit):
             rx = peer_unit._link(peer_index).rx_queue
             rx.append((arrival, vector.copy()))
             link.sent_vectors += 1
+            if self.chip.obs is not None:
+                self.chip.obs.on_c2c(
+                    self.name, instruction.link,
+                    cycle + self.dskew(instruction), "sent", vector.size,
+                )
 
         self.capture_at(
             cycle + self.dskew(instruction),
@@ -143,6 +148,10 @@ class C2cUnit(FunctionalUnit):
                 )
             link.rx_queue.popleft()
             link.received_vectors += 1
+            if self.chip.obs is not None:
+                self.chip.obs.on_c2c(
+                    self.name, instruction.link, _c, "received", vector.size
+                )
             hemisphere = self.address.hemisphere
             mem = self.chip.mem_unit(hemisphere, instruction.mem_slice)
             mem.host_write(instruction.address, vector[None, :])

@@ -80,6 +80,11 @@ class RunResult:
 class TspChip:
     """A deterministic, cycle-accurate functional model of one TSP."""
 
+    #: when set (see :class:`repro.obs.AutoTelemetry`), every newly
+    #: constructed chip gets a telemetry collector attached automatically —
+    #: how ``python -m repro.obs`` profiles unmodified scripts
+    auto_telemetry = None
+
     def __init__(
         self,
         config: ArchConfig,
@@ -108,6 +113,10 @@ class TspChip:
         self.now = 0
         #: runtime invariant checkers (see repro.verify.invariants)
         self.checkers: list = []
+        #: attached telemetry collector (repro.obs), or None — every
+        #: instrumentation site in the simulator guards on this, so a chip
+        #: without a collector runs zero telemetry code
+        self.obs = None
         self.srf.on_drive = self._notify_drive
 
         if enable_ecc:
@@ -116,6 +125,9 @@ class TspChip:
         self._units: dict[SliceAddress, FunctionalUnit] = {}
         for address in self.floorplan.slices:
             self._units[address] = self._make_unit(address)
+
+        if TspChip.auto_telemetry is not None:
+            TspChip.auto_telemetry.register(self)
 
     # ------------------------------------------------------------------
     def _make_unit(self, address: SliceAddress) -> FunctionalUnit:
@@ -167,6 +179,8 @@ class TspChip:
                     cycle, str(icu), instruction.mnemonic, str(instruction)
                 )
             )
+        if self.obs is not None:
+            self.obs.on_dispatch(cycle, icu, instruction)
         for checker in self.checkers:
             checker.on_dispatch(cycle, str(icu), instruction)
 
@@ -176,6 +190,21 @@ class TspChip:
     def attach_checker(self, checker) -> None:
         """Register a runtime invariant checker for subsequent runs."""
         self.checkers.append(checker)
+
+    def attach_telemetry(self, collector) -> None:
+        """Attach a :class:`repro.obs.TelemetryCollector` to this chip.
+
+        One collector per chip; attaching replaces any previous one.  The
+        stream register file gets a direct reference so hop/occupancy
+        integration needs no indirection through the chip.
+        """
+        collector.bind(self)
+        self.obs = collector
+        self.srf.collector = collector
+
+    def detach_telemetry(self) -> None:
+        self.obs = None
+        self.srf.collector = None
 
     def _notify_drive(
         self, direction: Direction, stream: int, position: int
@@ -286,7 +315,7 @@ class TspChip:
             for queue in queues:
                 queue.step(cycle)
             self.events.run_phase(cycle, Phase.CAPTURE)
-            self.srf.step()
+            self.srf.step(cycle)
             self.activity.cycles += 1
 
             pending = self.events.pending > 0
@@ -327,6 +356,8 @@ class TspChip:
 
         for checker in self.checkers:
             checker.finish(cycle)
+        if self.obs is not None:
+            self.obs.on_run_end(cycle)
         self.activity.stream_hop_bytes = self.srf.hop_bytes_total
         return RunResult(
             cycles=cycle,
@@ -388,7 +419,7 @@ class TspChip:
         """
         if n <= 0:
             return
-        self.srf.step_n(n)
+        self.srf.step_n(n, first_cycle)
         self.activity.cycles += n
         for checker in self.checkers:
             # duck-typed: pre-existing custom checkers may lack the hook
@@ -417,7 +448,7 @@ class TspChip:
         for queue in queues:
             queue.step(cycle)
         self.events.run_phase(cycle, Phase.CAPTURE)
-        self.srf.step()
+        self.srf.step(cycle)
         self.activity.cycles += 1
 
     def begin_run(self) -> None:
@@ -434,8 +465,14 @@ class TspChip:
         # anything still in flight drains off the edge during the idle
         # gap between runs; its remaining hops are billed to that gap —
         # callers snapshot hop_bytes_total after this, so neither run's
-        # reported window is polluted by the other's traffic
-        self.srf.step_n(self.floorplan.n_positions)
+        # reported window is polluted by the other's traffic (the telemetry
+        # collector is likewise blind to the drain)
+        collector = self.srf.collector
+        self.srf.collector = None
+        try:
+            self.srf.step_n(self.floorplan.n_positions)
+        finally:
+            self.srf.collector = collector
 
     def make_queues(self, program: Program) -> list[IcuQueue]:
         return [

@@ -69,6 +69,7 @@ class IcuQueue:
     ) -> None:
         self.chip = chip
         self.icu = icu
+        self._name = str(icu)
         self.instructions = instructions
         self.pc = 0
         self.busy_until = 0
@@ -82,6 +83,8 @@ class IcuQueue:
         capacity = chip.config.iq_capacity_bytes
         self.buffer_bytes = min(total_text, capacity)
         self.unfetched_bytes = total_text - self.buffer_bytes
+        if chip.obs is not None:
+            chip.obs.on_iq_depth(self._name, self.buffer_bytes)
 
     # ------------------------------------------------------------------
     @property
@@ -122,6 +125,11 @@ class IcuQueue:
             release = self.chip.barrier.release_for(self.park_cycle)
             if release is None or cycle < release:
                 return True  # parked, but the queue is still alive
+            if self.chip.obs is not None:
+                # both cores first observe the release at exactly this
+                # cycle (it is in the per-queue fast-forward horizon), so
+                # the parked span is identical in dense and skip modes
+                self.chip.obs.on_icu_parked(self._name, self.park_cycle, cycle)
             self.park_cycle = None
             if self.pc >= len(self.instructions):
                 return False  # the Sync was the final instruction
@@ -135,6 +143,11 @@ class IcuQueue:
         self.last_dispatch_cycle = cycle
         self.chip.record_dispatch(self.icu, instruction, cycle)
         self._dispatch(instruction, cycle)
+        if self.chip.obs is not None:
+            self.chip.obs.on_icu_dispatch(
+                self._name, cycle, instruction, self.busy_until,
+                self.buffer_bytes,
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -200,6 +213,10 @@ class IcuQueue:
             self.unfetched_bytes -= take
             self.buffer_bytes += take
             self.chip.activity.sram_read_bytes += take
+            if self.chip.obs is not None:
+                self.chip.obs.on_ifetch(
+                    self._name, _c, take, self.buffer_bytes
+                )
 
         self.chip.events.schedule(arrival, Phase.DRIVE, _arrive)
         self.busy_until = cycle + 1

@@ -55,6 +55,15 @@ class MultiChipSystem:
         b = self.chips[spec.chip_b].c2c_unit(spec.hemisphere_b)
         a.connect(spec.link_a, b, spec.link_b, spec.latency)
 
+    def attach_telemetry(self, collectors: list) -> None:
+        """Attach one :class:`repro.obs.TelemetryCollector` per chip."""
+        if len(collectors) != len(self.chips):
+            raise SimulationError(
+                f"{len(self.chips)} chips but {len(collectors)} collectors"
+            )
+        for chip, collector in zip(self.chips, collectors):
+            chip.attach_telemetry(collector)
+
     @staticmethod
     def ring(config: ArchConfig, n_chips: int, **chip_kwargs) -> "MultiChipSystem":
         """A ring: each chip's East C2C link 0 feeds the next chip's West."""
@@ -137,6 +146,8 @@ class MultiChipSystem:
         for chip, start, trace_start, corr_start in zip(
             self.chips, starts, trace_starts, correction_starts
         ):
+            if chip.obs is not None:
+                chip.obs.on_run_end(cycle)
             chip.activity.stream_hop_bytes = chip.srf.hop_bytes_total
             results.append(
                 RunResult(

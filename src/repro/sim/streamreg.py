@@ -61,6 +61,13 @@ class StreamRegisterFile:
         #: position)`` on every drive, *before* contention faulting, so
         #: invariant checkers see the colliding drive too
         self.on_drive = None
+        #: attached telemetry collector (repro.obs), or None; fed the
+        #: pre-shift valid positions of every ``_shift`` so hop bytes and
+        #: per-direction occupancy integrate exactly across bulk skips
+        self.collector = None
+        #: cycle number of the current/most recent shift (set by callers
+        #: through ``step``/``step_n``; only meaningful with a collector)
+        self.now = 0
 
     # ------------------------------------------------------------------
     def enable_ecc(self, enabled: bool = True) -> None:
@@ -173,25 +180,33 @@ class StreamRegisterFile:
         self._dirty = True
 
     # ------------------------------------------------------------------
-    def step(self) -> None:
-        """Advance every stream one hop; edge values fall off the chip."""
+    def step(self, now: int = 0) -> None:
+        """Advance every stream one hop; edge values fall off the chip.
+
+        ``now`` is the cycle being completed — only consumed by an
+        attached telemetry collector, so existing no-argument callers keep
+        their exact behaviour.
+        """
         if self._n_valid or self._dirty:
+            self.now = now
             self._shift(1)
         self._driven_this_cycle.clear()
 
-    def step_n(self, n: int) -> None:
+    def step_n(self, n: int, now: int = 0) -> None:
         """Advance ``n`` hops at once — the fast-forward bulk path.
 
         Bit-identical to calling :meth:`step` ``n`` times: values past the
         chip edge fall off, and ``hop_bytes_total`` integrates each value's
         completed hops analytically instead of summing the mask ``n``
         times.  Used by :meth:`~repro.sim.chip.TspChip.run` to cross
-        quiescent cycle spans in one shot.
+        quiescent cycle spans in one shot.  ``now`` is the first cycle of
+        the span (telemetry attribution only).
         """
         if n == 1:
-            self.step()
+            self.step(now)
             return
         if n > 0 and (self._n_valid or self._dirty):
+            self.now = now
             self._shift(n)
         self._driven_this_cycle.clear()
 
@@ -212,11 +227,27 @@ class StreamRegisterFile:
 
         e_pos = np.nonzero(self._valid[e])[1]
         w_pos = np.nonzero(self._valid[w])[1]
-        hops = int(np.minimum(last - e_pos, n).sum())
-        hops += int(np.minimum(w_pos, n).sum())
-        self.hop_bytes_total += hops * lanes
-
+        hops_e = int(np.minimum(last - e_pos, n).sum())
+        hops_w = int(np.minimum(w_pos, n).sum())
+        self.hop_bytes_total += (hops_e + hops_w) * lanes
         k = min(n, n_pos)
+        collector = self.collector
+        if collector is not None:
+            # hand over the per-direction hop and fall-off totals already
+            # computed here, so the collector's single-window fast path
+            # needs no per-value work of its own; a full flush drops every
+            # live value, no mask needed
+            if k == n_pos:
+                fell_e = e_pos.size
+                fell_w = w_pos.size
+            else:
+                fell_e = int((last - e_pos < k).sum())
+                fell_w = int((w_pos < k).sum())
+            collector.on_stream_shift(
+                self.now, n, e_pos, w_pos, last, lanes,
+                hops_e, hops_w, fell_e, fell_w,
+            )
+
         if k == n_pos:
             self._values[:] = 0
             self._valid[:] = False
@@ -240,8 +271,10 @@ class StreamRegisterFile:
                 self._checks[w, :, :-k] = self._checks[w, :, k:]
                 self._checks[w, :, -k:] = 0
 
-            fell = int((last - e_pos < k).sum()) + int((w_pos < k).sum())
-            self._n_valid -= fell
+            if collector is None:
+                fell_e = int((last - e_pos < k).sum())
+                fell_w = int((w_pos < k).sum())
+            self._n_valid -= fell_e + fell_w
 
     # ------------------------------------------------------------------
     def snapshot_valid(self) -> np.ndarray:

@@ -45,8 +45,12 @@ class SxmUnit(FunctionalUnit):
         handler(instruction, cycle)
 
     # ------------------------------------------------------------------
-    def _count(self, n_streams: int = 1) -> None:
+    def _count(self, cycle: int, n_streams: int = 1) -> None:
         self.chip.activity.sxm_bytes += n_streams * self.chip.config.n_lanes
+        if self.chip.obs is not None:
+            self.chip.obs.on_sxm(
+                self.name, cycle, n_streams * self.chip.config.n_lanes
+            )
 
     def _simple(
         self, instruction, cycle: int, transform
@@ -62,7 +66,7 @@ class SxmUnit(FunctionalUnit):
                 instruction.dst_stream,
                 result,
             )
-            self._count()
+            self._count(out_cycle)
 
         self.capture_at(
             cycle + self.dskew(instruction),
@@ -117,7 +121,7 @@ class SxmUnit(FunctionalUnit):
                 instruction.dst_stream,
                 self.apply_superlane_power(result),
             )
-            self._count()
+            self._count(out_cycle)
 
         sample = cycle + self.dskew(instruction)
         self.capture_at(
@@ -185,7 +189,7 @@ class SxmUnit(FunctionalUnit):
                     instruction.dst_base_stream + r,
                     self.apply_superlane_power(out.reshape(-1)),
                 )
-            self._count(n * n)
+            self._count(out_cycle, n * n)
 
         self.capture_at(
             cycle + self.dskew(instruction),
@@ -213,7 +217,7 @@ class SxmUnit(FunctionalUnit):
                     instruction.dst_base_stream + s,
                     self.apply_superlane_power(out),
                 )
-            self._count(per)
+            self._count(out_cycle, per)
 
         self.capture_group_at(
             cycle + self.dskew(instruction),

@@ -11,7 +11,16 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from ..arch.timing import TimingModel
 from .chip import TraceEvent
+
+
+def _mnemonic_duration(mnemonic: str, timing: TimingModel) -> int:
+    # deferred: repro.obs pulls in the attribution/roofline stack, which
+    # imports the compiler and would cycle back into repro.sim at load time
+    from ..obs.trace import mnemonic_duration
+
+    return mnemonic_duration(mnemonic, timing)
 
 #: Compact glyphs for the mnemonics that appear in schedule plots.
 _GLYPHS = {
@@ -126,16 +135,28 @@ def dispatch_counts(trace: list[TraceEvent]) -> dict[str, int]:
 
 
 def to_chrome_trace(
-    trace: list[TraceEvent], clock_ghz: float = 1.0
+    trace: list[TraceEvent],
+    clock_ghz: float = 1.0,
+    timing: TimingModel | None = None,
 ) -> list[dict]:
     """Convert a dispatch trace to Chrome trace-event JSON objects.
 
     Load the result (``json.dump`` it to a file) in ``chrome://tracing``
     or Perfetto: one row per instruction queue, one slice per dispatched
-    instruction, timestamps in nanoseconds of simulated time.  NOPs are
-    skipped — they are padding, not work.
+    instruction.  Timestamps and durations are **microseconds** of
+    simulated time — the unit the Chrome trace-event format expects — so
+    one cycle at ``clock_ghz`` GHz is ``1e-3 / clock_ghz`` µs.  Each
+    slice's ``dur`` covers the instruction's functional delay under
+    ``timing`` (default :class:`~repro.arch.timing.TimingModel`), not a
+    fixed one-cycle sliver.  NOPs are skipped — they are padding, not
+    work.
+
+    For richer traces (flow arrows, counter tracks, per-chip processes)
+    use :class:`repro.obs.PerfettoTraceBuilder` instead.
     """
-    ns_per_cycle = 1.0 / clock_ghz
+    if timing is None:
+        timing = TimingModel()
+    us_per_cycle = 1e-3 / clock_ghz
     events: list[dict] = []
     tids = {icu: i for i, icu in enumerate(sorted({e.icu for e in trace}))}
     for icu, tid in tids.items():
@@ -156,8 +177,8 @@ def to_chrome_trace(
                 "name": event.mnemonic,
                 "cat": "dispatch",
                 "ph": "X",
-                "ts": event.cycle * ns_per_cycle / 1000.0,  # us
-                "dur": ns_per_cycle / 1000.0,
+                "ts": event.cycle * us_per_cycle,
+                "dur": _mnemonic_duration(event.mnemonic, timing) * us_per_cycle,
                 "pid": 0,
                 "tid": tids[event.icu],
                 "args": {"text": event.text, "cycle": event.cycle},
@@ -167,13 +188,28 @@ def to_chrome_trace(
 
 
 def utilization_histogram(
-    trace: list[TraceEvent], total_cycles: int
+    trace: list[TraceEvent],
+    total_cycles: int,
+    timing: TimingModel | None = None,
 ) -> dict[str, float]:
-    """Fraction of cycles each ICU dispatched real (non-NOP) work."""
+    """Fraction of cycles each ICU kept its unit busy with real work.
+
+    Occupancy, not dispatch counting: each non-NOP instruction is charged
+    its functional delay under ``timing`` (default
+    :class:`~repro.arch.timing.TimingModel`), so multi-cycle operations —
+    an MXM weight install, a Transpose — read as busy for their whole
+    span rather than the single dispatch cycle.  Overlapping spans from
+    back-to-back pipelined dispatches can over-charge, so fractions are
+    clamped to 1.0.
+    """
     if total_cycles <= 0:
         return {}
+    if timing is None:
+        timing = TimingModel()
     busy: dict[str, int] = defaultdict(int)
     for event in trace:
         if event.mnemonic != "NOP":
-            busy[event.icu] += 1
-    return {icu: count / total_cycles for icu, count in busy.items()}
+            busy[event.icu] += _mnemonic_duration(event.mnemonic, timing)
+    return {
+        icu: min(1.0, count / total_cycles) for icu, count in busy.items()
+    }

@@ -32,6 +32,7 @@ class FunctionalUnit:
     def __init__(self, chip: "TspChip", address: SliceAddress) -> None:
         self.chip = chip
         self.address = address
+        self.name = str(address)
         self.position = chip.floorplan.position(address)
 
     # ------------------------------------------------------------------

@@ -31,11 +31,11 @@ class VxmUnit(FunctionalUnit):
 
     def execute(self, icu: IcuId, instruction: Instruction, cycle: int) -> None:
         if isinstance(instruction, UnaryOp):
-            self._exec_unary(instruction, cycle)
+            self._exec_unary(instruction, cycle, icu.unit)
         elif isinstance(instruction, BinaryOp):
-            self._exec_binary(instruction, cycle)
+            self._exec_binary(instruction, cycle, icu.unit)
         elif isinstance(instruction, Convert):
-            self._exec_convert(instruction, cycle)
+            self._exec_convert(instruction, cycle, icu.unit)
         else:
             super().execute(icu, instruction, cycle)
 
@@ -58,11 +58,15 @@ class VxmUnit(FunctionalUnit):
                 self.apply_superlane_power(plane),
             )
 
-    def _count_alu_ops(self) -> None:
+    def _count_alu_ops(self, alu_index: int, cycle: int) -> None:
         self.chip.activity.alu_ops += self.chip.config.n_lanes
+        if self.chip.obs is not None:
+            self.chip.obs.on_alu(alu_index, cycle, self.chip.config.n_lanes)
 
     # ------------------------------------------------------------------
-    def _exec_unary(self, instruction: UnaryOp, cycle: int) -> None:
+    def _exec_unary(
+        self, instruction: UnaryOp, cycle: int, alu_index: int = 0
+    ) -> None:
         dtype = instruction.dtype
         out_cycle = cycle + self.dfunc(instruction)
 
@@ -80,7 +84,7 @@ class VxmUnit(FunctionalUnit):
                 out_dtype,
                 z,
             )
-            self._count_alu_ops()
+            self._count_alu_ops(alu_index, out_cycle)
 
         self.capture_group_at(
             cycle + self.dskew(instruction),
@@ -90,7 +94,9 @@ class VxmUnit(FunctionalUnit):
             _with_operand,
         )
 
-    def _exec_binary(self, instruction: BinaryOp, cycle: int) -> None:
+    def _exec_binary(
+        self, instruction: BinaryOp, cycle: int, alu_index: int = 0
+    ) -> None:
         dtype = instruction.dtype
         out_cycle = cycle + self.dfunc(instruction)
         state: dict[str, np.ndarray] = {}
@@ -106,7 +112,7 @@ class VxmUnit(FunctionalUnit):
                 dtype,
                 z,
             )
-            self._count_alu_ops()
+            self._count_alu_ops(alu_index, out_cycle)
 
         sample = cycle + self.dskew(instruction)
 
@@ -133,7 +139,9 @@ class VxmUnit(FunctionalUnit):
             _got_y,
         )
 
-    def _exec_convert(self, instruction: Convert, cycle: int) -> None:
+    def _exec_convert(
+        self, instruction: Convert, cycle: int, alu_index: int = 0
+    ) -> None:
         src_dtype = instruction.from_dtype
         dst_dtype = instruction.to_dtype
         out_cycle = cycle + self.dfunc(instruction)
@@ -150,7 +158,7 @@ class VxmUnit(FunctionalUnit):
                 dst_dtype,
                 z,
             )
-            self._count_alu_ops()
+            self._count_alu_ops(alu_index, out_cycle)
 
         self.capture_group_at(
             cycle + self.dskew(instruction),

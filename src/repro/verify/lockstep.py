@@ -15,7 +15,11 @@ surface bit-for-bit:
 * the dispatch trace;
 * the checker event streams (every dispatch, stream drive, and SRAM
   access observed by an attached recorder);
-* ECC correction counts.
+* ECC correction counts;
+* the full telemetry snapshot of an attached
+  :class:`~repro.obs.TelemetryCollector` — every per-unit counter in
+  every sampling window, proving that observability is *exact* under
+  fast-forward, not merely the architectural end state.
 
 ``assert_lockstep`` raises :class:`~repro.errors.DivergenceError` with a
 rendered report on any mismatch, mirroring the differential oracle's
@@ -32,6 +36,7 @@ import numpy as np
 from ..compiler.runner import bind_input, load_compiled
 from ..compiler.scheduler import CompiledProgram
 from ..errors import DivergenceError, SimulationError
+from ..obs.counters import TelemetryCollector
 from ..sim.chip import RunResult, TspChip
 from .invariants import InvariantChecker
 
@@ -80,6 +85,7 @@ class LockstepExecution:
     outputs: dict[str, np.ndarray]
     memory: dict[str, bytes]
     recorder: RecordingChecker
+    telemetry: dict
 
 
 @dataclass
@@ -119,6 +125,10 @@ def _execute_mode(
     )
     recorder = RecordingChecker()
     chip.attach_checker(recorder)
+    # small windows so a typical corpus program spans several of them —
+    # the per-window comparison then exercises count_span's head/full/tail
+    # distribution, not just the grand totals
+    chip.attach_telemetry(TelemetryCollector(window_cycles=64))
     load_compiled(chip, compiled)
     for name, spec in compiled.inputs.items():
         if name not in inputs:
@@ -139,6 +149,7 @@ def _execute_mode(
         outputs=outputs,
         memory=chip.memory_image(),
         recorder=recorder,
+        telemetry=chip.obs.snapshot(),
     )
 
 
@@ -223,6 +234,9 @@ def _compare(result: LockstepResult) -> None:
             f"fast={fast.recorder.final_cycle}"
         )
 
+    if slow.telemetry != fast.telemetry:
+        note(_telemetry_divergence(slow.telemetry, fast.telemetry))
+
     for name in sorted(set(slow.outputs) | set(fast.outputs)):
         a, b = slow.outputs.get(name), fast.outputs.get(name)
         if a is None or b is None:
@@ -237,3 +251,35 @@ def _compare(result: LockstepResult) -> None:
             note(f"MEM slice {name} materialized in only one mode")
         elif a != b:
             note(f"MEM slice {name} differs bit-wise")
+
+
+def _telemetry_divergence(slow: dict, fast: dict) -> str:
+    """Locate the first differing counter between two telemetry snapshots."""
+    for scope in ("window_cycles", "cycles"):
+        if slow.get(scope) != fast.get(scope):
+            return (
+                f"telemetry {scope}: slow={slow.get(scope)} "
+                f"fast={fast.get(scope)}"
+            )
+    sc, fc = slow.get("counters", {}), fast.get("counters", {})
+    for unit in sorted(set(sc) | set(fc)):
+        a, b = sc.get(unit, {}), fc.get(unit, {})
+        for counter in sorted(set(a) | set(b)):
+            wa, wb = a.get(counter, {}), b.get(counter, {})
+            if wa == wb:
+                continue
+            for window in sorted(set(wa) | set(wb), key=int):
+                va, vb = wa.get(window), wb.get(window)
+                if va != vb:
+                    return (
+                        f"telemetry {unit}.{counter} window {window}: "
+                        f"slow={va} fast={vb}"
+                    )
+    ss, fs = slow.get("scalars", {}), fast.get("scalars", {})
+    for key in sorted(set(ss) | set(fs)):
+        if ss.get(key) != fs.get(key):
+            return (
+                f"telemetry scalar {key}: slow={ss.get(key)} "
+                f"fast={fs.get(key)}"
+            )
+    return "telemetry snapshots differ (structure mismatch)"
