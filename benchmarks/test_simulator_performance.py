@@ -174,3 +174,87 @@ def test_telemetry_overhead_gate(report_sink, small_config):
     chip = TspChip(small_config)
     assert chip.obs is None
     assert chip.srf.collector is None
+
+
+def test_resilience_overhead_gate(report_sink, small_config):
+    """Fault hooks that never fire must cost (almost) nothing.
+
+    Armed: a watchdog whose deadline the workload can never reach, a
+    :class:`~repro.sim.FaultInjector` standing by, and a post-run health
+    poll — the steady-state resilience configuration of a serving
+    deployment with no faults occurring.  The armed watchdog adds one
+    comparison per dense iteration and one horizon clamp per
+    fast-forward skip, which must stay within 2% of the paced
+    workload's host throughput.
+
+    A 2% bar sits below a shared host's wall-clock noise floor, so the
+    estimator works on CPU time — neighbours stealing the core inflate
+    wall time but not ``process_time`` — and cancels what remains:
+    ratios are taken within adjacent-run pairs, the order inside a
+    pair alternates and consecutive pairs are combined geometrically
+    (the second run of a pair is systematically slower, and the two
+    orders see that penalty once in each direction), and a trial that
+    still reads high is remeasured — noise only ever inflates the
+    estimate, so the minimum over trials is the defensible figure.
+    Disarmed: a chip that never armed a watchdog executes a single
+    ``is not None`` test per run-loop iteration — asserted structurally.
+    """
+    # longer than the telemetry gate's workload: a 2% bar needs the
+    # per-run noise floor pushed further below the thing being measured
+    program = build_paced_program(small_config, requests=1200, interval=64)
+
+    def run(attach_resil):
+        return bench_emit.measure(
+            small_config, program, fast_forward=True, repeats=1,
+            attach_resil=attach_resil,
+        )
+
+    disarmed = armed = None
+
+    def trial():
+        nonlocal disarmed, armed
+        ratios = []
+        for pair in range(6):
+            order = (False, True) if pair % 2 == 0 else (True, False)
+            pair_times = {}
+            for attach in order:
+                m = run(attach)
+                pair_times[attach] = m["cpu_seconds"]
+                best = armed if attach else disarmed
+                if best is None or m["cpu_seconds"] < best["cpu_seconds"]:
+                    if attach:
+                        armed = m
+                    else:
+                        disarmed = m
+            ratios.append(pair_times[True] / pair_times[False])
+        balanced = [
+            (ratios[i] * ratios[i + 1]) ** 0.5
+            for i in range(0, len(ratios), 2)
+        ]
+        return statistics.median(balanced) - 1.0
+
+    estimates = []
+    for _ in range(3):
+        estimates.append(trial())
+        if estimates[-1] <= 0.02:
+            break
+    overhead = min(estimates)
+
+    report = ExperimentReport(
+        "housekeeping", "Resilience-hook overhead (paced workload, fast path)"
+    )
+    report.add("disarmed cycles / host second", "—",
+               round(disarmed["cycles_per_host_second"]))
+    report.add("armed cycles / host second", "—",
+               round(armed["cycles_per_host_second"]))
+    report.add("armed overhead", "<= 2%", f"{overhead:.1%}")
+    report_sink.append(report.render())
+
+    # the armed run is cycle-identical: hooks observe, never steer
+    assert armed["cycles"] == disarmed["cycles"]
+    assert armed["skipped_cycles"] == disarmed["skipped_cycles"]
+    assert overhead <= 0.02, (armed, disarmed)
+
+    # disarmed really is disarmed
+    chip = TspChip(small_config)
+    assert chip.watchdog is None

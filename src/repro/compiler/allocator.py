@@ -76,10 +76,22 @@ class TensorLayout:
 
 
 class MemoryAllocator:
-    """Bank-interleaved bump allocation across all MEM slices."""
+    """Bank-interleaved bump allocation across all MEM slices.
 
-    def __init__(self, config: ArchConfig) -> None:
+    ``blacklisted_slices`` — ``(hemisphere, slice_index)`` pairs a
+    degraded-mode recompilation must route around (dead SRAM tiles, see
+    :mod:`repro.resil.degrade`) — are simply never handed out; placement
+    falls onto the remaining healthy slices with the same rotation and
+    nearness policy.
+    """
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        blacklisted_slices: frozenset[tuple[Hemisphere, int]] = frozenset(),
+    ) -> None:
         self.config = config
+        self._blacklist = frozenset(blacklisted_slices)
         # next free address per (hemisphere, slice, bank); bank b starts at b
         self._cursor: dict[tuple[Hemisphere, int, int], int] = {}
         for hemisphere in (Hemisphere.WEST, Hemisphere.EAST):
@@ -92,6 +104,15 @@ class MemoryAllocator:
         }
         # contiguous blocks (gather tables) grow down from the slice top
         self._top: dict[tuple[Hemisphere, int], int] = {}
+
+    def healthy_slices(self, hemisphere: Hemisphere) -> int:
+        """Slices available for placement in a hemisphere.
+
+        Degraded mode reduces this; wide concurrent allocations (weight
+        feeds, parallel layouts) must clamp their fan-out to it.
+        """
+        dead = sum(1 for h, _ in self._blacklist if h is hemisphere)
+        return self.config.mem_slices_per_hemisphere - dead
 
     # ------------------------------------------------------------------
     def _take(
@@ -123,16 +144,23 @@ class MemoryAllocator:
         load.  Without it, a plain round-robin over the hemisphere.
         """
         n = self.config.mem_slices_per_hemisphere
-        if count > n:
+        healthy = [
+            s for s in range(n) if (hemisphere, s) not in self._blacklist
+        ]
+        if count > len(healthy):
+            shortfall = (
+                f" ({n - len(healthy)} blacklisted)" if len(healthy) < n else ""
+            )
             raise AllocationError(
-                f"need {count} concurrent slices, hemisphere has {n}"
+                f"need {count} concurrent slices, hemisphere "
+                f"{hemisphere.value} has {len(healthy)} healthy{shortfall}"
             )
         if near_index is None:
             start = self._rotation[hemisphere]
-            self._rotation[hemisphere] = (start + count) % n
-            return [(start + k) % n for k in range(count)]
-        window = max(count, min(spread, n))
-        candidates = sorted(range(n), key=lambda s: abs(s - near_index))
+            self._rotation[hemisphere] = (start + count) % len(healthy)
+            return [healthy[(start + k) % len(healthy)] for k in range(count)]
+        window = max(count, min(spread, len(healthy)))
+        candidates = sorted(healthy, key=lambda s: abs(s - near_index))
         neighbourhood = sorted(candidates[:window])
         start = self._rotation[hemisphere] % window
         self._rotation[hemisphere] += count

@@ -482,9 +482,15 @@ class StreamProgramBuilder:
         return out_name
 
     # ------------------------------------------------------------------
-    def compile(self) -> CompiledProgram:
-        """Schedule the graph in time and space."""
-        scheduler = Scheduler(self.config, self.timing)
+    def compile(self, blacklist=None) -> CompiledProgram:
+        """Schedule the graph in time and space.
+
+        ``blacklist`` — a :class:`repro.resil.degrade.Blacklist` of dead
+        resources — recompiles the same graph in degraded mode: placement
+        and plane selection route around the dead hardware while the
+        program's outputs stay bit-identical to the healthy schedule.
+        """
+        scheduler = Scheduler(self.config, self.timing, blacklist=blacklist)
         return scheduler.schedule(self.graph)
 
 

@@ -260,12 +260,29 @@ class Scheduler:
     """Lowers a dataflow graph into a placed, timed instruction program."""
 
     def __init__(
-        self, config: ArchConfig, timing: TimingModel | None = None
+        self,
+        config: ArchConfig,
+        timing: TimingModel | None = None,
+        blacklist=None,
     ) -> None:
         self.config = config
         self.timing = timing or TimingModel()
         self.floorplan = Floorplan(config)
-        self.mem = MemoryAllocator(config)
+        # degraded-mode recompilation: ``blacklist`` (duck-typed, see
+        # repro.resil.degrade.Blacklist) names dead MEM slices and MXM
+        # planes; allocation and plane selection route around them
+        self.blacklist = blacklist
+        dead_slices = (
+            frozenset(blacklist.mem_slices)
+            if blacklist is not None
+            else frozenset()
+        )
+        self._dead_planes = (
+            frozenset(blacklist.mxm_planes)
+            if blacklist is not None
+            else frozenset()
+        )
+        self.mem = MemoryAllocator(config, blacklisted_slices=dead_slices)
         self.streams = StreamAllocator(config)
         self.queues: dict[IcuId, QueueBuilder] = {}
         self.memory_image: list[MemWord] = []
@@ -1141,6 +1158,7 @@ class Scheduler:
         self._mxm_rr += 2 if fp16 else 1
         hemisphere = Hemisphere.WEST if plane_global < 2 else Hemisphere.EAST
         # in-flight activations dictate the hemisphere
+        pinned = False
         for act in act_nodes:
             if act.id in self.values:
                 hemisphere = (
@@ -1148,14 +1166,18 @@ class Scheduler:
                     if self.values[act.id].direction is Direction.EASTWARD
                     else Hemisphere.WEST
                 )
+                pinned = True
         plane = plane_global % 2
-        if fp16:
+        if fp16 or hemisphere in self._fp16_hemispheres:
             # fp16 runs two byte-planes in tandem: the even plane hosts the
-            # tile and its partner is captive (Section III-D)
+            # tile and its partner is captive (Section III-D); later int8
+            # work on that hemisphere must use plane 0 too
             plane = 0
+        hemisphere, plane = self._pick_mxm_plane(
+            node, hemisphere, plane, fp16, pinned
+        )
+        if fp16:
             self._fp16_hemispheres.add(hemisphere)
-        elif hemisphere in self._fp16_hemispheres:
-            plane = 0  # the odd plane is captive to an fp16 tandem
         position = self.floorplan.position(self.floorplan.mxm(hemisphere))
         depth = self.timing.mxm_pipeline_depth(self.config.mxm_plane_rows)
 
@@ -1171,6 +1193,54 @@ class Scheduler:
             raise ScheduleError(
                 f"could not place matmul {node.name} within the search window"
             )
+
+    def _pick_mxm_plane(
+        self,
+        node,
+        hemisphere: Hemisphere,
+        plane: int,
+        fp16: bool,
+        pinned: bool,
+    ) -> tuple[Hemisphere, int]:
+        """Plane fallback for degraded mode (dead-plane blacklist).
+
+        With no blacklist the round-robin choice stands untouched.  With
+        one, the preferred plane falls back to its hemisphere sibling —
+        reduced throughput, since the round-robin now concentrates work on
+        one plane — or, when in-flight activations do not pin the
+        hemisphere, to the other hemisphere.  fp16 tandems need both
+        planes of a hemisphere healthy (the odd plane is captive).
+        """
+        dead = self._dead_planes
+        if not dead:
+            return hemisphere, plane
+        other = (
+            Hemisphere.EAST
+            if hemisphere is Hemisphere.WEST
+            else Hemisphere.WEST
+        )
+        candidates = [hemisphere] if pinned else [hemisphere, other]
+        for hemi in candidates:
+            if fp16:
+                if (hemi, 0) not in dead and (hemi, 1) not in dead:
+                    return hemi, 0
+                continue
+            if hemi in self._fp16_hemispheres:
+                order = [0]  # the odd plane is captive to an fp16 tandem
+            elif hemi is hemisphere:
+                order = [plane, 1 - plane]
+            else:
+                order = [0, 1]
+            for p in order:
+                if (hemi, p) not in dead:
+                    return hemi, p
+        detail = (
+            " (hemisphere pinned by in-flight activations)" if pinned else ""
+        )
+        raise CompileError(
+            f"degraded mode: no healthy MXM plane for {node.name} — "
+            f"blacklist {sorted((h.value, p) for h, p in dead)}{detail}"
+        )
 
     def _try_matmul_at(
         self, node, act_nodes, tiles, hemisphere, plane, position, depth,
@@ -1206,8 +1276,10 @@ class Scheduler:
             w_padded[:, :m] = tile
             raw = w_padded.view(np.uint8).reshape(-1)
             n_chunks = -(-raw.size // lanes)
+            # degraded mode narrows the feed to the healthy slices: the
+            # install takes more cycles, but the matmul still places
             n_streams = min(
-                16, n_chunks, self.config.mem_slices_per_hemisphere
+                16, n_chunks, self.mem.healthy_slices(hemisphere)
             )
             install_cycles = -(-n_chunks // n_streams)
             flat = np.zeros(n_chunks * lanes, dtype=np.uint8)

@@ -3,13 +3,69 @@
 Every error raised by the library derives from :class:`TspError` so callers
 can catch library failures with a single ``except`` clause while still being
 able to distinguish compiler, simulator, and configuration faults.
+
+Errors carry optional location context — which chip, which cycle, which
+functional unit — filled in progressively as the exception propagates
+outward: a raise site deep in the ECC layer knows none of these, the
+capturing unit knows the unit and cycle, and the chip's run loop knows the
+chip.  :meth:`TspError.with_context` only fills fields that are still
+unset, so the most specific information always wins.
 """
 
 from __future__ import annotations
 
 
 class TspError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``chip_id``/``cycle``/``unit`` locate the fault; any may be ``None``
+    when unknown.  They render as a ``[chip 0, cycle 41, MEM_E3]`` prefix
+    in ``str()`` so the location survives being raised past the chip.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        chip: int | str | None = None,
+        cycle: int | None = None,
+        unit: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.chip_id = chip
+        self.cycle = cycle
+        self.unit = unit
+
+    def with_context(
+        self,
+        chip: int | str | None = None,
+        cycle: int | None = None,
+        unit: str | None = None,
+    ) -> "TspError":
+        """Fill in any location fields that are still unset; returns self."""
+        if self.chip_id is None:
+            self.chip_id = chip
+        if self.cycle is None:
+            self.cycle = cycle
+        if self.unit is None:
+            self.unit = unit
+        return self
+
+    def context(self) -> str:
+        """The known location fields, rendered ``chip 0, cycle 41, MEM_E3``."""
+        parts = []
+        if self.chip_id is not None:
+            parts.append(f"chip {self.chip_id}")
+        if self.cycle is not None:
+            parts.append(f"cycle {self.cycle}")
+        if self.unit is not None:
+            parts.append(str(self.unit))
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        ctx = self.context()
+        return f"[{ctx}] {self.message}" if ctx else self.message
 
 
 class ConfigError(TspError):
@@ -58,6 +114,15 @@ class BankConflictError(SimulationError):
 
 class StreamContentionError(SimulationError):
     """Two producers drove the same stream register in the same cycle."""
+
+
+class C2cLinkError(SimulationError):
+    """A C2C link fault: an uncorrectable transfer, a dead link, a deskew
+    epoch mismatch, or a Receive scheduled without enough retry slack."""
+
+
+class WatchdogError(SimulationError):
+    """An armed watchdog deadline elapsed with work still unfinished."""
 
 
 class VerificationError(TspError):

@@ -310,6 +310,13 @@ class TelemetryCollector:
     ) -> None:
         self.count(f"c2c:{unit_name}.link{link}", f"{kind}_bytes", cycle, n_bytes)
 
+    def on_link_event(
+        self, unit_name: str, link: int, cycle: int, kind: str, n: int = 1
+    ) -> None:
+        """A link fault-protocol event: ``corrected`` / ``retry`` /
+        ``uncorrectable`` / ``dropped`` (see repro.sim.c2c)."""
+        self.count(f"c2c:{unit_name}.link{link}", f"{kind}_events", cycle, n)
+
     def on_run_end(self, final_cycle: int) -> None:
         self.cycles += final_cycle
 

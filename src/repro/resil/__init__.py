@@ -1,0 +1,58 @@
+"""Resilience subsystem: fault campaigns, health monitoring, degradation.
+
+Three pillars on top of the deterministic simulator:
+
+* :mod:`repro.resil.health` — CSR/link-counter polling into per-chip
+  :class:`HealthReport` s, wearout trends, and the :class:`Watchdog`
+  that bounds hangs at an exact deadline in both execution cores.
+* :mod:`repro.resil.degrade` — degraded-mode recompilation against a
+  :class:`Blacklist` of dead hardware, plus ring re-routing and fully
+  timed store-and-forward transfer plans.
+* :mod:`repro.resil.campaign` — the seeded fault-campaign runner behind
+  ``python -m repro.resil`` (detection latency, recovery rate, degraded
+  slowdown -> ``BENCH_resil.json``).
+"""
+
+from .campaign import (
+    SCENARIOS,
+    ScenarioResult,
+    render_campaign,
+    run_campaign,
+)
+from .degrade import (
+    Blacklist,
+    RingTransferPlan,
+    TimedProgram,
+    assert_avoids,
+    build_ring_transfer,
+    compile_degraded,
+    plan_ring_route,
+    read_transferred,
+)
+from .health import (
+    WEAROUT_THRESHOLD,
+    HealthMonitor,
+    HealthReport,
+    LinkHealth,
+    Watchdog,
+)
+
+__all__ = [
+    "Blacklist",
+    "HealthMonitor",
+    "HealthReport",
+    "LinkHealth",
+    "RingTransferPlan",
+    "SCENARIOS",
+    "ScenarioResult",
+    "TimedProgram",
+    "WEAROUT_THRESHOLD",
+    "Watchdog",
+    "assert_avoids",
+    "build_ring_transfer",
+    "compile_degraded",
+    "plan_ring_route",
+    "read_transferred",
+    "render_campaign",
+    "run_campaign",
+]

@@ -25,7 +25,13 @@ from .tracer import (
     utilization_histogram,
 )
 from .vxm import VxmUnit
-from .c2c import DEFAULT_LINK_LATENCY, C2cLink, C2cUnit
+from .c2c import (
+    DEFAULT_LINK_LATENCY,
+    C2cLink,
+    C2cUnit,
+    Flight,
+    LinkErrorModel,
+)
 
 __all__ = [
     "BarrierController",
@@ -33,6 +39,8 @@ __all__ = [
     "C2cUnit",
     "CorrectionRecord",
     "DEFAULT_LINK_LATENCY",
+    "Flight",
+    "LinkErrorModel",
     "EventQueue",
     "FaultInjector",
     "IcuQueue",

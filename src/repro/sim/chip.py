@@ -31,7 +31,7 @@ from ..arch.geometry import (
 from ..arch.power import ActivityCounts, PowerModel
 from ..arch.timing import TimingModel
 from ..config import ArchConfig
-from ..errors import SimulationError
+from ..errors import SimulationError, TspError, WatchdogError
 from ..isa.base import Instruction
 from ..isa.program import IcuId, Program
 from .c2c import C2cUnit
@@ -93,9 +93,14 @@ class TspChip:
         strict_ifetch: bool = False,
         strict_c2c: bool = False,
         trace: bool = False,
+        chip_id: int | str | None = None,
     ) -> None:
         config.validate()
         self.config = config
+        #: identity in a multi-chip system (threaded into error context)
+        self.chip_id = chip_id
+        #: armed deadline monitor (see repro.resil.health.Watchdog), or None
+        self.watchdog = None
         self.timing = timing or TimingModel()
         self.floorplan = Floorplan(config)
         self.srf = StreamRegisterFile(config, self.floorplan)
@@ -190,6 +195,62 @@ class TspChip:
     def attach_checker(self, checker) -> None:
         """Register a runtime invariant checker for subsequent runs."""
         self.checkers.append(checker)
+
+    # ------------------------------------------------------------------
+    # watchdog (repro.resil.health)
+    # ------------------------------------------------------------------
+    def arm_watchdog(self, watchdog) -> None:
+        """Arm a deadline monitor for subsequent runs.
+
+        ``watchdog`` only needs ``deadline`` (a cycle number) and ``label``
+        attributes — see :class:`repro.resil.health.Watchdog`.  If the
+        program has not finished by the deadline the run aborts with a
+        :class:`~repro.errors.WatchdogError` naming the hung queues.  The
+        check is exact under fast-forward: the skip horizon is clamped to
+        the deadline, so both execution cores fault at the same cycle with
+        the same architectural state.
+        """
+        self.watchdog = watchdog
+
+    def disarm_watchdog(self) -> None:
+        self.watchdog = None
+
+    def check_watchdog(self, queues, cycle: int) -> None:
+        """Raise :class:`WatchdogError` if the armed deadline has passed
+        with work still pending.  Called with the cycle *about to begin*.
+        """
+        wd = self.watchdog
+        if wd is None or cycle < wd.deadline:
+            return
+        # the same completion test run() uses: a retired queue still
+        # burning a trailing NOP horizon is unfinished timed behaviour
+        busy = [
+            q for q in queues if not q.done or cycle < q.busy_until
+        ]
+        if not busy and self.events.pending == 0:
+            return
+        stuck = [q for q in busy if not q.done]
+        detail = ", ".join(
+            f"{q.icu} at pc {q.pc}/{len(q.instructions)}"
+            + (" (parked)" if q.parked else "")
+            for q in stuck[:4]
+        )
+        if not detail and busy:
+            detail = ", ".join(
+                f"{q.icu} draining until cycle {q.busy_until}"
+                for q in busy[:4]
+            )
+        if not detail:
+            detail = f"{self.events.pending} events still pending"
+        raise WatchdogError(
+            f"watchdog '{wd.label}' fired: deadline cycle {wd.deadline} "
+            f"passed with unfinished work — {detail}",
+            chip=self.chip_id,
+            cycle=cycle,
+            unit=str(stuck[0].icu)
+            if stuck
+            else (str(busy[0].icu) if busy else None),
+        )
 
     def attach_telemetry(self, collector) -> None:
         """Attach a :class:`repro.obs.TelemetryCollector` to this chip.
@@ -305,54 +366,74 @@ class TspChip:
         corrections_start = self.srf.corrections
         skipped = 0
         cycle = 0
-        while True:
-            if cycle >= max_cycles:
-                raise SimulationError(
-                    f"program did not finish within {max_cycles} cycles"
-                )
-            self.now = cycle
-            self.events.run_phase(cycle, Phase.DRIVE)
-            for queue in queues:
-                queue.step(cycle)
-            self.events.run_phase(cycle, Phase.CAPTURE)
-            self.srf.step(cycle)
-            self.activity.cycles += 1
+        # snapshot for the hot loop: arming happens before run(), never
+        # during it, and a local int comparison is all an armed-but-quiet
+        # watchdog may cost per dense cycle
+        wd = self.watchdog
+        wd_deadline = wd.deadline if wd is not None else None
+        try:
+            while True:
+                if cycle >= max_cycles:
+                    raise SimulationError(
+                        f"program did not finish within {max_cycles} cycles"
+                    )
+                self.now = cycle
+                self.events.run_phase(cycle, Phase.DRIVE)
+                for queue in queues:
+                    queue.step(cycle)
+                self.events.run_phase(cycle, Phase.CAPTURE)
+                self.srf.step(cycle)
+                self.activity.cycles += 1
 
-            pending = self.events.pending > 0
-            # a queue still burning a trailing NOP is not finished: its
-            # delay is part of the program's timed behaviour
-            all_done = all(
-                q.done and cycle + 1 >= q.busy_until for q in queues
-            )
-            if all_done and not pending:
-                cycle += 1
-                break
-            if not pending and not all_done:
-                # queues exist but none can ever progress
-                stuck = [q for q in queues if not q.done]
-                if stuck and all(q.parked for q in stuck):
-                    releases = [
-                        self.barrier.release_for(q.park_cycle) for q in stuck
-                    ]
-                    if all(r is None for r in releases):
-                        raise SimulationError(
-                            "barrier deadlock: Sync parked with no Notify"
-                        )
-            if fast_forward:
-                nxt = self.next_active_cycle(queues, cycle)
-                # no candidate: every live queue is parked with no release
-                # in sight — single-step, preserving the slow path's
-                # behaviour (deadlock fault or max_cycles timeout)
-                target = min(
-                    cycle + 1 if nxt is None else nxt, max_cycles
+                pending = self.events.pending > 0
+                # a queue still burning a trailing NOP is not finished: its
+                # delay is part of the program's timed behaviour
+                all_done = all(
+                    q.done and cycle + 1 >= q.busy_until for q in queues
                 )
-                span = target - (cycle + 1)
-                if span > 0:
-                    self.skip_cycles(cycle + 1, span)
-                    skipped += span
-                cycle = target
-            else:
-                cycle += 1
+                if all_done and not pending:
+                    cycle += 1
+                    break
+                # deadline pre-check inlined: before the deadline the
+                # armed watchdog costs one comparison per dense cycle
+                if wd_deadline is not None and cycle + 1 >= wd_deadline:
+                    self.check_watchdog(queues, cycle + 1)
+                if not pending and not all_done:
+                    # queues exist but none can ever progress
+                    stuck = [q for q in queues if not q.done]
+                    if stuck and all(q.parked for q in stuck):
+                        releases = [
+                            self.barrier.release_for(q.park_cycle)
+                            for q in stuck
+                        ]
+                        if all(r is None for r in releases):
+                            raise SimulationError(
+                                "barrier deadlock: Sync parked with no Notify"
+                            )
+                if fast_forward:
+                    nxt = self.next_active_cycle(queues, cycle)
+                    # no candidate: every live queue is parked with no
+                    # release in sight — single-step, preserving the slow
+                    # path's behaviour (deadlock fault or max_cycles
+                    # timeout)
+                    target = min(
+                        cycle + 1 if nxt is None else nxt, max_cycles
+                    )
+                    if wd_deadline is not None and target >= wd_deadline:
+                        # never skip past the armed deadline: the check
+                        # above must run at the deadline cycle in both
+                        # execution cores
+                        target = max(wd_deadline - 1, cycle + 1)
+                    span = target - (cycle + 1)
+                    if span > 0:
+                        self.skip_cycles(cycle + 1, span)
+                        skipped += span
+                    cycle = target
+                else:
+                    cycle += 1
+        except TspError as fault:
+            fault.with_context(chip=self.chip_id, cycle=self.now)
+            raise
 
         for checker in self.checkers:
             checker.finish(cycle)
@@ -444,11 +525,15 @@ class TspChip:
     def step_cycle(self, queues: list[IcuQueue], cycle: int) -> None:
         """Advance one cycle — used by the lockstep multichip driver."""
         self.now = cycle
-        self.events.run_phase(cycle, Phase.DRIVE)
-        for queue in queues:
-            queue.step(cycle)
-        self.events.run_phase(cycle, Phase.CAPTURE)
-        self.srf.step(cycle)
+        try:
+            self.events.run_phase(cycle, Phase.DRIVE)
+            for queue in queues:
+                queue.step(cycle)
+            self.events.run_phase(cycle, Phase.CAPTURE)
+            self.srf.step(cycle)
+        except TspError as fault:
+            fault.with_context(chip=self.chip_id, cycle=cycle)
+            raise
         self.activity.cycles += 1
 
     def begin_run(self) -> None:

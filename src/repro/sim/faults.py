@@ -72,6 +72,32 @@ class FaultInjector:
             )
         )
 
+    def inject_double_stream_fault(
+        self,
+        direction: Direction,
+        stream: int,
+        position: int,
+        bits: tuple[int, int],
+    ) -> None:
+        """Flip two bits of one in-flight ECC word: detectable, not
+        correctable.
+
+        The stream SECDED code protects 128-bit words, so both flips
+        must land in the same 16-byte superlane word for the fault to
+        present as a double — two bits in different words would be two
+        independently *correctable* singles.
+        """
+        first, second = bits
+        if first == second:
+            raise ValueError("double fault needs two distinct bits")
+        if first // 128 != second // 128:
+            raise ValueError(
+                "double stream fault needs both bits in the same 128-bit "
+                f"ECC word (got words {first // 128} and {second // 128})"
+            )
+        self.chip.srf.inject_stream_fault(direction, stream, position, first)
+        self.chip.srf.inject_stream_fault(direction, stream, position, second)
+
     def inject_stream_fault_at(
         self,
         cycle: int,

@@ -158,7 +158,9 @@ class IcuQueue:
                 raise IqUnderflowError(
                     f"{self.icu} ran dry at cycle {cycle}: buffer "
                     f"{self.buffer_bytes} B < instruction {size} B "
-                    f"({self.unfetched_bytes} B never fetched)"
+                    f"({self.unfetched_bytes} B never fetched)",
+                    cycle=cycle,
+                    unit=self._name,
                 )
             # lax mode: assume omniscient prefetch topped the queue up
             self.buffer_bytes = size
@@ -226,7 +228,9 @@ class IcuQueue:
         previous = self._previous
         if previous is None:
             raise SimulationError(
-                f"{self.icu}: Repeat with no previous instruction"
+                f"{self.icu}: Repeat with no previous instruction",
+                cycle=cycle,
+                unit=self._name,
             )
         unit = self.chip.unit_for(self.icu)
         for k in range(instruction.n):

@@ -14,9 +14,9 @@ from dataclasses import dataclass
 
 from ..arch.geometry import Hemisphere
 from ..config import ArchConfig
-from ..errors import SimulationError
+from ..errors import ConfigError, SimulationError, TspError
 from ..isa.program import Program
-from .c2c import DEFAULT_LINK_LATENCY
+from .c2c import DEFAULT_LINK_LATENCY, LinkErrorModel
 from .chip import RunResult, TspChip
 
 
@@ -46,7 +46,9 @@ class MultiChipSystem:
         if n_chips < 1:
             raise SimulationError("a system needs at least one chip")
         self.config = config
-        self.chips = [TspChip(config, **chip_kwargs) for _ in range(n_chips)]
+        self.chips = [
+            TspChip(config, chip_id=i, **chip_kwargs) for i in range(n_chips)
+        ]
         for spec in links or []:
             self.connect(spec)
 
@@ -54,6 +56,16 @@ class MultiChipSystem:
         a = self.chips[spec.chip_a].c2c_unit(spec.hemisphere_a)
         b = self.chips[spec.chip_b].c2c_unit(spec.hemisphere_b)
         a.connect(spec.link_a, b, spec.link_b, spec.latency)
+
+    def set_link_error_model(
+        self,
+        chip: int,
+        hemisphere: Hemisphere,
+        link: int,
+        model: LinkErrorModel | None,
+    ) -> None:
+        """Attach a deterministic error process to one link egress."""
+        self.chips[chip].c2c_unit(hemisphere).set_error_model(link, model)
 
     def attach_telemetry(self, collectors: list) -> None:
         """Attach one :class:`repro.obs.TelemetryCollector` per chip."""
@@ -65,8 +77,25 @@ class MultiChipSystem:
             chip.attach_telemetry(collector)
 
     @staticmethod
-    def ring(config: ArchConfig, n_chips: int, **chip_kwargs) -> "MultiChipSystem":
-        """A ring: each chip's East C2C link 0 feeds the next chip's West."""
+    def ring(
+        config: ArchConfig,
+        n_chips: int,
+        loopback: bool = False,
+        **chip_kwargs,
+    ) -> "MultiChipSystem":
+        """A ring: each chip's East C2C link 0 feeds the next chip's West.
+
+        A one-chip "ring" would silently wire the chip's East link 0 to
+        its own West link 0 — almost always a sizing mistake, so it is
+        rejected unless ``loopback=True`` makes the single-chip self-ring
+        explicit.
+        """
+        if n_chips == 1 and not loopback:
+            raise ConfigError(
+                "ring(n_chips=1) wires chip 0's East link 0 back to its "
+                "own West link 0; pass loopback=True if a single-chip "
+                "self-ring is really intended"
+            )
         links = [
             LinkSpec(i, Hemisphere.EAST, 0, (i + 1) % n_chips, Hemisphere.WEST, 0)
             for i in range(n_chips)
@@ -90,6 +119,14 @@ class MultiChipSystem:
         the horizon because a ``Send`` enqueues onto the peer before the
         horizon is computed and the peer's ``Receive`` is a scheduled
         dispatch of its own.
+
+        Per-chip watchdogs (:meth:`TspChip.arm_watchdog`) are honoured:
+        the shared horizon is clamped to the earliest armed deadline, and
+        a chip with unfinished work past its deadline aborts the whole
+        system with a :class:`~repro.errors.WatchdogError` carrying the
+        chip's identity — the single-chip deadlock detector does not run
+        here, so the watchdog is what catches a queue hung on a barrier
+        release that another chip was supposed to trigger.
         """
         if len(programs) != len(self.chips):
             raise SimulationError(
@@ -108,6 +145,11 @@ class MultiChipSystem:
             starts.append(chip.activity.copy())
             trace_starts.append(len(chip.trace))
             correction_starts.append(chip.srf.corrections)
+        watchdogs = [
+            (chip, queues)
+            for chip, queues in zip(self.chips, queue_sets)
+            if chip.watchdog is not None
+        ]
         skipped = 0
         cycle = 0
         while True:
@@ -123,6 +165,14 @@ class MultiChipSystem:
             ):
                 cycle += 1
                 break
+            for chip, queues in watchdogs:
+                if cycle + 1 < chip.watchdog.deadline:
+                    continue
+                try:
+                    chip.check_watchdog(queues, cycle + 1)
+                except TspError as fault:
+                    fault.with_context(chip=chip.chip_id)
+                    raise
             if fast_forward:
                 horizons = [
                     chip.next_active_cycle(queues, cycle, include_drain=False)
@@ -134,6 +184,13 @@ class MultiChipSystem:
                 # cycle-by-cycle path does
                 horizon = min(finite) if finite else max_cycles
                 target = min(horizon, max_cycles)
+                for chip, _ in watchdogs:
+                    # never skip past an armed deadline: the check above
+                    # must run at the deadline cycle in both cores
+                    target = min(
+                        target,
+                        max(chip.watchdog.deadline - 1, cycle + 1),
+                    )
                 span = target - (cycle + 1)
                 if span > 0:
                     for chip in self.chips:

@@ -88,9 +88,13 @@ class FunctionalUnit:
         """Sample a stream at this unit's position at ``cycle``."""
 
         def _do(_c: int) -> None:
-            value = self.chip.srf.read_checked(
-                direction, stream, self.position
-            )
+            try:
+                value = self.chip.srf.read_checked(
+                    direction, stream, self.position
+                )
+            except SimulationError as fault:
+                fault.with_context(cycle=_c, unit=self.name)
+                raise
             callback(value)
 
         self.chip.events.schedule(cycle, Phase.CAPTURE, _do)
@@ -106,12 +110,16 @@ class FunctionalUnit:
         """Sample an aligned group of streams at once."""
 
         def _do(_c: int) -> None:
-            values = [
-                self.chip.srf.read_checked(
-                    direction, base_stream + k, self.position
-                )
-                for k in range(n_streams)
-            ]
+            try:
+                values = [
+                    self.chip.srf.read_checked(
+                        direction, base_stream + k, self.position
+                    )
+                    for k in range(n_streams)
+                ]
+            except SimulationError as fault:
+                fault.with_context(cycle=_c, unit=self.name)
+                raise
             callback(values)
 
         self.chip.events.schedule(cycle, Phase.CAPTURE, _do)

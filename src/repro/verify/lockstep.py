@@ -110,18 +110,28 @@ class LockstepResult:
 
 
 def _execute_mode(
-    compiled: CompiledProgram,
+    compiled,
     inputs: dict[str, np.ndarray],
     fast_forward: bool,
     timing,
     max_cycles: int,
     warmup_barrier: bool,
     enable_ecc: bool,
+    config=None,
+    chip_setup=None,
 ) -> LockstepExecution:
     from ..compiler.runner import fetch_output
 
+    is_compiled = isinstance(compiled, CompiledProgram)
+    if not is_compiled and config is None:
+        raise SimulationError(
+            "lockstep over a raw Program needs an explicit config"
+        )
     chip = TspChip(
-        compiled.config, timing=timing, trace=True, enable_ecc=enable_ecc
+        compiled.config if is_compiled else config,
+        timing=timing,
+        trace=True,
+        enable_ecc=enable_ecc,
     )
     recorder = RecordingChecker()
     chip.attach_checker(recorder)
@@ -129,21 +139,31 @@ def _execute_mode(
     # the per-window comparison then exercises count_span's head/full/tail
     # distribution, not just the grand totals
     chip.attach_telemetry(TelemetryCollector(window_cycles=64))
-    load_compiled(chip, compiled)
-    for name, spec in compiled.inputs.items():
-        if name not in inputs:
-            raise SimulationError(f"input {name!r} was not bound")
-        bind_input(chip, spec, inputs[name])
+    if is_compiled:
+        load_compiled(chip, compiled)
+        for name, spec in compiled.inputs.items():
+            if name not in inputs:
+                raise SimulationError(f"input {name!r} was not bound")
+            bind_input(chip, spec, inputs[name])
+    if chip_setup is not None:
+        # fault-campaign hook: wire C2C loopbacks, attach link error
+        # models, preload raw payloads, arm watchdogs — identically on
+        # the fast and slow chips
+        chip_setup(chip)
     run = chip.run(
-        compiled.program,
+        compiled.program if is_compiled else compiled,
         max_cycles=max_cycles,
         warmup_barrier=warmup_barrier,
         fast_forward=fast_forward,
     )
-    outputs = {
-        name: fetch_output(chip, spec)
-        for name, spec in compiled.outputs.items()
-    }
+    outputs = (
+        {
+            name: fetch_output(chip, spec)
+            for name, spec in compiled.outputs.items()
+        }
+        if is_compiled
+        else {}
+    )
     return LockstepExecution(
         run=run,
         outputs=outputs,
@@ -154,22 +174,34 @@ def _execute_mode(
 
 
 def run_lockstep(
-    compiled: CompiledProgram,
+    compiled,
     inputs: dict[str, np.ndarray] | None = None,
     timing=None,
     max_cycles: int = 1_000_000,
     warmup_barrier: bool = False,
     enable_ecc: bool = False,
+    config=None,
+    chip_setup=None,
 ) -> LockstepResult:
-    """Execute ``compiled`` in both modes on fresh chips; compare all state."""
+    """Execute ``compiled`` in both modes on fresh chips; compare all state.
+
+    ``compiled`` is normally a :class:`CompiledProgram`; a raw
+    :class:`~repro.isa.Program` is also accepted (pass ``config``), in
+    which case no memory image or tensor I/O is involved and the final
+    MEM comparison covers whatever the program itself materialized.
+    ``chip_setup(chip)``, when given, runs on *each* fresh chip just
+    before its run — the fault-campaign hook for wiring links, attaching
+    :class:`~repro.sim.LinkErrorModel` s, preloading payloads, or arming
+    watchdogs, applied identically to both modes.
+    """
     inputs = inputs or {}
     slow = _execute_mode(
         compiled, inputs, False, timing, max_cycles, warmup_barrier,
-        enable_ecc,
+        enable_ecc, config, chip_setup,
     )
     fast = _execute_mode(
         compiled, inputs, True, timing, max_cycles, warmup_barrier,
-        enable_ecc,
+        enable_ecc, config, chip_setup,
     )
     result = LockstepResult(slow=slow, fast=fast)
     _compare(result)

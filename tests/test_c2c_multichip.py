@@ -144,3 +144,18 @@ class TestMultiChip:
         receiver = system.chips[1].c2c_unit(Hemisphere.WEST).links[0]
         assert sender.sent_vectors == 1
         assert receiver.received_vectors == 1
+
+
+class TestRingSizing:
+    def test_single_chip_ring_is_rejected(self, config):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="loopback=True"):
+            MultiChipSystem.ring(config, 1)
+
+    def test_explicit_loopback_builds_the_self_ring(self, config):
+        system = MultiChipSystem.ring(config, 1, loopback=True)
+        east = system.chips[0].c2c_unit(Hemisphere.EAST)
+        west = system.chips[0].c2c_unit(Hemisphere.WEST)
+        assert east.links[0].peer == (west, 0)
+        assert west.links[0].peer == (east, 0)

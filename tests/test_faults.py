@@ -116,3 +116,36 @@ class TestEccOffMode:
         chip.run(copy_program(chip))
         stored = chip.read_memory(Hemisphere.EAST, 0, 9)[0]
         assert not np.array_equal(stored, data[0])
+
+
+class TestDoubleStreamFaults:
+    def test_double_bit_stream_fault_detected_not_corrected(
+        self, ecc_chip, rng
+    ):
+        """Two flips in one in-flight ECC word: the consumer must abort —
+        SECDED detects doubles but must never "correct" them."""
+        data = rng.integers(0, 256, (1, ecc_chip.config.n_lanes), np.uint8)
+        ecc_chip.load_memory(Hemisphere.WEST, 0, 4, data)
+        program = copy_program(ecc_chip)
+        injector = FaultInjector(ecc_chip)
+        queues = ecc_chip.make_queues(program)
+        src_pos = ecc_chip.floorplan.position(
+            ecc_chip.floorplan.mem_slice(Hemisphere.WEST, 0)
+        )
+        with pytest.raises(MemoryFaultError, match="uncorrectable"):
+            for cycle in range(40):
+                ecc_chip.step_cycle(queues, cycle)
+                if cycle == 5:  # driven at cycle 5, now one hop east
+                    injector.inject_double_stream_fault(
+                        E, 0, src_pos + 1, bits=(21, 90)
+                    )
+                if ecc_chip.is_idle(queues):
+                    break
+        assert injector.csr_corrections() == 0  # detection, not correction
+
+    def test_double_stream_fault_needs_one_ecc_word(self, ecc_chip):
+        injector = FaultInjector(ecc_chip)
+        with pytest.raises(ValueError, match="distinct"):
+            injector.inject_double_stream_fault(E, 0, 0, bits=(7, 7))
+        with pytest.raises(ValueError, match="same 128-bit"):
+            injector.inject_double_stream_fault(E, 0, 0, bits=(7, 300))

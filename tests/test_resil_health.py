@@ -1,0 +1,138 @@
+"""Health monitoring and the watchdog: verdicts, trends, exact deadlines."""
+
+import numpy as np
+import pytest
+
+from repro.arch import Direction, Hemisphere
+from repro.errors import WatchdogError
+from repro.isa import IcuId, Nop, Program, Read, Sync, Write
+from repro.resil import HealthMonitor, Watchdog
+from repro.resil.degrade import build_ring_transfer
+from repro.sim import FaultInjector, LinkErrorModel, MultiChipSystem, TspChip
+
+E = Direction.EASTWARD
+
+
+def copy_program(chip):
+    program = Program()
+    src = IcuId(chip.floorplan.mem_slice(Hemisphere.WEST, 0))
+    dst = IcuId(chip.floorplan.mem_slice(Hemisphere.EAST, 0))
+    program.add(src, Read(address=4, stream=0, direction=E))
+    program.add(dst, Nop(6))
+    program.add(dst, Write(address=9, stream=0, direction=E))
+    return program
+
+
+class TestHealthMonitor:
+    def test_fresh_chip_reports_healthy(self, config):
+        chip = TspChip(config, chip_id=3)
+        report = HealthMonitor().poll(chip)
+        assert report.verdict == "healthy"
+        assert report.chip_id == 3
+        assert report.ecc_corrections == 0
+        assert report.links == ()  # unwired, silent links are skipped
+
+    def test_corrections_accumulate_into_wearout(self, config, rng):
+        chip = TspChip(config, chip_id=0, enable_ecc=True)
+        data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        chip.load_memory(Hemisphere.WEST, 0, 4, data)
+        FaultInjector(chip).inject_sram_fault(Hemisphere.WEST, 0, 4, bit=13)
+        chip.run(copy_program(chip))
+        monitor = HealthMonitor(wearout_threshold=1)
+        report = monitor.poll(chip)
+        assert report.ecc_corrections == 1
+        assert report.correction_delta == 1
+        assert report.wearout
+        assert report.verdict == "marginal"
+
+    def test_trend_is_the_correction_slope(self, config):
+        chip = TspChip(config)
+        monitor = HealthMonitor()
+        for corrections in (0, 4, 8):
+            chip.srf.corrections = corrections
+            monitor.poll(chip, cycle=corrections * 10)
+        assert monitor.trend(chip) == 4.0
+
+    def test_link_retries_flag_marginal(self, config, rng):
+        payload = rng.integers(0, 256, (4, config.n_lanes), dtype=np.uint8)
+        system = MultiChipSystem.ring(config, 2)
+        system.set_link_error_model(
+            0, Hemisphere.EAST, 0,
+            LinkErrorModel(seed=5, burst=(0, 1), max_retries=1),
+        )
+        plan = build_ring_transfer(system, [0, 1], payload)
+        system.run(plan.programs)
+        monitor = HealthMonitor()
+        reports = monitor.poll_system(system)
+        ingress = next(
+            lh for lh in reports[1].links if lh.received > 0
+        )
+        assert ingress.retries == 1
+        assert ingress.marginal and not ingress.failed
+        assert reports[1].verdict == "marginal"
+        assert "C2C" in reports[1].render()
+
+    def test_uncorrectable_counter_flags_failed(self, config):
+        chip = TspChip(config, chip_id=0)
+        chip.c2c_unit(Hemisphere.EAST).loopback(0)
+        link = chip.c2c_unit(Hemisphere.EAST).links[0]
+        link.sent_vectors = 3
+        link.uncorrectable = 1
+        report = HealthMonitor().poll(chip)
+        assert report.verdict == "failed"
+        assert any(lh.failed for lh in report.links)
+
+
+class TestWatchdog:
+    def test_fires_at_the_same_cycle_in_both_cores(self, config, chip):
+        slow_program = Program()
+        icu = IcuId(chip.floorplan.mem_slice(Hemisphere.EAST, 0))
+        slow_program.add(icu, Nop(1000))
+        cycles = []
+        for fast_forward in (False, True):
+            fresh = TspChip(config, chip_id=0)
+            fresh.arm_watchdog(Watchdog(deadline=400, label="test"))
+            with pytest.raises(WatchdogError, match="test") as exc:
+                fresh.run(slow_program, fast_forward=fast_forward)
+            cycles.append(exc.value.cycle)
+            assert exc.value.chip_id == 0
+        assert cycles[0] == cycles[1] == 400
+
+    def test_silent_when_the_program_beats_the_deadline(self, config, rng):
+        data = rng.integers(0, 256, (1, config.n_lanes), dtype=np.uint8)
+        baseline = TspChip(config)
+        baseline.load_memory(Hemisphere.WEST, 0, 4, data)
+        expected = baseline.run(copy_program(baseline)).cycles
+        armed = TspChip(config)
+        armed.load_memory(Hemisphere.WEST, 0, 4, data)
+        armed.arm_watchdog(Watchdog(deadline=10_000))
+        result = armed.run(copy_program(armed))
+        assert result.cycles == expected
+        armed.disarm_watchdog()
+        assert armed.watchdog is None
+
+    def test_catches_a_cross_chip_barrier_hang(self, config):
+        """Chip 1 parks on a Sync no one ever Notifies; the multichip
+        driver has no deadlock detector, so the watchdog is the bound."""
+        system = MultiChipSystem.ring(config, 2)
+        system.chips[1].arm_watchdog(Watchdog(deadline=300, label="hang"))
+        hung = Program()
+        icu = IcuId(system.chips[1].floorplan.mem_slice(Hemisphere.WEST, 0))
+        hung.add(icu, Sync())
+        with pytest.raises(WatchdogError, match="parked") as exc:
+            system.run([Program(), hung], max_cycles=50_000)
+        assert exc.value.chip_id == 1
+        assert exc.value.cycle == 300
+        assert "MEM_W0" in str(exc.value)
+
+    def test_multichip_hang_detected_under_fast_forward_too(self, config):
+        system = MultiChipSystem.ring(config, 2)
+        system.chips[1].arm_watchdog(Watchdog(deadline=300))
+        hung = Program()
+        icu = IcuId(system.chips[1].floorplan.mem_slice(Hemisphere.WEST, 0))
+        hung.add(icu, Sync())
+        with pytest.raises(WatchdogError) as exc:
+            system.run(
+                [Program(), hung], max_cycles=50_000, fast_forward=False
+            )
+        assert exc.value.cycle == 300
