@@ -7,6 +7,12 @@ pytest-benchmark tables, and a copy is persisted to
 
 Chip-config fixtures come from :mod:`repro.testing`, shared with the main
 test suite's conftest.
+
+Isolation notes: the report sink lives in pytest's config stash (born and
+dying with one pytest run) rather than a module-level list, so repeated
+in-process runs can't concatenate each other's reports; the config
+fixtures are function-scoped so no object — frozen today or not — is
+shared between tests.
 """
 
 from __future__ import annotations
@@ -17,33 +23,39 @@ import pytest
 
 from repro.testing import make_full_config, make_small_config
 
-_REPORTS: list[str] = []
+_REPORTS_KEY = pytest.StashKey()
+
+
+def pytest_configure(config):
+    config.stash[_REPORTS_KEY] = []
 
 
 @pytest.fixture(scope="session")
-def report_sink() -> list[str]:
-    return _REPORTS
+def report_sink(request) -> list[str]:
+    """The run's report accumulator (a session artifact by design)."""
+    return request.config.stash[_REPORTS_KEY]
 
 
-@pytest.fixture(scope="session")
+@pytest.fixture()
 def full_config():
     return make_full_config()
 
 
-@pytest.fixture(scope="session")
+@pytest.fixture()
 def small_config():
     return make_small_config()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not _REPORTS:
+    reports = config.stash.get(_REPORTS_KEY, None) or []
+    if not reports:
         return
     terminalreporter.write_sep("=", "paper-vs-measured experiment reports")
-    for text in _REPORTS:
+    for text in reports:
         terminalreporter.write_line("")
         for line in text.splitlines():
             terminalreporter.write_line(line)
     path = os.path.join(os.path.dirname(__file__), "bench_reports.txt")
     with open(path, "w") as handle:
-        handle.write("\n\n".join(_REPORTS) + "\n")
+        handle.write("\n\n".join(reports) + "\n")
     terminalreporter.write_line(f"\n(reports saved to {path})")

@@ -9,6 +9,7 @@ positions with ``delta(j, i)`` and instruction timing with
 """
 
 from .api import StreamProgramBuilder, TensorHandle
+from .cachekey import config_fingerprint, graph_fingerprint
 from .graph import Graph, Node, OpKind
 from .allocator import (
     MemoryAllocator,
@@ -62,8 +63,10 @@ __all__ = [
     "TensorLayout",
     "TensorSpec",
     "WordPlacement",
+    "config_fingerprint",
     "execute",
     "fetch_output",
+    "graph_fingerprint",
     "insert_ifetch",
     "layout_program_text",
     "materialize_text",

@@ -31,6 +31,7 @@ from ..config import ArchConfig
 from ..errors import CompileError
 from ..isa.sxm import ShiftDirection
 from ..isa.vxm import AluOp
+from .cachekey import graph_fingerprint
 from .graph import Graph, Node, OpKind
 from .scheduler import CompiledProgram, Scheduler
 
@@ -489,9 +490,24 @@ class StreamProgramBuilder:
         resources — recompiles the same graph in degraded mode: placement
         and plane selection route around the dead hardware while the
         program's outputs stay bit-identical to the healthy schedule.
+
+        The result carries its content-addressed ``cache_key`` (see
+        :mod:`repro.compiler.cachekey`): scheduling is deterministic, so
+        equal keys mean bit-identical binaries and a compiled program can
+        be cached and replayed for any later request of the same shape.
         """
         scheduler = Scheduler(self.config, self.timing, blacklist=blacklist)
-        return scheduler.schedule(self.graph)
+        compiled = scheduler.schedule(self.graph)
+        compiled.cache_key = graph_fingerprint(
+            self.graph, self.config, timing=self.timing, blacklist=blacklist
+        )
+        return compiled
+
+    def fingerprint(self, blacklist=None) -> str:
+        """The cache key :meth:`compile` would attach, without compiling."""
+        return graph_fingerprint(
+            self.graph, self.config, timing=self.timing, blacklist=blacklist
+        )
 
 
 def _dtype_from_numpy(np_dtype: np.dtype) -> DType:

@@ -201,6 +201,12 @@ class CompiledProgram:
     outputs: dict[str, TensorSpec]
     stats: ScheduleStats
     intent: ScheduleIntent | None = None
+    #: content-addressed identity of (graph, config, timing, blacklist) —
+    #: see :mod:`repro.compiler.cachekey`; the serving layer's program
+    #: cache keys on it.  A compiled program is immutable after scheduling,
+    #: so one instance can be executed any number of times on any chip of
+    #: the same configuration.
+    cache_key: str | None = None
 
 
 @dataclass

@@ -125,6 +125,10 @@ class WatchdogError(SimulationError):
     """An armed watchdog deadline elapsed with work still unfinished."""
 
 
+class ServeError(TspError):
+    """The inference serving layer could not accept or complete a request."""
+
+
 class VerificationError(TspError):
     """The conformance layer found a disagreement or a coverage gap."""
 

@@ -16,6 +16,7 @@ reference path in :mod:`repro.nn.quantize`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,6 +52,72 @@ class TspForwardResult:
     total_cycles: int
     programs_run: int
     layer_cycles: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ChunkRunStats:
+    """Per-forward accounting the serving layer reads back.
+
+    ``compile_s``/``execute_s`` split the host wall time of one forward
+    between scheduling and simulation; the cache tallies distinguish
+    programs replayed from the compiled-program cache from fresh lowers.
+    """
+
+    compile_s: float = 0.0
+    execute_s: float = 0.0
+    cycles: int = 0
+    programs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def merge(self, other: "ChunkRunStats") -> None:
+        self.compile_s += other.compile_s
+        self.execute_s += other.execute_s
+        self.cycles += other.cycles
+        self.programs += other.programs
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+
+def _pad_bucket(n_rows: int, cap: int) -> int:
+    """Smallest power-of-two row count >= n_rows (min 8, capped)."""
+    bucket = 8
+    while bucket < n_rows:
+        bucket *= 2
+    return min(bucket, cap)
+
+
+def build_chunk_builder(
+    config: ArchConfig, layer: CompiledLayer, n_rows: int
+) -> tuple[StreamProgramBuilder, list[tuple[str, int, int]]]:
+    """Lower one (layer, row-count) shape to a reusable stream program.
+
+    The activations enter as *input* tensors (bound per request at execute
+    time) rather than baked-in constants, so the compiled program is a
+    pure function of (weights, shape, dtype, config) — the cacheable unit
+    of the serving layer: compile once per shape, replay for every batch.
+    K dimensions beyond the lane count are split into K-tiles accumulated
+    in the MXM.  Returns the builder plus the input binding plan as
+    ``(input name, start column, end column)`` triples.
+    """
+    lanes = config.n_lanes
+    k = layer.weight_q.shape[0]
+    g = StreamProgramBuilder(config)
+    if k <= lanes:
+        bindings = [("acts", 0, k)]
+        handles: object = g.input_tensor("acts", (n_rows, k))
+    else:
+        bindings = [
+            (f"acts{i}", start, min(start + lanes, k))
+            for i, start in enumerate(range(0, k, lanes))
+        ]
+        handles = [
+            g.input_tensor(name, (n_rows, end - start))
+            for name, start, end in bindings
+        ]
+    result_handle = g.matmul(layer.weight_q, handles, name="weights")
+    g.write_back(result_handle, name="acc")
+    return g, bindings
 
 
 class TspCnnRunner:
@@ -147,33 +214,67 @@ class TspCnnRunner:
 
     # ------------------------------------------------------------------
     def _run_matmul_chunk(
-        self, layer: CompiledLayer, acts_q: np.ndarray
+        self,
+        layer: CompiledLayer,
+        acts_q: np.ndarray,
+        chip=None,
+        cache=None,
+        stats: ChunkRunStats | None = None,
     ) -> tuple[np.ndarray, int]:
-        """Compile and simulate one chunk of quantized activations.
+        """Compile (or fetch from cache) and simulate one activation chunk.
 
         Returns the chip's int32 accumulators (bias and dequantization are
         applied by the caller, matching the reference quantized path).
+        With a ``cache``, chunks are zero-padded up to a power-of-two row
+        bucket (capped at ``max_vectors``) so every chunk of a layer
+        replays one of a handful of compiled programs — per-row MXM
+        results are independent, so padding never changes the real rows,
+        and bucketing keeps a 1-row tail from simulating ``max_vectors``
+        dead rows.
         """
-        lanes = self.config.n_lanes
-        k = layer.weight_q.shape[0]
-        g = StreamProgramBuilder(self.config)
-        if k <= lanes:
-            handles = g.constant_tensor("acts", acts_q)
+        n_rows = acts_q.shape[0]
+        n_prog = _pad_bucket(n_rows, self.max_vectors) if cache is not None \
+            else n_rows
+        g, bindings = build_chunk_builder(self.config, layer, n_prog)
+        if cache is not None:
+            compiled, _key, hit, compile_s = cache.get_or_compile(g)
         else:
-            handles = [
-                g.constant_tensor(
-                    f"acts{i}", acts_q[:, start : start + lanes]
-                )
-                for i, start in enumerate(range(0, k, lanes))
-            ]
-        result_handle = g.matmul(layer.weight_q, handles, name="weights")
-        g.write_back(result_handle, name="acc")
-        compiled = g.compile()
-        result = execute(compiled, max_cycles=2_000_000)
-        return result["acc"], result.run.cycles
+            t0 = time.perf_counter()
+            compiled = g.compile()
+            compile_s = time.perf_counter() - t0
+            hit = False
+        if n_prog != n_rows:
+            padded = np.zeros((n_prog, acts_q.shape[1]), dtype=acts_q.dtype)
+            padded[:n_rows] = acts_q
+        else:
+            padded = acts_q
+        inputs = {
+            name: padded[:, start:end] for name, start, end in bindings
+        }
+        t0 = time.perf_counter()
+        result = execute(
+            compiled, chip=chip, inputs=inputs, max_cycles=2_000_000
+        )
+        execute_s = time.perf_counter() - t0
+        if stats is not None:
+            stats.compile_s += compile_s
+            stats.execute_s += execute_s
+            stats.cycles += result.run.cycles
+            stats.programs += 1
+            if cache is not None:
+                if hit:
+                    stats.cache_hits += 1
+                else:
+                    stats.cache_misses += 1
+        return result["acc"][:n_rows], result.run.cycles
 
     def _matrix_forward(
-        self, layer: CompiledLayer, acts: np.ndarray
+        self,
+        layer: CompiledLayer,
+        acts: np.ndarray,
+        chip=None,
+        cache=None,
+        stats: ChunkRunStats | None = None,
     ) -> tuple[np.ndarray, int]:
         """Quantize, run on chip (in chunks), dequantize + bias (+ReLU)."""
         acts_q = np.clip(
@@ -183,7 +284,9 @@ class TspCnnRunner:
         cycles = 0
         for start in range(0, acts_q.shape[0], self.max_vectors):
             chunk = acts_q[start : start + self.max_vectors]
-            acc, chunk_cycles = self._run_matmul_chunk(layer, chunk)
+            acc, chunk_cycles = self._run_matmul_chunk(
+                layer, chunk, chip=chip, cache=cache, stats=stats
+            )
             chunks.append(acc)
             cycles += chunk_cycles
         acc = np.vstack(chunks).astype(np.float64)
@@ -193,8 +296,24 @@ class TspCnnRunner:
         return out, cycles
 
     # ------------------------------------------------------------------
-    def forward(self, x: np.ndarray) -> TspForwardResult:
-        """Batch inference; every MAC runs on the simulated chip."""
+    def forward(
+        self,
+        x: np.ndarray,
+        chip=None,
+        cache=None,
+        stats: ChunkRunStats | None = None,
+    ) -> TspForwardResult:
+        """Batch inference; every MAC runs on the simulated chip.
+
+        ``chip`` reuses one (possibly pooled) simulator instance for every
+        program instead of constructing a fresh chip per chunk; ``cache``
+        is a compiled-program cache honouring ``get_or_compile(builder)``
+        (see :class:`repro.serve.ProgramCache`); ``stats`` accumulates the
+        compile/execute split the serving layer reports per request.
+        Results are bit-identical with or without either: rows are
+        processed independently on the MXM, and scheduling is a pure
+        function of the lowered graph.
+        """
         total_cycles = 0
         programs = 0
         layer_cycles: dict[str, int] = {}
@@ -207,14 +326,20 @@ class TspCnnRunner:
                         current, conv.kernel, conv.kernel, conv.stride,
                         conv.pad,
                     )
-                    out, cycles = self._matrix_forward(layer, cols)
+                    out, cycles = self._matrix_forward(
+                        layer, cols, chip=chip, cache=cache, stats=stats
+                    )
                     n = current.shape[0]
                     current = out.reshape(n, ho, wo, -1).transpose(
                         0, 3, 1, 2
                     )
                 else:
                     out, cycles = self._matrix_forward(
-                        layer, current.reshape(current.shape[0], -1)
+                        layer,
+                        current.reshape(current.shape[0], -1),
+                        chip=chip,
+                        cache=cache,
+                        stats=stats,
                     )
                     current = out
                 total_cycles += cycles

@@ -16,10 +16,16 @@ Three layers, all exact under fast-forward simulation:
 
 from .attribution import attribute, render_report, write_report
 from .counters import AutoTelemetry, TelemetryCollector
-from .trace import PerfettoTraceBuilder, instruction_duration, write_trace
+from .trace import (
+    HostSpan,
+    PerfettoTraceBuilder,
+    instruction_duration,
+    write_trace,
+)
 
 __all__ = [
     "AutoTelemetry",
+    "HostSpan",
     "PerfettoTraceBuilder",
     "TelemetryCollector",
     "attribute",

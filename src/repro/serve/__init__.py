@@ -1,0 +1,57 @@
+"""Inference serving on simulated TSP chips.
+
+The deployment loop of the paper's Section IV workloads: a deadline-aware
+dynamic batcher, a content-addressed cache of compiled stream programs
+(compile once per shape, replay forever — the TSP's determinism makes the
+binary a pure function of graph + config), and a pool of simulated chips
+drained by worker threads, with per-request queue/compile/execute latency
+accounting exported through :mod:`repro.obs`.
+
+Quickstart::
+
+    from repro.serve import InferenceServer, CnnServeModel, BatchPolicy
+
+    server = InferenceServer(config, [model], n_workers=2)
+    future = server.submit("cnn", image)
+    result = future.result()          # InferenceResult: output + timing
+    server.close()
+
+or ``python -m repro.serve`` for a self-contained demo.
+"""
+
+from .batcher import DynamicBatcher
+from .cache import CacheStats, ProgramCache
+from .models import (
+    CnnServeModel,
+    ServeModel,
+    TransformerMlpServeModel,
+)
+from .pool import BatchOutcome, ChipPool, PoolWorker
+from .request import (
+    Batch,
+    BatchPolicy,
+    InferenceRequest,
+    InferenceResult,
+    RequestTiming,
+    ServeFuture,
+)
+from .server import InferenceServer
+
+__all__ = [
+    "Batch",
+    "BatchOutcome",
+    "BatchPolicy",
+    "CacheStats",
+    "ChipPool",
+    "CnnServeModel",
+    "DynamicBatcher",
+    "InferenceRequest",
+    "InferenceResult",
+    "InferenceServer",
+    "PoolWorker",
+    "ProgramCache",
+    "RequestTiming",
+    "ServeFuture",
+    "ServeModel",
+    "TransformerMlpServeModel",
+]

@@ -1,0 +1,164 @@
+"""Content-addressed LRU cache of compiled stream programs.
+
+Scheduling is by far the most expensive step of the request path (the
+two-dimensional time × space search of :mod:`repro.compiler.scheduler`),
+and the TSP's determinism makes its output a pure function of the lowered
+graph and the chip configuration.  :class:`ProgramCache` therefore keys
+compiled binaries by :func:`repro.compiler.cachekey.graph_fingerprint`:
+the first request of a (model, shape, dtype, batch) shape pays the
+compile, every later request replays the cached program — recompiles
+never block the hot path twice.
+
+Thread-safe with single-flight compilation: when several workers miss on
+the same key simultaneously, one compiles and the rest wait for its
+result instead of duplicating the scheduler run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..compiler.cachekey import graph_fingerprint
+from ..compiler.scheduler import CompiledProgram
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict counters, exported through the serve registry."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    compile_s: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class _InFlight:
+    """One key's pending compile: waiters park on the event."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.program: CompiledProgram | None = None
+        self.error: BaseException | None = None
+
+
+class ProgramCache:
+    """LRU over content-addressed compiled programs."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._programs: OrderedDict[str, CompiledProgram] = OrderedDict()
+        self._inflight: dict[str, _InFlight] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._programs)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._programs
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> CompiledProgram | None:
+        """LRU lookup by fingerprint; counts a hit or miss."""
+        with self._lock:
+            program = self._programs.get(key)
+            if program is None:
+                self.stats.misses += 1
+                return None
+            self._programs.move_to_end(key)
+            self.stats.hits += 1
+            return program
+
+    def put(self, key: str, program: CompiledProgram) -> None:
+        """Insert (or refresh) one compiled program, evicting LRU overflow."""
+        with self._lock:
+            self._insert(key, program)
+
+    def _insert(self, key: str, program: CompiledProgram) -> None:
+        self._programs[key] = program
+        self._programs.move_to_end(key)
+        while len(self._programs) > self.capacity:
+            self._programs.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def get_or_compile(
+        self, builder, blacklist=None
+    ) -> tuple[CompiledProgram, str, bool, float]:
+        """Fingerprint ``builder``'s graph; compile only on a true miss.
+
+        Returns ``(program, key, hit, compile_seconds)``.  ``hit`` is True
+        whenever this caller did not run the scheduler itself — including
+        waiters coalesced onto another thread's in-flight compile.  The
+        scheduler runs outside the cache lock, so a long compile never
+        stalls unrelated lookups.
+        """
+        key = graph_fingerprint(
+            builder.graph, builder.config,
+            timing=builder.timing, blacklist=blacklist,
+        )
+        with self._lock:
+            program = self._programs.get(key)
+            if program is not None:
+                self._programs.move_to_end(key)
+                self.stats.hits += 1
+                return program, key, True, 0.0
+            flight = self._inflight.get(key)
+            leader = flight is None
+            if leader:
+                flight = self._inflight[key] = _InFlight()
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.stats.hits += 1
+            assert flight.program is not None
+            return flight.program, key, True, 0.0
+        t0 = time.perf_counter()
+        try:
+            program = builder.compile(blacklist=blacklist)
+        except BaseException as error:
+            flight.error = error
+            with self._lock:
+                del self._inflight[key]
+            flight.done.set()
+            raise
+        compile_s = time.perf_counter() - t0
+        with self._lock:
+            self.stats.misses += 1
+            self.stats.compile_s += compile_s
+            self._insert(key, program)
+            del self._inflight[key]
+        flight.program = program
+        flight.done.set()
+        return program, key, False, compile_s
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Counters + residency, for ``BENCH_serve.json`` and stats()."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "resident": len(self._programs),
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "hit_rate": round(self.stats.hit_rate, 4),
+                "compile_s": round(self.stats.compile_s, 6),
+            }

@@ -1,0 +1,208 @@
+"""A worker pool of simulated TSP chips.
+
+Each worker thread owns one :class:`~repro.sim.chip.TspChip` and loops:
+pull a batch from the :class:`~repro.serve.batcher.DynamicBatcher`, check
+the chip out (a full :meth:`~repro.sim.chip.TspChip.scrub`, so no
+tenant's SRAM, trace, telemetry, or armed watchdog leaks between
+requests), execute the batch through the model adapter and the
+compiled-program cache, and resolve every request's future.
+
+Failure containment: a fault during a batch — an injected SRAM error, a
+watchdog deadline, a scheduler bug — fails *only that batch's* requests,
+each with the chip/cycle context the simulator attached, then scrubs the
+chip and keeps serving.  Futures are resolved on every path, so a caller
+can never deadlock on a dead batch, and the batcher queue keeps draining.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..config import ArchConfig
+from ..errors import TspError
+from ..nn.tsp_inference import ChunkRunStats
+from ..sim.chip import TspChip
+from .batcher import DynamicBatcher
+from .cache import ProgramCache
+from .models import ServeModel
+from .request import Batch, InferenceResult
+
+
+@dataclass
+class BatchOutcome:
+    """What one executed batch reports up to the server."""
+
+    batch: Batch
+    worker: str
+    ok: bool
+    stats: ChunkRunStats = field(default_factory=ChunkRunStats)
+    error: BaseException | None = None
+    started_s: float = 0.0
+    finished_s: float = 0.0
+
+
+class PoolWorker(threading.Thread):
+    """One chip-owning worker thread."""
+
+    def __init__(self, pool: "ChipPool", index: int) -> None:
+        super().__init__(name=f"tsp-serve-worker{index}", daemon=True)
+        self.pool = pool
+        self.index = index
+        self.chip = TspChip(
+            pool.config, chip_id=f"pool{index}", **pool.chip_kwargs
+        )
+        self.batches_run = 0
+        self.batches_failed = 0
+        #: one-shot checkout hooks (fault injection, test instrumentation)
+        self._checkout_hooks: list = []
+        self._hook_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def inject_at_checkout(self, hook) -> None:
+        """Run ``hook(chip)`` at the next checkout, once.
+
+        The deterministic way to aim a fault at a pooled chip: the hook
+        runs after the scrub, immediately before the batch executes — how
+        the resilience negative tests arm watchdogs and inject faults
+        without racing the worker loop.
+        """
+        with self._hook_lock:
+            self._checkout_hooks.append(hook)
+
+    def _checkout(self) -> None:
+        self.chip.scrub()
+        with self._hook_lock:
+            hooks, self._checkout_hooks = self._checkout_hooks, []
+        for hook in hooks:
+            hook(self.chip)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        while True:
+            batch = self.pool.batcher.next_batch()
+            if batch is None:
+                return
+            self.pool.execute_batch(self, batch)
+
+    def execute(self, batch: Batch) -> BatchOutcome:
+        """Check out the chip, run one batch, resolve its futures."""
+        outcome = BatchOutcome(
+            batch=batch, worker=self.name, ok=False,
+            started_s=time.monotonic(),
+        )
+        try:
+            self._checkout()
+            model = self.pool.model(batch.model)
+            payloads = [r.payload for r in batch.requests]
+            outputs = model.run_batch(
+                self.chip, self.pool.cache, payloads, stats=outcome.stats
+            )
+            if len(outputs) != len(batch.requests):
+                raise TspError(
+                    f"model {batch.model!r} returned {len(outputs)} "
+                    f"outputs for {len(batch.requests)} requests"
+                )
+        except BaseException as error:  # resolve futures on every path
+            outcome.error = error
+            outcome.finished_s = time.monotonic()
+            self.batches_failed += 1
+            for request in batch.requests:
+                request.timing.completed_s = outcome.finished_s
+                request.future.set_error(error)
+            # a faulted chip may hold arbitrary state; scrub now so the
+            # worker is immediately serviceable for the next batch
+            try:
+                self.chip.scrub()
+            except Exception:
+                pass
+            return outcome
+        outcome.ok = True
+        outcome.finished_s = time.monotonic()
+        self.batches_run += 1
+        n = len(batch.requests)
+        for request in batch.requests:
+            request.timing.completed_s = outcome.finished_s
+            request.timing.compile_s = outcome.stats.compile_s / n
+            request.timing.execute_s = outcome.stats.execute_s / n
+        for request, output in zip(batch.requests, outputs):
+            request.future.set_result(
+                InferenceResult(
+                    request_id=request.id,
+                    model=batch.model,
+                    output=output,
+                    timing=request.timing,
+                    batch_id=batch.id,
+                    batch_size=n,
+                    worker=self.name,
+                    cycles=outcome.stats.cycles,
+                    cache_hits=outcome.stats.cache_hits,
+                    cache_misses=outcome.stats.cache_misses,
+                )
+            )
+        return outcome
+
+
+class ChipPool:
+    """N simulated chips draining one dynamic batcher."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        models: list[ServeModel],
+        batcher: DynamicBatcher,
+        cache: ProgramCache,
+        n_workers: int = 2,
+        chip_kwargs: dict | None = None,
+        on_outcome=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("a pool needs at least one worker")
+        self.config = config
+        self.batcher = batcher
+        self.cache = cache
+        self.chip_kwargs = dict(chip_kwargs or {})
+        self._models = {m.name: m for m in models}
+        #: observer called with every BatchOutcome (the server's obs hook)
+        self.on_outcome = on_outcome
+        self.workers = [PoolWorker(self, i) for i in range(n_workers)]
+        self._started = False
+
+    def model(self, name: str) -> ServeModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise TspError(f"no model {name!r} registered with the pool")
+
+    # ------------------------------------------------------------------
+    def execute_batch(self, worker: PoolWorker, batch: Batch) -> None:
+        outcome = worker.execute(batch)
+        if self.on_outcome is not None:
+            try:
+                self.on_outcome(outcome)
+            except Exception:
+                pass  # observability must never kill a worker
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            for worker in self.workers:
+                worker.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for workers to exit (the batcher must be closed first)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in self.workers:
+            if not worker.is_alive():
+                continue
+            remaining = (
+                None if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
+            worker.join(remaining)
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for w in self.workers if w.is_alive())

@@ -1,0 +1,138 @@
+"""Request/response types of the serving layer.
+
+One :class:`InferenceRequest` is one caller's tensor plus a
+:class:`ServeFuture` the caller blocks on; the batcher stamps it into a
+:class:`Batch`, a pool worker executes the batch on a simulated chip, and
+each request resolves to an :class:`InferenceResult` carrying the
+queue/compile/execute latency breakdown the SLO dashboards need.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServeError
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Deadline-aware dynamic-batching knobs, per model.
+
+    A batch dispatches when ``max_batch`` requests are waiting, or when
+    the oldest waiting request has queued ``max_delay_s`` — the classic
+    batching/latency-SLO tradeoff (the TPU paper's "latency limits how
+    much batching helps"): larger ``max_batch`` amortizes the chip better,
+    smaller ``max_delay_s`` bounds the queueing a lone request can suffer.
+    """
+
+    max_batch: int = 8
+    max_delay_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError("max_batch must be >= 1")
+        if self.max_delay_s < 0:
+            raise ServeError("max_delay_s must be >= 0")
+
+
+@dataclass
+class RequestTiming:
+    """Wall-clock breakdown of one request's life, in seconds.
+
+    ``queue_s`` is submit → batch dispatch; ``compile_s`` is this
+    request's share of scheduler time inside its batch (zero on every
+    cache hit); ``execute_s`` is its share of simulation + host marshal.
+    """
+
+    submitted_s: float
+    dispatched_s: float = 0.0
+    completed_s: float = 0.0
+    compile_s: float = 0.0
+    execute_s: float = 0.0
+
+    @property
+    def queue_s(self) -> float:
+        return max(self.dispatched_s - self.submitted_s, 0.0)
+
+    @property
+    def total_s(self) -> float:
+        return max(self.completed_s - self.submitted_s, 0.0)
+
+
+@dataclass
+class InferenceResult:
+    """One served request's outcome."""
+
+    request_id: int
+    model: str
+    output: np.ndarray
+    timing: RequestTiming
+    batch_id: int
+    batch_size: int
+    worker: str
+    cycles: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class ServeFuture:
+    """A one-shot, thread-safe completion handle."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._result: InferenceResult | None = None
+        self._error: BaseException | None = None
+
+    def set_result(self, result: InferenceResult) -> None:
+        self._result = result
+        self._done.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> InferenceResult:
+        """Block until resolved; re-raises the worker's failure."""
+        if not self._done.wait(timeout):
+            raise ServeError("timed out waiting for an inference result")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def error(self, timeout: float | None = None) -> BaseException | None:
+        """Block until resolved; returns the failure instead of raising."""
+        if not self._done.wait(timeout):
+            raise ServeError("timed out waiting for an inference result")
+        return self._error
+
+
+@dataclass
+class InferenceRequest:
+    """One queued inference call."""
+
+    id: int
+    model: str
+    payload: np.ndarray
+    timing: RequestTiming
+    future: ServeFuture = field(default_factory=ServeFuture)
+
+
+@dataclass
+class Batch:
+    """A group of same-model requests dispatched together."""
+
+    id: int
+    model: str
+    requests: list[InferenceRequest]
+    #: why the batcher released it: "full", "deadline", or "drain"
+    trigger: str
+
+    def __len__(self) -> int:
+        return len(self.requests)

@@ -1,0 +1,245 @@
+"""The inference server: batcher + program cache + chip pool, wired to obs.
+
+:class:`InferenceServer` is the one object a caller needs: register
+models, :meth:`submit` payloads (non-blocking, returns a
+:class:`~repro.serve.request.ServeFuture`), or :meth:`run` a synchronous
+convenience call.  Internally it owns a
+:class:`~repro.serve.batcher.DynamicBatcher`, a content-addressed
+:class:`~repro.serve.cache.ProgramCache`, and a
+:class:`~repro.serve.pool.ChipPool` of simulated chips, and exports the
+serving-layer counters through the same
+:class:`~repro.obs.counters.TelemetryCollector` registry the simulator
+uses — plus wall-clock :class:`~repro.obs.trace.HostSpan` records that
+render as a "serve" process alongside the chip's Perfetto tracks.
+
+Host-side time (queue waits, scheduler runs) has no chip cycle, so the
+serve registry counts in **microseconds since server start** instead of
+cycles; window indices are then 256-µs time buckets, which keeps every
+existing registry tool (snapshot, totals, window series) working
+unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from ..config import ArchConfig
+from ..errors import ServeError
+from ..obs.counters import TelemetryCollector
+from ..obs.trace import HostSpan
+from .batcher import DynamicBatcher
+from .cache import ProgramCache
+from .models import ServeModel
+from .pool import BatchOutcome, ChipPool
+from .request import (
+    BatchPolicy,
+    InferenceRequest,
+    InferenceResult,
+    RequestTiming,
+    ServeFuture,
+)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+class InferenceServer:
+    """Serve registered models on a pool of simulated TSP chips."""
+
+    def __init__(
+        self,
+        config: ArchConfig,
+        models: list[ServeModel],
+        n_workers: int = 2,
+        cache_capacity: int = 64,
+        policies: dict[str, BatchPolicy] | None = None,
+        default_policy: BatchPolicy | None = None,
+        record_spans: bool = False,
+    ) -> None:
+        if not models:
+            raise ServeError("an inference server needs at least one model")
+        self.config = config
+        self.models = {m.name: m for m in models}
+        if len(self.models) != len(models):
+            raise ServeError("model names must be unique")
+        self.batcher = DynamicBatcher(
+            policies=policies, default_policy=default_policy
+        )
+        self.cache = ProgramCache(capacity=cache_capacity)
+        self.registry = TelemetryCollector(name="serve")
+        self.record_spans = record_spans
+        self.spans: list[HostSpan] = []
+        self._start_s = time.monotonic()
+        self._lock = threading.Lock()
+        self._next_request_id = 0
+        self._completed = 0
+        self._failed = 0
+        self._latencies: dict[str, list[float]] = {}  # model -> total_s
+        self.pool = ChipPool(
+            config,
+            models,
+            self.batcher,
+            self.cache,
+            n_workers=n_workers,
+            on_outcome=self._observe,
+        )
+        self._closed = False
+        self.pool.start()
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "InferenceServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain queued requests, stop the workers, and join them."""
+        if self._closed:
+            return
+        self._closed = True
+        self.batcher.close()
+        self.pool.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _now_us(self) -> int:
+        """Microseconds since server start — the registry's 'cycle'."""
+        return int((time.monotonic() - self._start_s) * 1e6)
+
+    def _observe(self, outcome: BatchOutcome) -> None:
+        """Pool callback: fold one batch into counters and spans."""
+        us = self._now_us()
+        unit = f"serve:{outcome.batch.model}"
+        reg = self.registry
+        n = len(outcome.batch.requests)
+        with self._lock:
+            if outcome.ok:
+                self._completed += n
+                reg.count(unit, "requests_ok", us, n)
+                lat = self._latencies.setdefault(outcome.batch.model, [])
+                for request in outcome.batch.requests:
+                    lat.append(request.timing.total_s)
+            else:
+                self._failed += n
+                reg.count(unit, "requests_failed", us, n)
+            reg.count(unit, "batches", us, 1)
+            reg.count(unit, f"trigger_{outcome.batch.trigger}", us, 1)
+            reg.count(unit, "batched_requests", us, n)
+            reg.count(unit, "cache_hits", us, outcome.stats.cache_hits)
+            reg.count(unit, "cache_misses", us, outcome.stats.cache_misses)
+            reg.count(unit, "chip_cycles", us, outcome.stats.cycles)
+            reg.count(
+                unit, "compile_us", us, int(outcome.stats.compile_s * 1e6)
+            )
+            reg.count(
+                unit, "execute_us", us, int(outcome.stats.execute_s * 1e6)
+            )
+            reg.mark_high("serve", "batch_size_high", n)
+            reg.mark_high("serve", "queue_depth_high", self.batcher.depth_high)
+            if self.record_spans:
+                start_us = int(
+                    (outcome.started_s - self._start_s) * 1e6
+                )
+                dur_us = max(
+                    int((outcome.finished_s - outcome.started_s) * 1e6), 1
+                )
+                self.spans.append(
+                    HostSpan(
+                        track=outcome.worker,
+                        name=(
+                            f"{outcome.batch.model} "
+                            f"batch{outcome.batch.id} x{n}"
+                        ),
+                        start_us=start_us,
+                        dur_us=dur_us,
+                        args={
+                            "trigger": outcome.batch.trigger,
+                            "ok": outcome.ok,
+                            "cycles": outcome.stats.cycles,
+                            "cache_hits": outcome.stats.cache_hits,
+                            "cache_misses": outcome.stats.cache_misses,
+                        },
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def submit(self, model: str, payload: np.ndarray) -> ServeFuture:
+        """Enqueue one request; returns a future to block on."""
+        served = self.models.get(model)
+        if served is None:
+            raise ServeError(
+                f"unknown model {model!r}; registered: "
+                f"{sorted(self.models)}"
+            )
+        payload = np.asarray(payload, dtype=np.float64)
+        served.validate(payload)
+        with self._lock:
+            request_id = self._next_request_id
+            self._next_request_id += 1
+        request = InferenceRequest(
+            id=request_id,
+            model=model,
+            payload=payload,
+            timing=RequestTiming(submitted_s=time.monotonic()),
+        )
+        self.batcher.submit(request)
+        return request.future
+
+    def run(
+        self, model: str, payload: np.ndarray, timeout: float = 60.0
+    ) -> InferenceResult:
+        """Submit one request and block for its result."""
+        return self.submit(model, payload).result(timeout=timeout)
+
+    def sequential_reference(
+        self, model: str, payload: np.ndarray
+    ) -> np.ndarray:
+        """The unbatched, uncached, fresh-chip oracle for one payload."""
+        served = self.models.get(model)
+        if served is None:
+            raise ServeError(f"unknown model {model!r}")
+        return served.run_reference(np.asarray(payload, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One JSON-able rollup: requests, latency percentiles, cache, pool."""
+        with self._lock:
+            latency = {
+                model: {
+                    "n": len(vals),
+                    "p50_ms": round(_percentile(vals, 50) * 1e3, 3),
+                    "p99_ms": round(_percentile(vals, 99) * 1e3, 3),
+                    "max_ms": round(max(vals) * 1e3, 3) if vals else 0.0,
+                }
+                for model, vals in self._latencies.items()
+            }
+            completed, failed = self._completed, self._failed
+        return {
+            "requests": {
+                "submitted": self._next_request_id,
+                "completed": completed,
+                "failed": failed,
+            },
+            "latency": latency,
+            "cache": self.cache.snapshot(),
+            "batcher": {
+                "released": dict(self.batcher.released),
+                "depth_high": self.batcher.depth_high,
+            },
+            "pool": {
+                "workers": len(self.pool.workers),
+                "alive": self.pool.alive,
+                "batches_run": sum(
+                    w.batches_run for w in self.pool.workers
+                ),
+                "batches_failed": sum(
+                    w.batches_failed for w in self.pool.workers
+                ),
+            },
+        }

@@ -203,6 +203,23 @@ class C2cUnit(FunctionalUnit):
         for link in self.links:
             link.rx_queue.clear()
 
+    def scrub(self) -> None:
+        # checkout reset: deskew training, sequence numbers, and the
+        # CSR fault counters restart as on a fresh chip.  Topology stays:
+        # ``peer``/``latency`` are wiring and ``error_model`` is the
+        # injected channel configuration, not run state.
+        for link in self.links:
+            link.rx_queue.clear()
+            link.deskewed = False
+            link.sent_vectors = 0
+            link.received_vectors = 0
+            link.deskew_epoch = 0
+            link.tx_seq = 0
+            link.corrected = 0
+            link.retries = 0
+            link.uncorrectable = 0
+            link.dropped = 0
+
     # ------------------------------------------------------------------
     def execute(self, icu: IcuId, instruction: Instruction, cycle: int) -> None:
         if isinstance(instruction, Deskew):

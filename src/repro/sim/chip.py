@@ -559,6 +559,33 @@ class TspChip:
         finally:
             self.srf.collector = collector
 
+    def scrub(self) -> None:
+        """Factory-reset the chip for checkout by a new program.
+
+        The worker-pool reuse discipline (``repro.serve``): ``begin_run``
+        deliberately keeps SRAM, installed weights, and cumulative tallies
+        warm so back-to-back runs of *one* program behave like a powered
+        chip; a pooled chip handed to a *different* program must instead be
+        indistinguishable from a freshly constructed one — no tenant's
+        data, trace, telemetry, armed watchdog, or checker may leak into
+        the next checkout.  Wiring (C2C topology, ECC enables, strict
+        modes) is configuration and survives.
+        """
+        self.barrier = BarrierController(self.config.barrier_latency_cycles)
+        self.events = EventQueue()
+        self.srf.scrub()
+        for unit in self._units.values():
+            unit.scrub()
+        self.trace.clear()
+        self.activity = ActivityCounts()
+        self.superlane_enabled[:] = True
+        self.weights_installed_cycle = None
+        self.weights_installed_bytes = 0
+        self.now = 0
+        self.checkers.clear()
+        self.disarm_watchdog()
+        self.detach_telemetry()
+
     def make_queues(self, program: Program) -> list[IcuQueue]:
         return [
             IcuQueue(self, icu, list(program.queue(icu)))

@@ -46,6 +46,15 @@ class MemSliceUnit(FunctionalUnit):
         # cycle-keyed: run N+1's cycle 0 must not conflict with run N's
         self._accesses.clear()
 
+    def scrub(self) -> None:
+        # checkout reset: dematerialize SRAM (and its ECC check words) so
+        # no tenant's data survives into the next checkout; the zero-fill
+        # contract of a fresh chip is restored lazily by ``storage``
+        self._storage = None
+        self._checks = None
+        self._checks_valid_arr = None
+        self._accesses.clear()
+
     @property
     def storage(self) -> np.ndarray:
         if self._storage is None:

@@ -65,6 +65,17 @@ class MxmUnit(FunctionalUnit):
         ]
         self._staging_bytes: dict[int, bytearray] = {0: bytearray(), 1: bytearray()}
 
+    def scrub(self) -> None:
+        # checkout reset: installed weights, staging buffers, pending
+        # results, and K-tile accumulators all belong to the previous
+        # program; a checked-out chip starts with dark planes
+        lanes = self.chip.config.n_lanes
+        self.planes = [
+            MxmPlane(rows=lanes, cols=self.chip.config.mxm_plane_cols)
+            for _ in range(2)
+        ]
+        self._staging_bytes = {0: bytearray(), 1: bytearray()}
+
     # ------------------------------------------------------------------
     def execute(self, icu: IcuId, instruction: Instruction, cycle: int) -> None:
         if isinstance(instruction, LoadWeights):

@@ -70,6 +70,26 @@ class StreamRegisterFile:
         self.now = 0
 
     # ------------------------------------------------------------------
+    def scrub(self) -> None:
+        """Checkout reset: no value, check bit, or counter survives.
+
+        Part of the worker-pool chip-reuse discipline (see
+        :meth:`repro.sim.chip.TspChip.scrub`): a scrubbed register file is
+        bit-identical to a freshly constructed one, including the CSR-style
+        cumulative tallies.  The ECC enable stays — it is configuration,
+        not run state.
+        """
+        self._values[:] = 0
+        self._valid[:] = False
+        self._checks[:] = 0
+        self._driven_this_cycle.clear()
+        self._n_valid = 0
+        self._dirty = False
+        self.hop_bytes_total = 0
+        self.corrections = 0
+        self.now = 0
+
+    # ------------------------------------------------------------------
     def enable_ecc(self, enabled: bool = True) -> None:
         self._ecc_enabled = enabled
 

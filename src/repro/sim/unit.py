@@ -51,6 +51,18 @@ class FunctionalUnit:
         state — SRAM contents, installed weights — is deliberately kept.
         """
 
+    def scrub(self) -> None:
+        """Factory-reset for chip checkout: drop durable state too.
+
+        ``begin_run`` keeps SRAM and installed weights warm for
+        back-to-back runs of one program; a worker-pool chip handed to a
+        *different* program (a different tenant's request) must instead be
+        indistinguishable from a freshly constructed chip — see
+        :meth:`repro.sim.chip.TspChip.scrub`.  Units with durable state
+        override this; the default has nothing beyond per-run transients.
+        """
+        self.begin_run()
+
     # -- timing helpers --------------------------------------------------
     def dfunc(self, instruction: Instruction) -> int:
         return instruction.dfunc(self.chip.timing)

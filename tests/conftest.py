@@ -12,7 +12,15 @@ from repro.sim import TspChip
 from repro.testing import make_full_config, make_rng, make_small_config
 
 
-@pytest.fixture(scope="session")
+# Isolation note: every fixture below is function-scoped on purpose.
+# ArchConfig is a frozen dataclass today, but a session-scoped instance
+# would silently start leaking state between tests the day anyone adds a
+# mutable or cached field — and constructing one costs microseconds, so
+# there is nothing to win by sharing.  RNGs are always per-test: a shared
+# generator makes a test's data depend on which tests ran before it.
+
+
+@pytest.fixture()
 def full_config():
     """The paper's first-generation TSP."""
     return make_full_config()

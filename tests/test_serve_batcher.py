@@ -1,0 +1,177 @@
+"""The deadline-aware dynamic batcher, driven with a fake clock.
+
+All timing-sensitive behavior (deadline release, wait bounding) runs on
+an injected clock, so these tests are deterministic on any machine.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import BatchPolicy, DynamicBatcher, InferenceRequest
+from repro.serve.request import RequestTiming
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_request(i, model="m", submitted_s=0.0):
+    return InferenceRequest(
+        id=i,
+        model=model,
+        payload=np.zeros(4),
+        timing=RequestTiming(submitted_s=submitted_s),
+    )
+
+
+class TestTriggers:
+    def test_full_release_at_max_batch(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=3, max_delay_s=10.0),
+            clock=clock,
+        )
+        for i in range(3):
+            b.submit(make_request(i))
+        batch = b.next_batch(timeout=0)
+        assert batch is not None
+        assert batch.trigger == "full"
+        assert [r.id for r in batch.requests] == [0, 1, 2]  # FIFO order
+        assert b.released == {"full": 1, "deadline": 0, "drain": 0}
+
+    def test_no_release_before_deadline(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=8, max_delay_s=5.0),
+            clock=clock,
+        )
+        b.submit(make_request(0, submitted_s=0.0))
+        clock.now = 4.9
+        assert b.next_batch(timeout=0) is None
+
+    def test_deadline_release_when_oldest_ages_out(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=8, max_delay_s=5.0),
+            clock=clock,
+        )
+        b.submit(make_request(0, submitted_s=0.0))
+        b.submit(make_request(1, submitted_s=3.0))
+        clock.now = 5.0
+        batch = b.next_batch(timeout=0)
+        assert batch is not None and batch.trigger == "deadline"
+        # a deadline batch takes everything queued, not just the aged one
+        assert [r.id for r in batch.requests] == [0, 1]
+
+    def test_dispatch_stamps_timing(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=1, max_delay_s=9.0),
+            clock=clock,
+        )
+        b.submit(make_request(0, submitted_s=0.0))
+        clock.now = 2.5
+        batch = b.next_batch(timeout=0)
+        assert batch.requests[0].timing.dispatched_s == 2.5
+        assert batch.requests[0].timing.queue_s == 2.5
+
+
+class TestPerModelIsolation:
+    def test_queues_do_not_mix_models(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=10.0),
+            clock=clock,
+        )
+        b.submit(make_request(0, model="a"))
+        b.submit(make_request(1, model="b"))
+        b.submit(make_request(2, model="a"))
+        batch = b.next_batch(timeout=0)
+        assert batch.model == "a"
+        assert all(r.model == "a" for r in batch.requests)
+        assert b.depth("b") == 1
+
+    def test_per_model_policies(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            policies={"big": BatchPolicy(max_batch=4, max_delay_s=10.0)},
+            default_policy=BatchPolicy(max_batch=1, max_delay_s=10.0),
+            clock=clock,
+        )
+        b.submit(make_request(0, model="big"))
+        b.submit(make_request(1, model="small"))
+        batch = b.next_batch(timeout=0)
+        # "big" hasn't filled, "small" releases immediately at max_batch=1
+        assert batch.model == "small" and batch.trigger == "full"
+        assert b.depth("big") == 1
+
+
+class TestCloseSemantics:
+    def test_close_drains_queued_requests(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=8, max_delay_s=100.0),
+            clock=clock,
+        )
+        b.submit(make_request(0))
+        b.submit(make_request(1))
+        b.close()
+        batch = b.next_batch(timeout=0)
+        assert batch is not None and batch.trigger == "drain"
+        assert len(batch) == 2
+        assert b.next_batch(timeout=0) is None  # drained -> None
+
+    def test_submit_after_close_raises(self):
+        b = DynamicBatcher()
+        b.close()
+        with pytest.raises(ServeError):
+            b.submit(make_request(0))
+
+    def test_close_wakes_blocked_worker(self):
+        b = DynamicBatcher()  # real clock: worker genuinely blocks
+        out = []
+        worker = threading.Thread(
+            target=lambda: out.append(b.next_batch())
+        )
+        worker.start()
+        b.close()
+        worker.join(10)
+        assert not worker.is_alive()
+        assert out == [None]
+
+
+class TestAccounting:
+    def test_depth_high_water(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=10.0),
+            clock=clock,
+        )
+        for i in range(3):
+            b.submit(make_request(i))
+        assert b.depth_high == 3
+        b.next_batch(timeout=0)
+        b.submit(make_request(3))
+        assert b.depth_high == 3  # high-water survives the drain
+
+    def test_timeout_returns_none(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=8, max_delay_s=100.0),
+            clock=clock,
+        )
+        b.submit(make_request(0))
+        assert b.next_batch(timeout=0) is None  # nothing releasable yet
+
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ServeError):
+            BatchPolicy(max_delay_s=-1.0)

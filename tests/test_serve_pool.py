@@ -1,0 +1,218 @@
+"""Chip checkout discipline and the worker pool's failure containment.
+
+Two layers of guarantees:
+
+* ``TspChip.scrub()`` is a factory reset — two tenants sharing a pooled
+  chip back-to-back must see bit-identical results and cycle counts to
+  fresh chips, with no SRAM, trace, telemetry, checker, or watchdog
+  leakage between checkouts (the chip-reuse regression suite).
+* A worker that faults mid-batch fails only its own batch's requests —
+  each with the chip/cycle context the simulator attached — and the pool
+  stays serviceable with no deadlocked callers (the concurrency negative
+  suite, reusing the repro.resil watchdog as a deterministic fault).
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import StreamProgramBuilder, execute
+from repro.config import small_test_chip
+from repro.errors import TspError, WatchdogError
+from repro.obs import TelemetryCollector
+from repro.resil import Watchdog
+from repro.serve import (
+    BatchPolicy,
+    ChipPool,
+    DynamicBatcher,
+    InferenceServer,
+    ProgramCache,
+    ServeModel,
+)
+from repro.serve.models import TransformerMlpServeModel
+from repro.nn.transformer import TransformerConfig
+from repro.sim.chip import TspChip
+
+
+def compile_matmul(config, seed, k=16, m=16, n=2):
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-8, 8, (k, m)).astype(np.int8)
+    x = rng.integers(-8, 8, (n, k)).astype(np.int8)
+    g = StreamProgramBuilder(config)
+    g.write_back(g.matmul(w, g.constant_tensor("x", x)), name="r")
+    return g.compile(), x, w
+
+
+class TestScrub:
+    def test_scrub_restores_fresh_state(self, config):
+        compiled, _, _ = compile_matmul(config, seed=1)
+        chip = TspChip(config, chip_id="pooled", trace=True)
+        chip.attach_telemetry(TelemetryCollector())
+        chip.arm_watchdog(Watchdog(deadline=10**9))
+        execute(compiled, chip=chip)
+        assert chip.memory_image() != {}
+        assert chip.trace
+
+        chip.scrub()
+        assert chip.memory_image() == {}
+        assert chip.trace == []
+        assert chip.activity.instructions == 0
+        assert chip.now == 0
+        assert chip.obs is None          # telemetry does not leak
+        assert chip.watchdog is None     # armed deadlines do not leak
+        assert chip.checkers == []
+        assert chip.srf.hop_bytes_total == 0
+        assert all(chip.superlane_enabled)
+        assert chip.weights_installed_cycle is None
+
+    def test_back_to_back_programs_bit_identical_to_fresh(self, config):
+        """A, scrub, B, scrub, A on one chip == three fresh chips."""
+        prog_a, x_a, w_a = compile_matmul(config, seed=1)
+        prog_b, x_b, w_b = compile_matmul(config, seed=2, k=24, n=3)
+
+        fresh = [
+            execute(p, chip=TspChip(config))
+            for p in (prog_a, prog_b, prog_a)
+        ]
+
+        pooled_chip = TspChip(config, chip_id="pooled")
+        pooled = []
+        for p in (prog_a, prog_b, prog_a):
+            pooled_chip.scrub()
+            pooled.append(execute(p, chip=pooled_chip))
+
+        for f, q in zip(fresh, pooled):
+            assert np.array_equal(f["r"], q["r"])
+            assert f.run.cycles == q.run.cycles  # timing doesn't drift
+
+    def test_scrub_keeps_configuration(self, config):
+        """Wiring/config survives a scrub; only tenant state dies."""
+        chip = TspChip(config, chip_id="keepme")
+        chip.scrub()
+        assert chip.chip_id == "keepme"
+        assert chip.config is config
+
+
+def make_mlp(config, name="mlp", seed=0):
+    return TransformerMlpServeModel(
+        name,
+        TransformerConfig(d_model=16, n_heads=2, d_ff=32,
+                          seq_len=8, n_layers=1, vocab=64),
+        config,
+        seed=seed,
+    )
+
+
+class ExplodingModel(ServeModel):
+    """Raises a TspError (with chip context) midway through run_batch."""
+
+    def __init__(self, chip_id_holder):
+        self.name = "boom"
+        self.payload_shape = (4,)
+        self._holder = chip_id_holder
+
+    def run_batch(self, chip, cache, payloads, stats=None):
+        self._holder.append(chip.chip_id)
+        raise TspError("injected mid-batch failure").with_context(
+            chip=chip.chip_id, cycle=chip.now
+        )
+
+    def run_reference(self, payload):
+        raise AssertionError("never called")
+
+
+class TestPoolService:
+    def test_pool_resolves_futures(self, config):
+        server = InferenceServer(
+            config,
+            [make_mlp(config)],
+            n_workers=2,
+            default_policy=BatchPolicy(max_batch=4, max_delay_s=0.001),
+        )
+        rng = np.random.default_rng(0)
+        payloads = rng.standard_normal((8, 16))
+        futures = [server.submit("mlp", p) for p in payloads]
+        results = [f.result(timeout=60.0) for f in futures]
+        server.close()
+        assert len(results) == 8
+        for payload, result in zip(payloads, results):
+            assert result.output.shape == (16,)
+            assert result.timing.total_s >= 0
+            ref = server.sequential_reference("mlp", payload)
+            assert np.array_equal(result.output, ref)
+
+    def test_watchdog_fault_fails_only_its_batch(self, config):
+        """inject_at_checkout + a 1-cycle watchdog: that batch dies with
+        chip/cycle context, the pool keeps serving afterwards."""
+        server = InferenceServer(
+            config,
+            [make_mlp(config)],
+            n_workers=1,
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=0.001),
+        )
+        worker = server.pool.workers[0]
+        worker.inject_at_checkout(
+            lambda chip: chip.arm_watchdog(
+                Watchdog(deadline=1, label="serve-test")
+            )
+        )
+        rng = np.random.default_rng(1)
+        doomed = [server.submit("mlp", p)
+                  for p in rng.standard_normal((2, 16))]
+        errors = [f.error(timeout=60.0) for f in doomed]
+        assert all(isinstance(e, WatchdogError) for e in errors)
+        assert "pool0" in str(errors[0])  # chip context survives
+        assert "cycle" in str(errors[0])
+
+        # the hook was one-shot: the next batch runs clean
+        payload = rng.standard_normal(16)
+        result = server.submit("mlp", payload).result(timeout=60.0)
+        assert np.array_equal(
+            result.output, server.sequential_reference("mlp", payload)
+        )
+        assert server.pool.alive == 1
+        stats = server.stats()
+        server.close()
+        assert stats["requests"]["failed"] == 2
+        assert stats["requests"]["completed"] >= 1
+
+    def test_mid_batch_failure_is_contained(self, config):
+        """A model that raises fails its own requests; other models on
+        the same pool stay serviceable and nothing deadlocks."""
+        chips_seen = []
+        server = InferenceServer(
+            config,
+            [make_mlp(config), ExplodingModel(chips_seen)],
+            n_workers=1,
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=0.001),
+        )
+        rng = np.random.default_rng(2)
+        bad = [server.submit("boom", np.zeros(4)) for _ in range(2)]
+        good_payloads = rng.standard_normal((4, 16))
+        good = [server.submit("mlp", p) for p in good_payloads]
+
+        bad_errors = [f.error(timeout=60.0) for f in bad]
+        good_results = [f.result(timeout=60.0) for f in good]
+        server.close()
+
+        assert all(isinstance(e, TspError) for e in bad_errors)
+        assert all("injected mid-batch" in str(e) for e in bad_errors)
+        assert chips_seen and chips_seen[0] == "pool0"
+        assert len(good_results) == 4
+        for payload, result in zip(good_payloads, good_results):
+            assert np.array_equal(
+                result.output,
+                server.sequential_reference("mlp", payload),
+            )
+
+    def test_close_is_idempotent_and_joins_workers(self, config):
+        server = InferenceServer(config, [make_mlp(config)], n_workers=2)
+        server.close()
+        server.close()
+        assert server.pool.alive == 0
+
+    def test_pool_needs_a_worker(self, config):
+        with pytest.raises(ValueError):
+            ChipPool(
+                config, [make_mlp(config)],
+                DynamicBatcher(), ProgramCache(), n_workers=0,
+            )
