@@ -1,0 +1,222 @@
+"""Emit ``BENCH_scaleout.json`` — executed vs analytic pipeline scale-out.
+
+The scale-out story has two layers in this repo:
+
+* **analytic** — :func:`repro.nn.scaleout.scale_out`: the paper-style
+  first-order model (Section V.C) over :class:`~repro.nn.resnet.LayerSpec`
+  descriptions; cycles are predicted, links are a fixed-latency term.
+* **executed** — :func:`repro.nn.scaleout.execute_pipeline`: the same
+  contiguous partition actually *run* on a
+  :meth:`~repro.sim.MultiChipSystem.ring` of simulated chips, activations
+  forwarded between stages by compiler-scheduled C2C ``Send``/``Receive``
+  pairs, per-stage cycles read back from :class:`~repro.sim.chip.RunResult`.
+
+This bench runs a paced CNN workload (four matrix layers on 8x8 images)
+through both at 1, 2, and 4 chips and reports throughput/latency per chip
+count side by side.  Because the executed figures live in the
+deterministic chip-cycle domain, every number here is bit-reproducible —
+so the artifact gates CI in smoke mode too:
+
+* zero executed-vs-oracle logit mismatches at every chip count
+  (the tentpole bit-exactness claim, dense oracle vs pipelined int8
+  forwarding), and
+* executed 4-chip throughput >= 1.5x executed single-chip throughput.
+
+Artifact schema (``tsp-scaleout-bench/1``)::
+
+    {
+      "schema": "tsp-scaleout-bench/1",
+      "smoke": false,
+      "host": {"python": ..., "numpy": ..., "machine": ...},
+      "workload": {"model": ..., "image_size": ..., "batch": ...},
+      "single_chip": {"cycles_per_input": ..., "throughput_ips": ...},
+      "chips": [
+        {"n_chips": n,
+         "executed": {"throughput_ips": ..., "latency_us": ...,
+                      "bottleneck_cycles": ..., "transfer_cycles": ...,
+                      "speedup": ..., "efficiency": ...,
+                      "stages": [{"chip": c, "layers": [...],
+                                  "cycles": ..., "egress_vectors": ...}]},
+         "analytic": {"throughput_ips": ..., "latency_us": ...,
+                      "transfer_cycles": ...},
+         "mismatches": 0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+
+import numpy as np
+
+sys.path.insert(
+    0, __file__.rsplit("/", 2)[0] + "/src"
+)  # runnable standalone from a checkout
+
+from repro.config import small_test_chip  # noqa: E402
+from repro.nn import (  # noqa: E402
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    execute_pipeline,
+    make_shapes,
+    scale_out,
+)
+from repro.nn.resnet import LayerKind, LayerSpec  # noqa: E402
+from repro.nn.tsp_inference import TspCnnRunner  # noqa: E402
+
+
+def bench_model(seed: int = 0) -> Sequential:
+    """Four matrix layers — enough pipeline depth for a 4-chip ring."""
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2D(1, 4, kernel=3, rng=rng),
+        ReLU(),
+        Conv2D(4, 4, kernel=3, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(4, 8, kernel=3, rng=rng),
+        ReLU(),
+        Flatten(),
+        Dense(8 * 4 * 4, 3, rng=rng),
+    ])
+
+
+def bench_specs() -> list[LayerSpec]:
+    """The same network, described for the analytic estimator."""
+    return [
+        LayerSpec("conv0", LayerKind.CONV, 1, 4, 3, 1, 8, 8),
+        LayerSpec("conv1", LayerKind.CONV, 4, 4, 3, 1, 8, 8),
+        LayerSpec("conv2", LayerKind.CONV, 4, 8, 3, 1, 4, 4),
+        LayerSpec("fc", LayerKind.FC, 128, 3, 1, 1, 1, 1),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("-o", "--output", default="BENCH_scaleout.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small batch; gates still apply (the cycle "
+                             "domain is deterministic)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch", type=int, default=None,
+                        help="inputs per run (default 6, 2 with --smoke)")
+    args = parser.parse_args(argv)
+
+    batch = args.batch or (2 if args.smoke else 6)
+    config = small_test_chip()
+    data = make_shapes(n_train=64, n_test=max(batch, 4),
+                       image_size=8, n_classes=3, seed=args.seed)
+    runner = TspCnnRunner(
+        bench_model(args.seed), config, data.x_train[:32],
+        max_vectors_per_program=32,
+    )
+    x = data.x_test[:batch]
+    oracle = runner.forward(x)
+    single_cycles = -(-oracle.total_cycles // batch)
+    single_ips = config.clock_ghz * 1e9 / single_cycles
+    specs = bench_specs()
+
+    chips_rows = []
+    total_mismatches = 0
+    for n_chips in (1, 2, 4):
+        result = execute_pipeline(runner, x, n_chips)
+        executed = result.executed
+        mismatches = int(
+            np.sum(~np.all(result.logits == oracle.logits, axis=-1))
+        )
+        total_mismatches += mismatches
+        analytic = scale_out(specs, config, n_chips)
+        chips_rows.append({
+            "n_chips": n_chips,
+            "executed": {
+                "throughput_ips": executed.throughput_ips,
+                "latency_us": executed.latency_us,
+                "bottleneck_cycles": executed.bottleneck_cycles,
+                "transfer_cycles": executed.transfer_cycles,
+                "speedup": executed.speedup_vs(single_ips),
+                "efficiency": executed.efficiency(single_ips),
+                "stages": [
+                    {
+                        "chip": stage.chip,
+                        "layers": stage.layer_names,
+                        "cycles": stage.cycles,
+                        "egress_vectors": stage.egress_vectors,
+                        "transfer_cycles": stage.transfer_cycles,
+                    }
+                    for stage in executed.stages
+                ],
+            },
+            "analytic": {
+                "throughput_ips": analytic.throughput_ips,
+                "latency_us": analytic.latency_us,
+                "bottleneck_cycles": analytic.bottleneck_cycles,
+                "transfer_cycles": analytic.transfer_cycles,
+            },
+            "mismatches": mismatches,
+        })
+        print(
+            f"chips={n_chips}: executed "
+            f"{executed.throughput_ips:,.0f} ips "
+            f"({executed.bottleneck_cycles} cyc bottleneck, "
+            f"{executed.transfer_cycles} transfer cyc), analytic "
+            f"{analytic.throughput_ips:,.0f} ips, "
+            f"mismatches={mismatches}"
+        )
+
+    speedup4 = next(
+        row["executed"]["speedup"]
+        for row in chips_rows if row["n_chips"] == 4
+    )
+    artifact = {
+        "schema": "tsp-scaleout-bench/1",
+        "smoke": args.smoke,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workload": {
+            "model": "conv4 CNN (3 conv + fc, four matrix layers)",
+            "image_size": 8,
+            "batch": batch,
+            "seed": args.seed,
+        },
+        "single_chip": {
+            "cycles_per_input": single_cycles,
+            "throughput_ips": single_ips,
+        },
+        "chips": chips_rows,
+        "speedup_4chip": speedup4,
+        "mismatches": total_mismatches,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if total_mismatches:
+        failures.append(
+            f"{total_mismatches} executed logits diverged from the "
+            "single-chip oracle"
+        )
+    if speedup4 < 1.5:
+        failures.append(
+            f"4-chip executed speedup {speedup4:.2f}x < 1.5x gate"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,16 @@ from .allocator import (
     TensorLayout,
     WordPlacement,
 )
+from .partition import (
+    ForwardTransfer,
+    PartitionPlan,
+    PartitionStage,
+    TimedProgram,
+    build_forward_transfer,
+    pack_payload,
+    partition_contiguous,
+    unpack_payload,
+)
 from .passes import insert_ifetch
 from .runner import ExecutionResult, execute, fetch_output, load_compiled
 from .textlayout import (
@@ -44,6 +54,14 @@ from .scheduler import (
 __all__ = [
     "CompiledProgram",
     "ExecutionResult",
+    "ForwardTransfer",
+    "PartitionPlan",
+    "PartitionStage",
+    "TimedProgram",
+    "build_forward_transfer",
+    "pack_payload",
+    "partition_contiguous",
+    "unpack_payload",
     "Graph",
     "MemWord",
     "MemoryAllocator",

@@ -1,0 +1,342 @@
+"""Pipeline partitioning and compiler-scheduled C2C activation forwarding.
+
+The paper provisions 3.84 Tb/s of deterministic chip-to-chip bandwidth so
+"large-scale systems" stay schedulable by a single compiler: Send and
+Receive are ordinary scheduled instructions, the links have fixed latency,
+and retransmission slack is pre-reserved at plan time
+(:attr:`repro.sim.c2c.C2cLink.arrival_latency`) — never arbitrated.  This
+module is the compiler side of that story for pipeline parallelism:
+
+* :func:`partition_contiguous` — split an ordered list of layer costs
+  into contiguous per-chip stages, every stage non-empty (an empty stage
+  is a silently wasted chip; it is a :class:`~repro.errors.ConfigError`
+  here, mirroring the ``ring(n_chips=1)`` guard).
+* :class:`PartitionPlan` — the named stages plus a content fingerprint,
+  so every partition-dependent cached artifact (C2C transfer programs,
+  serve-layer entries) keys on *which* split produced it.
+* :func:`build_forward_transfer` — the timed Read -> Send -> Receive
+  programs that forward one activation payload across a single eastward
+  ring hop, with every dispatch cycle computed here at plan time.
+* :func:`pack_payload` / :func:`unpack_payload` — raw-byte packing of an
+  activation tensor into the ``(n_words, n_lanes)`` uint8 vectors the
+  C2C links ship.
+
+:class:`TimedProgram` (absolute dispatch cycles -> ``Nop``-padded ICU
+queues) lives here because both this planner and the resilience planner
+(:mod:`repro.resil.degrade`, which re-exports it) build programs the same
+way: think in absolute cycles, then let the helper insert the gaps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.geometry import Direction, Hemisphere
+from ..config import ArchConfig
+from ..errors import C2cLinkError, CompileError, ConfigError
+from ..isa.c2c import Deskew, Receive, Send
+from ..isa.icu import Nop
+from ..isa.mem import Read
+from ..isa.program import IcuId, Program
+from .cachekey import config_fingerprint
+
+
+class TimedProgram:
+    """Build a :class:`Program` from absolute dispatch cycles.
+
+    Planners think in absolute cycles ("Send must dispatch at
+    capture - d_skew"); ICU queues think in relative order with ``Nop``
+    gap fillers.  This helper converts: record ``at(icu, cycle,
+    instruction)`` pairs, then :meth:`build` sorts each queue and inserts
+    the exact ``Nop`` padding.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[IcuId, list[tuple[int, object]]] = {}
+
+    def at(self, icu: IcuId, cycle: int, instruction) -> None:
+        self._queues.setdefault(icu, []).append((cycle, instruction))
+
+    def build(self) -> Program:
+        program = Program()
+        for icu, items in self._queues.items():
+            items.sort(key=lambda pair: pair[0])
+            cursor = 0
+            for cycle, instruction in items:
+                if cycle < cursor:
+                    raise CompileError(
+                        f"{icu}: dispatch at cycle {cycle} overlaps the "
+                        f"previous instruction (queue busy until {cursor})"
+                    )
+                if cycle > cursor:
+                    program.add(icu, Nop(cycle - cursor))
+                program.add(icu, instruction)
+                cursor = cycle + instruction.issue_cycles()
+        return program
+
+
+# ----------------------------------------------------------------------
+# Contiguous partitioning
+
+
+def partition_contiguous(
+    costs: list[float], n_chips: int
+) -> list[list[int]]:
+    """Split ``costs`` into ``n_chips`` contiguous, non-empty stages.
+
+    Greedy balance toward ``total / n_chips`` per stage, with a forced
+    split whenever the remaining items would otherwise be unable to fill
+    the remaining chips — so exactly ``n_chips`` stages come back and
+    every one holds at least one item.  Fewer items than chips is a
+    :class:`~repro.errors.ConfigError`: a chip with no layers would
+    silently idle (and, before this guard, billed phantom link hops in
+    the analytic model).
+    """
+    if n_chips < 1:
+        raise ConfigError("a pipeline needs at least one stage")
+    if len(costs) < n_chips:
+        raise ConfigError(
+            f"{len(costs)} layers cannot fill {n_chips} chips — every "
+            "chip needs at least one layer; reduce n_chips or deepen "
+            "the model"
+        )
+    total = float(sum(costs))
+    target = total / n_chips
+    stages: list[list[int]] = []
+    current: list[int] = []
+    acc = 0.0
+    for index, cost in enumerate(costs):
+        current.append(index)
+        acc += cost
+        stages_left = n_chips - len(stages) - 1  # stages still to open
+        items_left = len(costs) - index - 1
+        if stages_left == 0:
+            continue
+        if items_left == stages_left or (
+            acc >= target and items_left >= stages_left
+        ):
+            stages.append(current)
+            current = []
+            acc = 0.0
+    stages.append(current)
+    return stages
+
+
+@dataclass(frozen=True)
+class PartitionStage:
+    """One chip's contiguous share of the layer sequence."""
+
+    chip: int
+    items: tuple[int, ...]  # indices into the partitioned sequence
+    names: tuple[str, ...]
+    cost: float
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A contiguous pipeline partition plus its content fingerprint.
+
+    The fingerprint covers the chip configuration, the chip count, the
+    link latency budget, and the exact stage boundaries (by layer name),
+    so any cached artifact derived from a partition — C2C transfer
+    programs above all — can never alias across different splits of the
+    same model.
+    """
+
+    stages: tuple[PartitionStage, ...]
+    n_chips: int
+    link_latency: int
+    fingerprint: str
+
+    @staticmethod
+    def plan(
+        names: list[str],
+        costs: list[float],
+        n_chips: int,
+        config: ArchConfig,
+        link_latency: int,
+    ) -> "PartitionPlan":
+        if len(names) != len(costs):
+            raise ConfigError(
+                f"{len(names)} names for {len(costs)} layer costs"
+            )
+        groups = partition_contiguous(costs, n_chips)
+        stages = tuple(
+            PartitionStage(
+                chip=chip,
+                items=tuple(group),
+                names=tuple(names[i] for i in group),
+                cost=float(sum(costs[i] for i in group)),
+            )
+            for chip, group in enumerate(groups)
+        )
+        h = hashlib.sha256()
+        h.update(config_fingerprint(config).encode())
+        h.update(f"|chips={n_chips}|link={link_latency}".encode())
+        for stage in stages:
+            h.update(("|" + ",".join(stage.names)).encode())
+        return PartitionPlan(
+            stages=stages,
+            n_chips=n_chips,
+            link_latency=link_latency,
+            fingerprint=h.hexdigest(),
+        )
+
+
+# ----------------------------------------------------------------------
+# Payload packing
+
+
+def pack_payload(array: np.ndarray, n_lanes: int) -> np.ndarray:
+    """Raw bytes of ``array``, padded into ``(n_words, n_lanes)`` uint8.
+
+    The C2C links ship lane-wide byte vectors; this is the host-side view
+    of the same layout.  Padding bytes are zero and ignored by
+    :func:`unpack_payload`.
+    """
+    raw = np.ascontiguousarray(array).tobytes()
+    n_words = max(1, -(-len(raw) // n_lanes))
+    flat = np.zeros(n_words * n_lanes, dtype=np.uint8)
+    flat[: len(raw)] = np.frombuffer(raw, dtype=np.uint8)
+    return flat.reshape(n_words, n_lanes)
+
+
+def unpack_payload(
+    words: np.ndarray, shape: tuple[int, ...], dtype
+) -> np.ndarray:
+    """Invert :func:`pack_payload` for a tensor of ``shape``/``dtype``."""
+    flat = np.asarray(words, dtype=np.uint8).reshape(-1)
+    n_bytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+    if n_bytes > flat.size:
+        raise ConfigError(
+            f"payload of {flat.size} bytes cannot hold a {shape} "
+            f"{np.dtype(dtype).name} tensor ({n_bytes} bytes)"
+        )
+    return (
+        np.frombuffer(flat[:n_bytes].tobytes(), dtype=dtype)
+        .reshape(shape)
+        .copy()
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-hop activation forwarding
+
+
+@dataclass
+class ForwardTransfer:
+    """Timed programs that ship one staged payload from chip to chip+1.
+
+    ``programs`` holds one :class:`Program` per chip of the system the
+    transfer was planned against (empty for uninvolved chips), ready for
+    :meth:`repro.sim.MultiChipSystem.run`.  The payload must be staged
+    (``load_memory``) into the source chip's WEST ``stage_slice`` at
+    ``base_address`` before the run; it lands at the same coordinates on
+    the destination chip.
+    """
+
+    src: int
+    dst: int
+    n_words: int
+    stage_slice: int
+    base_address: int
+    #: emplace cycle of the last vector on the destination chip
+    last_emplace: int
+    programs: list[Program]
+
+
+def build_forward_transfer(
+    system,
+    src: int,
+    n_words: int,
+    stage_slice: int = 0,
+    base_address: int = 0,
+    interval: int = 1,
+) -> ForwardTransfer:
+    """Plan one eastward activation hop ``src -> src + 1`` on a ring.
+
+    Fully timed at plan time, exactly like the resilience planner's
+    store-and-forward (:func:`repro.resil.degrade.build_ring_transfer`):
+    per vector ``i``, a MEM ``Read`` drives the EASTWARD stream at
+    ``i * interval``, the egress ``Send`` captures it as it passes the
+    C2C slice, and the destination chip's ``Receive`` emplaces it into
+    its own WEST staging slice after the link's
+    :attr:`~repro.sim.c2c.C2cLink.arrival_latency` — which already
+    includes the retransmission slack of any error model attached to the
+    cable, so a plan built against a lossy link is correct without
+    replanning.  Data flowing east stages in WEST MEM (it departs on the
+    EASTWARD stream path) and lands in the receiver's WEST MEM, so one
+    staging convention composes across every pipeline stage.
+    """
+    n_chips = len(system.chips)
+    dst = src + 1
+    if not 0 <= src < n_chips - 1:
+        raise ConfigError(
+            f"forward hop {src}->{dst} outside a {n_chips}-chip system"
+        )
+    chip0 = system.chips[0]
+    config = chip0.config
+    if n_words < 1:
+        raise ConfigError("a transfer needs at least one vector")
+    if base_address + n_words > (1 << config.mem_addr_bits):
+        raise ConfigError(
+            f"{n_words} staged vectors at address {base_address} overflow "
+            f"the {1 << config.mem_addr_bits}-word MEM slice; chunk the "
+            "payload"
+        )
+    link = system.chips[src].c2c_unit(Hemisphere.EAST).links[0]
+    if link.peer is None:
+        raise C2cLinkError(
+            f"chip {src} East link 0 is not wired — cannot forward to "
+            f"chip {dst}"
+        )
+
+    floorplan = chip0.floorplan
+    timing = chip0.timing
+    direction = Direction.EASTWARD
+    mem_address = floorplan.mem_slice(Hemisphere.WEST, stage_slice)
+    c2c_out = floorplan.c2c(Hemisphere.EAST)
+    hops = floorplan.delta(mem_address, c2c_out)
+    d_read = Read(address=0, stream=0, direction=direction).dfunc(timing)
+    d_send_skew = Send(link=0, stream=0, direction=direction).dskew(timing)
+    d_recv = Receive(link=0, mem_slice=0, address=0).dfunc(timing)
+
+    timed = [TimedProgram() for _ in range(n_chips)]
+    mem_icu = IcuId(mem_address)
+    send_icu = IcuId(c2c_out, 0)
+    recv_icu = IcuId(floorplan.c2c(Hemisphere.WEST), 0)
+    # calibrate the egress once, well before the first capture
+    timed[src].at(send_icu, 0, Deskew(link=0))
+    last_emplace = 0
+    for i in range(n_words):
+        t_read = i * interval
+        t_capture = t_read + d_read + hops
+        t_emplace = t_capture + link.arrival_latency
+        timed[src].at(
+            mem_icu,
+            t_read,
+            Read(address=base_address + i, stream=0, direction=direction),
+        )
+        timed[src].at(
+            send_icu,
+            t_capture - d_send_skew,
+            Send(link=0, stream=0, direction=direction),
+        )
+        timed[dst].at(
+            recv_icu,
+            t_emplace - d_recv,
+            Receive(link=0, mem_slice=stage_slice, address=base_address + i),
+        )
+        last_emplace = t_emplace
+    return ForwardTransfer(
+        src=src,
+        dst=dst,
+        n_words=n_words,
+        stage_slice=stage_slice,
+        base_address=base_address,
+        last_emplace=last_emplace,
+        programs=[t.build() for t in timed],
+    )

@@ -77,6 +77,7 @@ def execute(
     inputs: dict[str, np.ndarray] | None = None,
     max_cycles: int = 1_000_000,
     warmup_barrier: bool = False,
+    fast_forward: bool = True,
 ) -> ExecutionResult:
     """Load, bind, run, and read back a compiled program."""
     if chip is None:
@@ -91,7 +92,10 @@ def execute(
     if unknown:
         raise SimulationError(f"unknown inputs bound: {sorted(unknown)}")
     run = chip.run(
-        compiled.program, max_cycles=max_cycles, warmup_barrier=warmup_barrier
+        compiled.program,
+        max_cycles=max_cycles,
+        warmup_barrier=warmup_barrier,
+        fast_forward=fast_forward,
     )
     outputs = {
         name: fetch_output(chip, spec)

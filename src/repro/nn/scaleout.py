@@ -3,23 +3,49 @@ C2C design).
 
 The paper provisions 3.84 Tb/s of deterministic chip-to-chip bandwidth "to
 support high-radix interconnection networks of TSPs for large-scale
-systems" but publishes no multi-chip results; this module models the
+systems" but publishes no multi-chip results; this module covers the
 natural deployment — pipeline parallelism, one contiguous group of layers
-per chip, activations forwarded over C2C — with the same deterministic
-cycle accounting as the single-chip model.  Because every stage is
-deterministic, pipeline throughput is exactly the slowest stage's rate and
-latency is exactly the sum of stages plus link hops: no queueing model is
-needed, which is itself the paper's point.
+per chip, activations forwarded over C2C — twice over:
+
+* **Analytic** (:func:`scale_out`): the closed-form deterministic cycle
+  model over :mod:`repro.nn.perfmodel` layer estimates.  Because every
+  stage is deterministic, pipeline throughput is exactly the slowest
+  stage's rate and latency is exactly the sum of stages plus link hops:
+  no queueing model is needed, which is itself the paper's point.
+* **Executed** (:func:`execute_pipeline`): the same partition, actually
+  run.  Each stage's matmul programs execute on its own chip of a
+  :meth:`repro.sim.MultiChipSystem.ring`, and stage boundaries ship the
+  int8 activations through compiler-scheduled C2C ``Send``/``Receive``
+  programs (:func:`repro.compiler.build_forward_transfer`) — the
+  returned per-stage cycles are measured, not modeled, and the logits
+  are bit-identical to the single-chip oracle (quantize-before-ship
+  commutes with the consumer's layout glue; see
+  :meth:`~repro.nn.tsp_inference.TspCnnRunner.quantize_boundary`).
+
+``python -m repro.nn.scaleout`` runs a self-contained executed-vs-oracle
+demo.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..arch.geometry import Hemisphere
+from ..compiler.partition import (
+    PartitionPlan,
+    build_forward_transfer,
+    pack_payload,
+    partition_contiguous,
+    unpack_payload,
+)
 from ..config import ArchConfig
+from ..errors import ConfigError
 from ..sim.c2c import DEFAULT_LINK_LATENCY
 from .perfmodel import LayerEstimate, estimate_network
 from .resnet import LayerSpec
+from .tsp_inference import ChunkRunStats, CompiledLayer, TspCnnRunner
 
 
 @dataclass
@@ -50,10 +76,18 @@ class ScaleOutEstimate:
 
     @property
     def transfer_cycles(self) -> int:
-        """Inter-stage forwarding: one vector per cycle per link hop."""
+        """Inter-stage forwarding: one vector per cycle per link hop.
+
+        Only hops between *non-empty* consecutive stages are billed: an
+        empty stage computes nothing, receives nothing, and forwards
+        nothing, so a partition padded with idle chips (as the planner
+        produced before it learned to raise) must not inflate latency
+        with phantom link traversals.
+        """
+        active = [stage for stage in self.stages if stage.layer_names]
         return sum(
             stage.egress_vectors + self.link_latency
-            for stage in self.stages[:-1]
+            for stage in active[:-1]
         )
 
     @property
@@ -77,31 +111,17 @@ class ScaleOutEstimate:
 def _partition_balanced(
     layers: list[LayerEstimate], n_chips: int
 ) -> list[list[LayerEstimate]]:
-    """Greedy contiguous partition targeting equal per-stage cycles."""
-    total = sum(layer.cycles for layer in layers)
-    target = total / n_chips
-    stages: list[list[LayerEstimate]] = []
-    current: list[LayerEstimate] = []
-    acc = 0
-    remaining_chips = n_chips
-    for index, layer in enumerate(layers):
-        current.append(layer)
-        acc += layer.cycles
-        remaining = len(layers) - index - 1
-        if (
-            acc >= target
-            and remaining_chips > 1
-            and remaining >= remaining_chips - 1
-        ):
-            stages.append(current)
-            current = []
-            acc = 0
-            remaining_chips -= 1
-    if current:
-        stages.append(current)
-    while len(stages) < n_chips:
-        stages.append([])  # more chips than useful stages
-    return stages
+    """Greedy contiguous partition targeting equal per-stage cycles.
+
+    Delegates to :func:`repro.compiler.partition.partition_contiguous`:
+    every chip gets at least one layer, and asking for more chips than
+    layers raises :class:`~repro.errors.ConfigError` instead of silently
+    emitting empty stages.
+    """
+    groups = partition_contiguous(
+        [layer.cycles for layer in layers], n_chips
+    )
+    return [[layers[i] for i in group] for group in groups]
 
 
 def scale_out(
@@ -120,20 +140,411 @@ def scale_out(
 
     stages: list[StagePlan] = []
     for chip, part in enumerate(partitions):
-        if part:
-            last = part[-1]
-            out_elems = spec_by_name[last.name].output_elements
-            egress = -(-out_elems // config.n_lanes)
-        else:
-            egress = 0
+        last = part[-1]
+        out_elems = spec_by_name[last.name].output_elements
+        egress = -(-out_elems // config.n_lanes)
         stages.append(
             StagePlan(
                 chip=chip,
                 layer_names=[l.name for l in part],
                 cycles=sum(l.cycles for l in part),
+                # the last stage feeds the host, not another chip
                 egress_vectors=egress if chip < n_chips - 1 else 0,
             )
         )
     return ScaleOutEstimate(
         stages=stages, config=config, link_latency=link_latency
     )
+
+
+# ----------------------------------------------------------------------
+# Executed pipeline parallelism
+
+
+def _matrix_cost(layer: CompiledLayer, lanes: int) -> float:
+    """Per-input cycle proxy: streamed rows x K-tiles + weight install."""
+    k = layer.weight_q.shape[0]
+    k_tiles = -(-k // lanes)
+    return float(layer.rows_per_input * k_tiles + k)
+
+
+def plan_runner_partition(
+    runner: TspCnnRunner,
+    n_chips: int,
+    link_latency: int = DEFAULT_LINK_LATENCY,
+) -> PartitionPlan:
+    """Partition a lowered runner's matrix layers over ``n_chips``.
+
+    Stage boundaries fall immediately before a matrix layer; the host
+    glue between two matrix layers (pooling, flatten, dequant+ReLU)
+    belongs to the *producer's* stage, so what crosses the C2C boundary
+    is always the compact activation tensor, quantized into the
+    consumer's int8 input domain.
+    """
+    matrices = [
+        layer for layer in runner.layers
+        if isinstance(layer, CompiledLayer)
+    ]
+    return PartitionPlan.plan(
+        [layer.name for layer in matrices],
+        [_matrix_cost(layer, runner.config.n_lanes) for layer in matrices],
+        n_chips,
+        runner.config,
+        link_latency,
+    )
+
+
+def _stage_segments(
+    runner: TspCnnRunner, plan: PartitionPlan
+) -> list[tuple[int, int]]:
+    """Map the plan's matrix-layer stages to ``runner.layers`` ranges."""
+    matrix_positions = [
+        i for i, layer in enumerate(runner.layers)
+        if isinstance(layer, CompiledLayer)
+    ]
+    starts = [
+        0 if index == 0 else matrix_positions[stage.items[0]]
+        for index, stage in enumerate(plan.stages)
+    ]
+    bounds = starts + [len(runner.layers)]
+    return list(zip(bounds[:-1], bounds[1:]))
+
+
+@dataclass
+class ExecutedStage:
+    """One chip's measured share of an executed pipeline run."""
+
+    chip: int
+    layer_names: list[str]
+    #: executed chip cycles of this stage's matmul programs (whole batch)
+    cycles: int
+    #: C2C payload vectors actually shipped to the next chip
+    egress_vectors: int
+    #: measured lockstep cycles of the forwarding runs out of this stage
+    transfer_cycles: int
+
+
+@dataclass
+class ExecutedScaleOut:
+    """Executed pipeline deployment: measured cycles, not modeled ones.
+
+    The executed counterpart of :class:`ScaleOutEstimate` — per-stage
+    ``cycles`` come from :class:`~repro.sim.chip.RunResult`, transfer
+    cycles from the lockstep C2C runs.  All cycle figures cover a batch
+    of ``n_inputs`` inputs; the throughput/latency properties normalize
+    per input so the two models are directly comparable.
+    """
+
+    stages: list[ExecutedStage]
+    config: ArchConfig
+    link_latency: int
+    n_inputs: int
+
+    @property
+    def n_chips(self) -> int:
+        return len(self.stages)
+
+    @property
+    def bottleneck_cycles(self) -> int:
+        """Slowest stage's executed cycles, per input."""
+        return max(
+            -(-stage.cycles // self.n_inputs) for stage in self.stages
+        )
+
+    @property
+    def transfer_cycles(self) -> int:
+        """Measured C2C forwarding cycles across the batch."""
+        return sum(stage.transfer_cycles for stage in self.stages)
+
+    @property
+    def throughput_ips(self) -> float:
+        """Pipelined: one input per bottleneck-stage interval."""
+        return self.config.clock_ghz * 1e9 / self.bottleneck_cycles
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end per input: all stages plus measured transfers."""
+        total = sum(s.cycles for s in self.stages) + self.transfer_cycles
+        return (total / self.n_inputs) / (self.config.clock_ghz * 1e3)
+
+    def speedup_vs(self, single_chip_ips: float) -> float:
+        return self.throughput_ips / single_chip_ips
+
+    def efficiency(self, single_chip_ips: float) -> float:
+        return self.speedup_vs(single_chip_ips) / self.n_chips
+
+
+@dataclass
+class PipelineRunResult:
+    """Everything one executed pipeline inference produced."""
+
+    logits: np.ndarray
+    plan: PartitionPlan | None
+    executed: ExecutedScaleOut
+    stage_stats: list[ChunkRunStats] = field(default_factory=list)
+
+
+def _transfer_for(
+    system, src, n_words, *, fingerprint, cache, stage_slice,
+    base_address, interval,
+):
+    """Build (or fetch) the timed transfer programs for one hop shape.
+
+    The key folds in the partition fingerprint and the link's
+    ``arrival_latency`` — a different split, a different latency budget,
+    or an attached error model (more retry slack) must never replay
+    another partition's timed programs.
+    """
+    link = system.chips[src].c2c_unit(Hemisphere.EAST).links[0]
+
+    def factory():
+        return build_forward_transfer(
+            system, src, n_words,
+            stage_slice=stage_slice, base_address=base_address,
+            interval=interval,
+        )
+
+    if cache is None or not hasattr(cache, "get_or_build"):
+        return factory()
+    key = (
+        f"xfer:{fingerprint}:{src}:{n_words}:{link.arrival_latency}:"
+        f"{interval}:{stage_slice}:{base_address}"
+    )
+    return cache.get_or_build(key, factory)
+
+
+def execute_pipeline(
+    runner: TspCnnRunner,
+    x: np.ndarray,
+    n_chips: int,
+    *,
+    system=None,
+    cache=None,
+    stats: ChunkRunStats | None = None,
+    plan: PartitionPlan | None = None,
+    fast_forward: bool = True,
+    interval: int = 1,
+    stage_slice: int = 0,
+    base_address: int = 0,
+    max_cycles: int = 2_000_000,
+) -> PipelineRunResult:
+    """Run one batch through an executed N-chip pipeline.
+
+    Stage ``i``'s layers execute on ``system.chips[i]``; at each stage
+    boundary the producer quantizes its compact activation tensor into
+    the consumer's int8 domain, packs it into lane-wide byte vectors,
+    stages it in its WEST MEM slice, and the whole system runs the
+    compiler-scheduled ``Read -> Send -> Receive`` transfer in lockstep —
+    the consumer then computes on exactly the bytes that landed in *its*
+    MEM, so the transport is honest and the logits stay bit-identical to
+    the single-chip oracle (dense or fast-forward).  Payloads larger
+    than the staging slice are chunked.
+
+    ``system`` defaults to a fresh :meth:`MultiChipSystem.ring`; pass a
+    pooled one to reuse chips across batches (the serve path).  ``cache``
+    is a :class:`repro.serve.ProgramCache`: matmul chunk programs share
+    the single-chip cache entries, and transfer programs are cached under
+    keys that incorporate the partition fingerprint.
+    """
+    from ..sim.chip import TspChip
+    from ..sim.multichip import MultiChipSystem
+
+    config = runner.config
+    if n_chips == 1:
+        chip = system.chips[0] if system is not None else TspChip(config)
+        current = x
+        cycles = 0
+        names: list[str] = []
+        for layer in runner.layers:
+            current, layer_cycles = runner.apply_layer(
+                layer, current, chip=chip, cache=cache, stats=stats,
+                fast_forward=fast_forward,
+            )
+            cycles += layer_cycles
+            if isinstance(layer, CompiledLayer):
+                names.append(layer.name)
+        executed = ExecutedScaleOut(
+            stages=[ExecutedStage(0, names, cycles, 0, 0)],
+            config=config,
+            link_latency=DEFAULT_LINK_LATENCY,
+            n_inputs=x.shape[0],
+        )
+        return PipelineRunResult(
+            logits=current, plan=plan, executed=executed,
+            stage_stats=[stats] if stats is not None else [],
+        )
+
+    if plan is None:
+        plan = plan_runner_partition(runner, n_chips)
+    if plan.n_chips != n_chips:
+        raise ConfigError(
+            f"partition plan covers {plan.n_chips} chips, asked to "
+            f"execute on {n_chips}"
+        )
+    if system is None:
+        system = MultiChipSystem.ring(
+            config, n_chips, latency=plan.link_latency
+        )
+    if len(system.chips) < n_chips:
+        raise ConfigError(
+            f"system has {len(system.chips)} chips, plan needs {n_chips}"
+        )
+
+    segments = _stage_segments(runner, plan)
+    lanes = config.n_lanes
+    words_cap = (1 << config.mem_addr_bits) - base_address
+    stage_stats = [ChunkRunStats() for _ in range(n_chips)]
+    stages: list[ExecutedStage] = []
+    current = x
+    for index, (start, stop) in enumerate(segments):
+        chip = system.chips[index]
+        cycles = 0
+        for position in range(start, stop):
+            layer = runner.layers[position]
+            current, layer_cycles = runner.apply_layer(
+                layer,
+                current,
+                chip=chip,
+                cache=cache,
+                stats=stage_stats[index],
+                prequantized=(index > 0 and position == start),
+                fast_forward=fast_forward,
+            )
+            cycles += layer_cycles
+        egress_vectors = 0
+        transfer_cycles = 0
+        if index < n_chips - 1:
+            consumer = runner.layers[segments[index + 1][0]]
+            quantized = runner.quantize_boundary(consumer, current)
+            words = pack_payload(quantized, lanes)
+            egress_vectors = words.shape[0]
+            landed = []
+            for offset in range(0, words.shape[0], words_cap):
+                chunk = words[offset : offset + words_cap]
+                transfer = _transfer_for(
+                    system, index, chunk.shape[0],
+                    fingerprint=plan.fingerprint, cache=cache,
+                    stage_slice=stage_slice, base_address=base_address,
+                    interval=interval,
+                )
+                chip.load_memory(
+                    Hemisphere.WEST, stage_slice, base_address, chunk
+                )
+                runs = system.run(
+                    transfer.programs, max_cycles=max_cycles,
+                    fast_forward=fast_forward,
+                )
+                transfer_cycles += runs[0].cycles
+                landed.append(
+                    np.asarray(
+                        system.chips[index + 1].read_memory(
+                            Hemisphere.WEST, stage_slice, base_address,
+                            chunk.shape[0],
+                        ),
+                        dtype=np.uint8,
+                    )
+                )
+            received = np.vstack(landed)
+            current = unpack_payload(received, quantized.shape, np.int8)
+        stages.append(
+            ExecutedStage(
+                chip=index,
+                layer_names=list(plan.stages[index].names),
+                cycles=cycles,
+                egress_vectors=egress_vectors,
+                transfer_cycles=transfer_cycles,
+            )
+        )
+    if stats is not None:
+        for per_stage in stage_stats:
+            stats.merge(per_stage)
+        stats.cycles += sum(stage.transfer_cycles for stage in stages)
+    executed = ExecutedScaleOut(
+        stages=stages,
+        config=config,
+        link_latency=plan.link_latency,
+        n_inputs=x.shape[0],
+    )
+    return PipelineRunResult(
+        logits=current, plan=plan, executed=executed,
+        stage_stats=stage_stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# `python -m repro.nn.scaleout` — executed-vs-oracle demo
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Partition a small CNN over a ring and check it against the oracle."""
+    import argparse
+
+    from ..config import small_test_chip
+    from .dataset import make_shapes
+    from .layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+    from .model import Sequential
+    from .training import make_small_cnn, train
+
+    parser = argparse.ArgumentParser(
+        description="executed multi-chip pipeline demo"
+    )
+    parser.add_argument("--chips", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    config = small_test_chip()
+    data = make_shapes(
+        n_train=96, n_test=16, image_size=8, n_classes=3, seed=args.seed
+    )
+    if args.chips <= 3:
+        model = make_small_cnn(3, channels=4, image_size=8, seed=args.seed)
+    else:
+        # four matrix layers, enough pipeline depth for a 4-chip ring
+        rng = np.random.default_rng(args.seed)
+        model = Sequential([
+            Conv2D(1, 4, kernel=3, rng=rng),
+            ReLU(),
+            Conv2D(4, 4, kernel=3, rng=rng),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(4, 8, kernel=3, rng=rng),
+            ReLU(),
+            Flatten(),
+            Dense(8 * 4 * 4, 3, rng=rng),
+        ])
+    train(model, data, epochs=2, lr=0.1, seed=args.seed)
+    runner = TspCnnRunner(
+        model, config, data.x_train[:32], max_vectors_per_program=32
+    )
+    x = data.x_test[: args.batch]
+
+    oracle = runner.forward(x)
+    result = execute_pipeline(runner, x, args.chips)
+    executed = result.executed
+    exact = bool(np.array_equal(oracle.logits, result.logits))
+
+    print(f"pipeline over {args.chips} chips, batch {args.batch}:")
+    for stage in executed.stages:
+        print(
+            f"  chip {stage.chip}: {'+'.join(stage.layer_names):<16} "
+            f"{stage.cycles:>8} cycles"
+            + (
+                f"   -> {stage.egress_vectors} vectors "
+                f"({stage.transfer_cycles} transfer cycles)"
+                if stage.chip < executed.n_chips - 1
+                else ""
+            )
+        )
+    print(
+        f"  bottleneck {executed.bottleneck_cycles} cycles/input vs "
+        f"single-chip {-(-oracle.total_cycles // x.shape[0])}"
+    )
+    print(f"  bit-exact vs single-chip oracle: {exact}")
+    return 0 if exact else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

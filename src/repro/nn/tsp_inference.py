@@ -42,6 +42,9 @@ class CompiledLayer:
     bias: np.ndarray
     relu: bool
     conv: Conv2D | None = None
+    #: activation rows one input contributes (im2col patches, or 1 for
+    #: dense) — the pipeline partitioner's per-layer cost driver
+    rows_per_input: int = 1
 
 
 @dataclass
@@ -210,7 +213,25 @@ class TspCnnRunner:
             bias=layer.b,
             relu=False,
             conv=layer if kind == "conv" else None,
+            rows_per_input=act_sample.shape[0] // x.shape[0],
         )
+
+    @staticmethod
+    def quantize_boundary(
+        layer: CompiledLayer, acts: np.ndarray
+    ) -> np.ndarray:
+        """Quantize activations into ``layer``'s int8 input domain.
+
+        This is exactly the rounding :meth:`_matrix_forward` applies, so
+        a pipeline boundary may quantize the *compact* activation tensor
+        before shipping it over C2C: ``rint``/``clip`` are elementwise
+        and the consumer's layout glue (im2col, reshape, flatten) only
+        copies elements or pads zeros — and a quantized zero is zero —
+        so quantize-then-glue is bit-identical to glue-then-quantize.
+        """
+        return np.clip(
+            np.rint(acts / layer.in_scale), -127, 127
+        ).astype(np.int8)
 
     # ------------------------------------------------------------------
     def _run_matmul_chunk(
@@ -220,6 +241,7 @@ class TspCnnRunner:
         chip=None,
         cache=None,
         stats: ChunkRunStats | None = None,
+        fast_forward: bool = True,
     ) -> tuple[np.ndarray, int]:
         """Compile (or fetch from cache) and simulate one activation chunk.
 
@@ -253,7 +275,8 @@ class TspCnnRunner:
         }
         t0 = time.perf_counter()
         result = execute(
-            compiled, chip=chip, inputs=inputs, max_cycles=2_000_000
+            compiled, chip=chip, inputs=inputs, max_cycles=2_000_000,
+            fast_forward=fast_forward,
         )
         execute_s = time.perf_counter() - t0
         if stats is not None:
@@ -275,17 +298,26 @@ class TspCnnRunner:
         chip=None,
         cache=None,
         stats: ChunkRunStats | None = None,
+        prequantized: bool = False,
+        fast_forward: bool = True,
     ) -> tuple[np.ndarray, int]:
-        """Quantize, run on chip (in chunks), dequantize + bias (+ReLU)."""
-        acts_q = np.clip(
-            np.rint(acts / layer.in_scale), -127, 127
-        ).astype(np.int8)
+        """Quantize, run on chip (in chunks), dequantize + bias (+ReLU).
+
+        ``prequantized`` activations arrive already in the layer's int8
+        input domain (a pipeline stage boundary quantized them before
+        shipping over C2C) and skip the rounding here.
+        """
+        if prequantized:
+            acts_q = acts.astype(np.int8, copy=False)
+        else:
+            acts_q = self.quantize_boundary(layer, acts)
         chunks = []
         cycles = 0
         for start in range(0, acts_q.shape[0], self.max_vectors):
             chunk = acts_q[start : start + self.max_vectors]
             acc, chunk_cycles = self._run_matmul_chunk(
-                layer, chunk, chip=chip, cache=cache, stats=stats
+                layer, chunk, chip=chip, cache=cache, stats=stats,
+                fast_forward=fast_forward,
             )
             chunks.append(acc)
             cycles += chunk_cycles
@@ -296,12 +328,54 @@ class TspCnnRunner:
         return out, cycles
 
     # ------------------------------------------------------------------
+    def apply_layer(
+        self,
+        layer,
+        current: np.ndarray,
+        chip=None,
+        cache=None,
+        stats: ChunkRunStats | None = None,
+        prequantized: bool = False,
+        fast_forward: bool = True,
+    ) -> tuple[np.ndarray, int]:
+        """Run one lowered layer; returns ``(activations, chip cycles)``.
+
+        The unit of pipeline-parallel execution: a stage is a contiguous
+        run of these calls against one designated chip, and
+        ``prequantized`` marks the first matrix layer after a stage
+        boundary (its int8 input arrived over C2C already quantized).
+        Host layers (pooling, flatten) cost zero chip cycles.
+        """
+        if not isinstance(layer, CompiledLayer):
+            return layer.forward(current), 0
+        if layer.kind == "conv":
+            conv = layer.conv
+            cols, ho, wo = im2col(
+                current, conv.kernel, conv.kernel, conv.stride, conv.pad
+            )
+            out, cycles = self._matrix_forward(
+                layer, cols, chip=chip, cache=cache, stats=stats,
+                prequantized=prequantized, fast_forward=fast_forward,
+            )
+            n = current.shape[0]
+            return out.reshape(n, ho, wo, -1).transpose(0, 3, 1, 2), cycles
+        return self._matrix_forward(
+            layer,
+            current.reshape(current.shape[0], -1),
+            chip=chip,
+            cache=cache,
+            stats=stats,
+            prequantized=prequantized,
+            fast_forward=fast_forward,
+        )
+
     def forward(
         self,
         x: np.ndarray,
         chip=None,
         cache=None,
         stats: ChunkRunStats | None = None,
+        fast_forward: bool = True,
     ) -> TspForwardResult:
         """Batch inference; every MAC runs on the simulated chip.
 
@@ -319,34 +393,14 @@ class TspCnnRunner:
         layer_cycles: dict[str, int] = {}
         current = x
         for layer in self.layers:
+            current, cycles = self.apply_layer(
+                layer, current, chip=chip, cache=cache, stats=stats,
+                fast_forward=fast_forward,
+            )
             if isinstance(layer, CompiledLayer):
-                if layer.kind == "conv":
-                    conv = layer.conv
-                    cols, ho, wo = im2col(
-                        current, conv.kernel, conv.kernel, conv.stride,
-                        conv.pad,
-                    )
-                    out, cycles = self._matrix_forward(
-                        layer, cols, chip=chip, cache=cache, stats=stats
-                    )
-                    n = current.shape[0]
-                    current = out.reshape(n, ho, wo, -1).transpose(
-                        0, 3, 1, 2
-                    )
-                else:
-                    out, cycles = self._matrix_forward(
-                        layer,
-                        current.reshape(current.shape[0], -1),
-                        chip=chip,
-                        cache=cache,
-                        stats=stats,
-                    )
-                    current = out
                 total_cycles += cycles
                 layer_cycles[layer.name] = cycles
                 programs += 1
-            else:
-                current = layer.forward(current)
         return TspForwardResult(
             logits=current,
             total_cycles=total_cycles,

@@ -31,9 +31,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..arch.geometry import Direction, Hemisphere, SliceKind
+from ..compiler.partition import TimedProgram
 from ..errors import C2cLinkError, CompileError
 from ..isa.c2c import Deskew, Receive, Send
-from ..isa.icu import Nop
 from ..isa.mem import Read
 from ..isa.program import IcuId, Program
 
@@ -181,40 +181,6 @@ def plan_ring_route(
             f"cables {sorted(dead_cables)} disconnect them"
         )
     return min(candidates, key=len)
-
-
-class TimedProgram:
-    """Build a :class:`Program` from absolute dispatch cycles.
-
-    The resilience planner thinks in absolute cycles ("Send must
-    dispatch at capture - d_skew"); ICU queues think in relative order
-    with ``Nop`` gap fillers.  This helper converts: record
-    ``at(icu, cycle, instruction)`` pairs, then :meth:`build` sorts each
-    queue and inserts the exact ``Nop`` padding.
-    """
-
-    def __init__(self) -> None:
-        self._queues: dict[IcuId, list[tuple[int, object]]] = {}
-
-    def at(self, icu: IcuId, cycle: int, instruction) -> None:
-        self._queues.setdefault(icu, []).append((cycle, instruction))
-
-    def build(self) -> Program:
-        program = Program()
-        for icu, items in self._queues.items():
-            items.sort(key=lambda pair: pair[0])
-            cursor = 0
-            for cycle, instruction in items:
-                if cycle < cursor:
-                    raise CompileError(
-                        f"{icu}: dispatch at cycle {cycle} overlaps the "
-                        f"previous instruction (queue busy until {cursor})"
-                    )
-                if cycle > cursor:
-                    program.add(icu, Nop(cycle - cursor))
-                program.add(icu, instruction)
-                cursor = cycle + instruction.issue_cycles()
-        return program
 
 
 @dataclass

@@ -24,6 +24,7 @@ from .cache import CacheStats, ProgramCache
 from .models import (
     CnnServeModel,
     ServeModel,
+    ShardedCnnServeModel,
     TransformerMlpServeModel,
 )
 from .pool import BatchOutcome, ChipPool, PoolWorker
@@ -53,5 +54,6 @@ __all__ = [
     "RequestTiming",
     "ServeFuture",
     "ServeModel",
+    "ShardedCnnServeModel",
     "TransformerMlpServeModel",
 ]

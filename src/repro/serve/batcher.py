@@ -90,7 +90,39 @@ class DynamicBatcher:
         return batch
 
     def _ready_batch(self, now: float) -> Batch | None:
-        """The first releasable batch under the caller-held lock."""
+        """The next releasable batch under the caller-held lock.
+
+        Deadline-expired queues release first, most overdue first — a
+        model that just hit ``full`` must not starve one whose oldest
+        request blew past its delay budget several wakeups ago (with the
+        old first-releasable-in-dict-order scan, a hot model refilling to
+        ``full`` could push a quiet model's overdue batch back forever).
+        With no expired deadline, the first full queue releases; during
+        drain the original in-order scan applies (every queue releases
+        immediately anyway).
+        """
+        if not self._closed:
+            overdue_model = None
+            overdue_by = 0.0
+            for model, q in self._queues.items():
+                if not q:
+                    continue
+                policy = self.policy_for(model)
+                overdue = (
+                    now - q[0].timing.submitted_s - policy.max_delay_s
+                )
+                if overdue >= 0 and (
+                    overdue_model is None or overdue > overdue_by
+                ):
+                    overdue_model, overdue_by = model, overdue
+            if overdue_model is not None:
+                q = self._queues[overdue_model]
+                policy = self.policy_for(overdue_model)
+                trigger = "full" if len(q) >= policy.max_batch \
+                    else "deadline"
+                return self._pop_batch(
+                    overdue_model, q, policy.max_batch, trigger
+                )
         for model, q in self._queues.items():
             if not q:
                 continue
@@ -99,11 +131,6 @@ class DynamicBatcher:
                 return self._pop_batch(model, q, policy.max_batch, "full")
             if self._closed:
                 return self._pop_batch(model, q, policy.max_batch, "drain")
-            age = now - q[0].timing.submitted_s
-            if age >= policy.max_delay_s:
-                return self._pop_batch(
-                    model, q, policy.max_batch, "deadline"
-                )
         return None
 
     def _next_deadline(self) -> float | None:

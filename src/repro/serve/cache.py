@@ -150,6 +150,30 @@ class ProgramCache:
         return program, key, False, compile_s
 
     # ------------------------------------------------------------------
+    def get_or_build(self, key: str, factory):
+        """Cache an arbitrary keyed artifact alongside compiled programs.
+
+        The generic entry for partition-dependent artifacts — above all
+        the timed C2C transfer programs of an executed pipeline, whose
+        ``key`` folds in the :class:`~repro.compiler.PartitionPlan`
+        fingerprint so no split ever replays another's schedules.
+        ``factory`` runs outside the lock; a racing duplicate build is
+        tolerated (transfer planning is cheap — single-flight is reserved
+        for scheduler runs in :meth:`get_or_compile`).
+        """
+        with self._lock:
+            value = self._programs.get(key)
+            if value is not None:
+                self._programs.move_to_end(key)
+                self.stats.hits += 1
+                return value
+        value = factory()
+        with self._lock:
+            self.stats.misses += 1
+            self._insert(key, value)
+        return value
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """Counters + residency, for ``BENCH_serve.json`` and stats()."""
         with self._lock:

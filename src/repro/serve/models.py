@@ -26,6 +26,7 @@ from ..config import ArchConfig
 from ..errors import ServeError
 from ..nn.layers import Dense, ReLU
 from ..nn.model import Sequential
+from ..nn.scaleout import execute_pipeline, plan_runner_partition
 from ..nn.transformer import TransformerConfig
 from ..nn.tsp_inference import ChunkRunStats, TspCnnRunner
 
@@ -36,6 +37,10 @@ class ServeModel:
     name: str
     #: expected payload shape, for submission-time validation
     payload_shape: tuple[int, ...]
+    #: chips this model needs per batch; a pool worker hands models with
+    #: ``n_chips > 1`` its whole :class:`~repro.sim.MultiChipSystem`
+    #: instead of a single chip
+    n_chips: int = 1
 
     def validate(self, payload: np.ndarray) -> None:
         if tuple(payload.shape) != self.payload_shape:
@@ -106,6 +111,56 @@ class CnnServeModel(_RunnerServeModel):
             payload_shape=tuple(calibration.shape[1:]),
             max_vectors_per_program=max_vectors_per_program,
         )
+
+
+class ShardedCnnServeModel(CnnServeModel):
+    """A CNN pipeline-partitioned across a ring of chips.
+
+    The executed scale-out path of :mod:`repro.nn.scaleout` behind the
+    standard serving contract: ``run_batch`` receives a whole
+    :class:`~repro.sim.MultiChipSystem` (the pool worker checks out and
+    scrubs every chip of it), runs each partition stage on its own chip,
+    and forwards activations between stages over compiler-scheduled C2C
+    transfers.  The partition is planned once at registration; its
+    fingerprint keys every partition-dependent cache entry, and
+    ``run_reference`` stays the *single-chip* oracle — the differential
+    property the serve tests check is exactly the tentpole bit-exactness
+    claim.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        model: Sequential,
+        config: ArchConfig,
+        calibration: np.ndarray,
+        n_chips: int,
+        max_vectors_per_program: int = 64,
+    ) -> None:
+        if n_chips < 2:
+            raise ServeError(
+                "a sharded model needs n_chips >= 2; use CnnServeModel "
+                "for single-chip serving"
+            )
+        super().__init__(
+            name, model, config, calibration,
+            max_vectors_per_program=max_vectors_per_program,
+        )
+        self.n_chips = n_chips
+        # plan eagerly: registering a model too shallow for the ring is
+        # a ConfigError at construction, not at the first request
+        self.plan = plan_runner_partition(self.runner, n_chips)
+
+    def run_batch(
+        self, system, cache, payloads: list[np.ndarray],
+        stats: ChunkRunStats | None = None,
+    ) -> list[np.ndarray]:
+        x = np.stack(payloads)
+        result = execute_pipeline(
+            self.runner, x, self.n_chips,
+            system=system, cache=cache, stats=stats, plan=self.plan,
+        )
+        return [result.logits[i] for i in range(len(payloads))]
 
 
 class TransformerMlpServeModel(_RunnerServeModel):

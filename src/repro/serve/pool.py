@@ -1,11 +1,14 @@
 """A worker pool of simulated TSP chips.
 
-Each worker thread owns one :class:`~repro.sim.chip.TspChip` and loops:
-pull a batch from the :class:`~repro.serve.batcher.DynamicBatcher`, check
-the chip out (a full :meth:`~repro.sim.chip.TspChip.scrub`, so no
-tenant's SRAM, trace, telemetry, or armed watchdog leaks between
-requests), execute the batch through the model adapter and the
-compiled-program cache, and resolve every request's future.
+Each worker thread owns one :class:`~repro.sim.chip.TspChip` — or, when
+the pool is sized with ``n_chips > 1``, a whole
+:meth:`~repro.sim.MultiChipSystem.ring` for pipeline-sharded models —
+and loops: pull a batch from the
+:class:`~repro.serve.batcher.DynamicBatcher`, check the hardware out (a
+full :meth:`~repro.sim.chip.TspChip.scrub` of every chip, so no tenant's
+SRAM, trace, telemetry, or armed watchdog leaks between requests),
+execute the batch through the model adapter and the compiled-program
+cache, and resolve every request's future.
 
 Failure containment: a fault during a batch — an injected SRAM error, a
 watchdog deadline, a scheduler bug — fails *only that batch's* requests,
@@ -21,9 +24,10 @@ import time
 from dataclasses import dataclass, field
 
 from ..config import ArchConfig
-from ..errors import TspError
+from ..errors import ServeError, TspError
 from ..nn.tsp_inference import ChunkRunStats
 from ..sim.chip import TspChip
+from ..sim.multichip import MultiChipSystem
 from .batcher import DynamicBatcher
 from .cache import ProgramCache
 from .models import ServeModel
@@ -50,9 +54,20 @@ class PoolWorker(threading.Thread):
         super().__init__(name=f"tsp-serve-worker{index}", daemon=True)
         self.pool = pool
         self.index = index
-        self.chip = TspChip(
-            pool.config, chip_id=f"pool{index}", **pool.chip_kwargs
-        )
+        if pool.n_chips > 1:
+            # the worker owns a whole ring; sharded models get the
+            # system, single-chip models run on its first chip
+            self.system: MultiChipSystem | None = MultiChipSystem.ring(
+                pool.config, pool.n_chips, **pool.chip_kwargs
+            )
+            for c, chip in enumerate(self.system.chips):
+                chip.chip_id = f"pool{index}.c{c}"
+            self.chip = self.system.chips[0]
+        else:
+            self.system = None
+            self.chip = TspChip(
+                pool.config, chip_id=f"pool{index}", **pool.chip_kwargs
+            )
         self.batches_run = 0
         self.batches_failed = 0
         #: one-shot checkout hooks (fault injection, test instrumentation)
@@ -61,22 +76,41 @@ class PoolWorker(threading.Thread):
 
     # ------------------------------------------------------------------
     def inject_at_checkout(self, hook) -> None:
-        """Run ``hook(chip)`` at the next checkout, once.
+        """Run ``hook(chip_or_system)`` at the next checkout, once.
 
         The deterministic way to aim a fault at a pooled chip: the hook
         runs after the scrub, immediately before the batch executes — how
         the resilience negative tests arm watchdogs and inject faults
-        without racing the worker loop.
+        without racing the worker loop.  Single-chip workers pass their
+        :class:`TspChip`; multi-chip workers pass the whole
+        :class:`~repro.sim.MultiChipSystem` so a hook can target any
+        chip or link of the ring.
         """
         with self._hook_lock:
             self._checkout_hooks.append(hook)
 
+    def _scrub(self) -> None:
+        """Factory-reset the worker's hardware between tenants.
+
+        Across a whole system, scrub also detaches injected link error
+        models: :meth:`~repro.sim.c2c.C2cUnit.scrub` keeps them (channel
+        configuration on a fixed deployment), but a pooled ring is
+        re-tenanted per batch — a dead link injected against one batch
+        must not poison the next tenant's transfers.
+        """
+        if self.system is not None:
+            self.system.scrub()
+            self.system.clear_error_models()
+        else:
+            self.chip.scrub()
+
     def _checkout(self) -> None:
-        self.chip.scrub()
+        self._scrub()
         with self._hook_lock:
             hooks, self._checkout_hooks = self._checkout_hooks, []
+        target = self.system if self.system is not None else self.chip
         for hook in hooks:
-            hook(self.chip)
+            hook(target)
 
     # ------------------------------------------------------------------
     def run(self) -> None:
@@ -96,8 +130,14 @@ class PoolWorker(threading.Thread):
             self._checkout()
             model = self.pool.model(batch.model)
             payloads = [r.payload for r in batch.requests]
+            target = (
+                self.system
+                if self.system is not None
+                and getattr(model, "n_chips", 1) > 1
+                else self.chip
+            )
             outputs = model.run_batch(
-                self.chip, self.pool.cache, payloads, stats=outcome.stats
+                target, self.pool.cache, payloads, stats=outcome.stats
             )
             if len(outputs) != len(batch.requests):
                 raise TspError(
@@ -111,10 +151,10 @@ class PoolWorker(threading.Thread):
             for request in batch.requests:
                 request.timing.completed_s = outcome.finished_s
                 request.future.set_error(error)
-            # a faulted chip may hold arbitrary state; scrub now so the
+            # faulted hardware may hold arbitrary state; scrub now so the
             # worker is immediately serviceable for the next batch
             try:
-                self.chip.scrub()
+                self._scrub()
             except Exception:
                 pass
             return outcome
@@ -154,16 +194,26 @@ class ChipPool:
         batcher: DynamicBatcher,
         cache: ProgramCache,
         n_workers: int = 2,
+        n_chips: int = 1,
         chip_kwargs: dict | None = None,
         on_outcome=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a pool needs at least one worker")
+        if n_chips < 1:
+            raise ValueError("a worker needs at least one chip")
         self.config = config
         self.batcher = batcher
         self.cache = cache
+        self.n_chips = n_chips
         self.chip_kwargs = dict(chip_kwargs or {})
         self._models = {m.name: m for m in models}
+        for m in models:
+            if getattr(m, "n_chips", 1) > n_chips:
+                raise ServeError(
+                    f"model {m.name!r} needs {m.n_chips} chips per batch "
+                    f"but each pool worker owns only {n_chips}"
+                )
         #: observer called with every BatchOutcome (the server's obs hook)
         self.on_outcome = on_outcome
         self.workers = [PoolWorker(self, i) for i in range(n_workers)]

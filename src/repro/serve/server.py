@@ -57,6 +57,7 @@ class InferenceServer:
         config: ArchConfig,
         models: list[ServeModel],
         n_workers: int = 2,
+        n_chips: int = 1,
         cache_capacity: int = 64,
         policies: dict[str, BatchPolicy] | None = None,
         default_policy: BatchPolicy | None = None,
@@ -87,6 +88,7 @@ class InferenceServer:
             self.batcher,
             self.cache,
             n_workers=n_workers,
+            n_chips=n_chips,
             on_outcome=self._observe,
         )
         self._closed = False

@@ -76,11 +76,34 @@ class MultiChipSystem:
         for chip, collector in zip(self.chips, collectors):
             chip.attach_telemetry(collector)
 
+    def scrub(self) -> None:
+        """Factory-reset every chip (tenant state dies, wiring survives).
+
+        The multi-chip form of :meth:`TspChip.scrub` — the serve pool's
+        checkout discipline extended across a whole system.
+        """
+        for chip in self.chips:
+            chip.scrub()
+
+    def clear_error_models(self) -> None:
+        """Detach every injected link error process, leaving wiring intact.
+
+        :meth:`~repro.sim.c2c.C2cUnit.scrub` deliberately keeps error
+        models (they are channel configuration, not run state); a pool
+        that hands whole systems to tenants calls this so a fault
+        injected for one batch cannot poison the next tenant's links.
+        """
+        for chip in self.chips:
+            for hemisphere in Hemisphere:
+                for link in chip.c2c_unit(hemisphere).links:
+                    link.error_model = None
+
     @staticmethod
     def ring(
         config: ArchConfig,
         n_chips: int,
         loopback: bool = False,
+        latency: int = DEFAULT_LINK_LATENCY,
         **chip_kwargs,
     ) -> "MultiChipSystem":
         """A ring: each chip's East C2C link 0 feeds the next chip's West.
@@ -97,7 +120,10 @@ class MultiChipSystem:
                 "self-ring is really intended"
             )
         links = [
-            LinkSpec(i, Hemisphere.EAST, 0, (i + 1) % n_chips, Hemisphere.WEST, 0)
+            LinkSpec(
+                i, Hemisphere.EAST, 0, (i + 1) % n_chips, Hemisphere.WEST, 0,
+                latency=latency,
+            )
             for i in range(n_chips)
         ]
         return MultiChipSystem(config, n_chips, links, **chip_kwargs)

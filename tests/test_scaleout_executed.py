@@ -1,0 +1,434 @@
+"""Executed multi-chip pipeline parallelism over C2C.
+
+The tentpole claims, checked end to end:
+
+* the contiguous partitioner never emits empty stages (and raises
+  :class:`ConfigError` instead of silently idling chips);
+* the analytic model bills link hops only between non-empty consecutive
+  stages (the phantom-hop regression);
+* compiler-scheduled ``Read -> Send -> Receive`` forwarding lands
+  activation payloads bit-exactly, dense and fast-forward, healthy and
+  under seeded link-error models (retransmission rides in pre-reserved
+  ``arrival_latency`` slack, so even the cycle counts agree);
+* an executed N-chip pipeline produces logits bit-identical to the
+  single-chip oracle for a small fuzz corpus of CNN/MLP models, under
+  both simulation cores, with and without the serving-layer cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import Hemisphere
+from repro.compiler import (
+    PartitionPlan,
+    build_forward_transfer,
+    pack_payload,
+    partition_contiguous,
+    unpack_payload,
+)
+from repro.errors import C2cLinkError, ConfigError
+from repro.nn import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+    execute_pipeline,
+    make_shapes,
+    make_small_cnn,
+    plan_runner_partition,
+    resnet_layers,
+    scale_out,
+)
+from repro.nn.scaleout import ScaleOutEstimate, StagePlan
+from repro.nn.tsp_inference import TspCnnRunner
+from repro.serve import ProgramCache
+from repro.sim import DEFAULT_LINK_LATENCY, LinkErrorModel, MultiChipSystem
+
+
+# ----------------------------------------------------------------------
+# Partitioner
+
+
+class TestPartitionContiguous:
+    def test_equal_costs_split_evenly(self):
+        assert partition_contiguous([1.0] * 8, 4) == [
+            [0, 1], [2, 3], [4, 5], [6, 7]
+        ]
+
+    def test_contiguous_and_complete(self):
+        groups = partition_contiguous([5.0, 1.0, 1.0, 1.0, 1.0, 1.0], 3)
+        assert [i for g in groups for i in g] == list(range(6))
+        assert all(g for g in groups)
+        assert len(groups) == 3
+
+    def test_forced_split_never_leaves_a_chip_empty(self):
+        # one dominant layer would satisfy the balance target alone; the
+        # tail must still be spread so every chip gets a layer
+        groups = partition_contiguous([100.0, 1.0, 1.0], 3)
+        assert groups == [[0], [1], [2]]
+
+    def test_one_chip_takes_everything(self):
+        assert partition_contiguous([3.0, 2.0, 1.0], 1) == [[0, 1, 2]]
+
+    def test_more_chips_than_layers_raises(self):
+        with pytest.raises(ConfigError):
+            partition_contiguous([1.0, 1.0], 3)
+
+    def test_zero_chips_raises(self):
+        with pytest.raises(ConfigError):
+            partition_contiguous([1.0], 0)
+
+    def test_plan_fingerprint_tracks_the_split(self, config):
+        names = ["a", "b", "c", "d"]
+        costs = [1.0, 1.0, 1.0, 1.0]
+        two = PartitionPlan.plan(names, costs, 2, config, 24)
+        again = PartitionPlan.plan(names, costs, 2, config, 24)
+        four = PartitionPlan.plan(names, costs, 4, config, 24)
+        other_latency = PartitionPlan.plan(names, costs, 2, config, 48)
+        assert two.fingerprint == again.fingerprint
+        assert two.fingerprint != four.fingerprint
+        assert two.fingerprint != other_latency.fingerprint
+
+
+# ----------------------------------------------------------------------
+# Satellite regression: phantom link hops
+
+
+class TestPhantomHops:
+    def make_estimate(self, config, n_empty):
+        stages = [
+            StagePlan(chip=i, layer_names=[f"l{i}"], cycles=100,
+                      egress_vectors=10)
+            for i in range(3)
+        ]
+        stages += [
+            StagePlan(chip=3 + i, layer_names=[], cycles=0,
+                      egress_vectors=0)
+            for i in range(n_empty)
+        ]
+        return ScaleOutEstimate(
+            stages=stages, config=config, link_latency=24
+        )
+
+    def test_only_real_hops_billed(self, config):
+        """8 chips / 3 useful stages is 2 hops, not 7 (the old model
+        billed link latency for every empty trailing stage and shipped
+        the last useful stage's egress toward a chip that computes
+        nothing)."""
+        padded = self.make_estimate(config, n_empty=5)
+        assert padded.transfer_cycles == 2 * (10 + 24)
+
+    def test_padding_does_not_change_latency(self, config):
+        assert (
+            self.make_estimate(config, 5).latency_us
+            == self.make_estimate(config, 0).latency_us
+        )
+
+    def test_scale_out_refuses_empty_stages(self, full_config):
+        specs = resnet_layers(50)[:3]
+        with pytest.raises(ConfigError):
+            scale_out(specs, full_config, 8)
+
+    def test_scale_out_one_layer_per_chip_is_fine(self, full_config):
+        specs = resnet_layers(50)[:3]
+        plan = scale_out(specs, full_config, 3)
+        assert all(stage.layer_names for stage in plan.stages)
+        assert plan.stages[-1].egress_vectors == 0
+
+
+# ----------------------------------------------------------------------
+# Payload packing
+
+
+class TestPayloadPacking:
+    def test_roundtrip_with_padding(self, rng):
+        tensor = rng.integers(-127, 128, (3, 5, 7), dtype=np.int8)
+        words = pack_payload(tensor, 64)
+        assert words.shape == (2, 64)  # 105 bytes -> 2 lane-wide vectors
+        assert np.array_equal(
+            unpack_payload(words, tensor.shape, np.int8), tensor
+        )
+
+    def test_exact_fit(self, rng):
+        tensor = rng.integers(-127, 128, (2, 64), dtype=np.int8)
+        words = pack_payload(tensor, 64)
+        assert words.shape == (2, 64)
+        assert np.array_equal(
+            unpack_payload(words, tensor.shape, np.int8), tensor
+        )
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(ConfigError):
+            unpack_payload(np.zeros((1, 64), np.uint8), (9, 64), np.int8)
+
+
+# ----------------------------------------------------------------------
+# Single-hop forwarding
+
+
+def run_forward_transfer(config, payload, model=None, fast_forward=True):
+    system = MultiChipSystem.ring(config, 2)
+    if model is not None:
+        system.set_link_error_model(0, Hemisphere.EAST, 0, model)
+    transfer = build_forward_transfer(system, 0, payload.shape[0])
+    system.chips[0].load_memory(Hemisphere.WEST, 0, 0, payload)
+    results = system.run(transfer.programs, fast_forward=fast_forward)
+    landed = system.chips[1].read_memory(
+        Hemisphere.WEST, 0, 0, payload.shape[0]
+    )
+    return np.asarray(landed, np.uint8), results[0].cycles, system
+
+
+class TestForwardTransfer:
+    def test_payload_lands_bit_exact(self, config, rng):
+        payload = rng.integers(0, 256, (16, config.n_lanes), np.uint8)
+        landed, _cycles, _ = run_forward_transfer(config, payload)
+        assert np.array_equal(landed, payload)
+
+    def test_dense_and_fast_forward_agree(self, config, rng):
+        payload = rng.integers(0, 256, (8, config.n_lanes), np.uint8)
+        dense, dense_cycles, _ = run_forward_transfer(
+            config, payload, fast_forward=False
+        )
+        fast, fast_cycles, _ = run_forward_transfer(config, payload)
+        assert np.array_equal(dense, fast)
+        assert dense_cycles == fast_cycles
+
+    def test_noisy_link_still_exact(self, config, rng):
+        payload = rng.integers(0, 256, (12, config.n_lanes), np.uint8)
+        model = LinkErrorModel(seed=7, ber=1e-3, max_retries=2)
+        landed, _cycles, system = run_forward_transfer(
+            config, payload, model=model
+        )
+        ingress = system.chips[1].c2c_unit(Hemisphere.WEST).links[0]
+        assert np.array_equal(landed, payload)
+        assert ingress.corrected > 0  # the noise really happened
+
+    def test_dead_link_faults(self, config, rng):
+        payload = rng.integers(0, 256, (4, config.n_lanes), np.uint8)
+        with pytest.raises(C2cLinkError):
+            run_forward_transfer(
+                config, payload, model=LinkErrorModel(dead_after=0)
+            )
+
+    def test_staging_overflow_rejected(self, config):
+        system = MultiChipSystem.ring(config, 2)
+        with pytest.raises(ConfigError):
+            build_forward_transfer(
+                system, 0, (1 << config.mem_addr_bits) + 1
+            )
+
+    def test_hop_outside_system_rejected(self, config):
+        system = MultiChipSystem.ring(config, 2)
+        with pytest.raises(ConfigError):
+            build_forward_transfer(system, 1, 4)
+
+
+# ----------------------------------------------------------------------
+# Executed pipeline vs the single-chip oracle
+
+
+def make_deep_cnn(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Conv2D(1, 4, kernel=3, rng=rng),
+        ReLU(),
+        Conv2D(4, 4, kernel=3, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(4, 8, kernel=3, rng=rng),
+        ReLU(),
+        Flatten(),
+        Dense(8 * 4 * 4, 3, rng=rng),
+    ])
+
+
+def make_mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([
+        Dense(16, 32, rng=rng),
+        ReLU(),
+        Dense(32, 8, rng=rng),
+    ])
+
+
+def cnn_runner(config, model=None, seed=0):
+    data = make_shapes(
+        n_train=48, n_test=8, image_size=8, n_classes=3, seed=seed
+    )
+    model = model or make_small_cnn(3, channels=4, image_size=8, seed=seed)
+    runner = TspCnnRunner(
+        model, config, data.x_train[:24], max_vectors_per_program=32
+    )
+    return runner, data.x_test
+
+
+class TestExecutedPipeline:
+    def test_two_chip_logits_match_oracle(self, config):
+        runner, x_test = cnn_runner(config)
+        x = x_test[:3]
+        oracle = runner.forward(x)
+        result = execute_pipeline(runner, x, 2)
+        assert np.array_equal(result.logits, oracle.logits)
+        executed = result.executed
+        assert executed.n_chips == 2
+        assert all(stage.cycles > 0 for stage in executed.stages)
+        assert executed.stages[0].egress_vectors > 0
+        assert executed.stages[0].transfer_cycles > 0
+        assert executed.stages[-1].egress_vectors == 0
+
+    def test_three_chip_logits_match_oracle(self, config):
+        runner, x_test = cnn_runner(config)
+        x = x_test[:2]
+        oracle = runner.forward(x)
+        result = execute_pipeline(runner, x, 3)
+        assert np.array_equal(result.logits, oracle.logits)
+        names = [n for s in result.executed.stages for n in s.layer_names]
+        assert names == ["conv0", "conv1", "dense2"]
+
+    def test_dense_and_fast_forward_bit_identical(self, config):
+        runner, x_test = cnn_runner(config)
+        x = x_test[:2]
+        fast = execute_pipeline(runner, x, 2, fast_forward=True)
+        dense = execute_pipeline(runner, x, 2, fast_forward=False)
+        assert np.array_equal(fast.logits, dense.logits)
+        for a, b in zip(fast.executed.stages, dense.executed.stages):
+            assert a.cycles == b.cycles
+            assert a.transfer_cycles == b.transfer_cycles
+
+    def test_four_chip_deep_cnn_matches_oracle(self, config):
+        runner, x_test = cnn_runner(config, model=make_deep_cnn())
+        x = x_test[:2]
+        oracle = runner.forward(x)
+        result = execute_pipeline(runner, x, 4)
+        assert np.array_equal(result.logits, oracle.logits)
+        assert result.executed.n_chips == 4
+        assert all(s.layer_names for s in result.executed.stages)
+
+    def test_single_chip_path_matches_forward(self, config):
+        runner, x_test = cnn_runner(config)
+        x = x_test[:2]
+        oracle = runner.forward(x)
+        result = execute_pipeline(runner, x, 1)
+        assert np.array_equal(result.logits, oracle.logits)
+        assert result.executed.stages[0].cycles == oracle.total_cycles
+
+    def test_cache_shares_chunk_programs_and_keys_transfers(self, config):
+        runner, x_test = cnn_runner(config)
+        x = x_test[:2]
+        oracle = runner.forward(x)
+        cache = ProgramCache(capacity=64)
+        system = MultiChipSystem.ring(config, 2)
+        first = execute_pipeline(runner, x, 2, system=system, cache=cache)
+        assert np.array_equal(first.logits, oracle.logits)
+        misses = cache.stats.misses
+        again = execute_pipeline(runner, x, 2, system=system, cache=cache)
+        assert np.array_equal(again.logits, oracle.logits)
+        # the second run replays every chunk program *and* every timed
+        # transfer from the cache — zero fresh builds
+        assert cache.stats.misses == misses
+        assert cache.stats.hits > 0
+
+    def test_more_chips_than_matrix_layers_raises(self, config):
+        runner, _ = cnn_runner(config)  # 3 matrix layers
+        with pytest.raises(ConfigError):
+            plan_runner_partition(runner, 4)
+
+    def test_partition_fingerprint_reaches_transfer_keys(self, config):
+        runner, x_test = cnn_runner(config)
+        x = x_test[:1]
+        cache = ProgramCache(capacity=64)
+        execute_pipeline(runner, x, 2, cache=cache)
+        plan = plan_runner_partition(runner, 2)
+        with cache._lock:
+            transfer_keys = [
+                k for k in cache._programs if str(k).startswith("xfer:")
+            ]
+        assert transfer_keys
+        assert all(plan.fingerprint in k for k in transfer_keys)
+
+
+class TestExecutedPipelineUnderFaults:
+    def test_noisy_and_bursty_links_stay_bit_exact(self, config):
+        """Seeded BER + a forced-retransmission burst on the stage
+        boundary: logits identical to the oracle, and the two simulation
+        cores agree on every measured cycle (recovery rides in the
+        pre-reserved arrival_latency slack, never arbitration)."""
+        runner, x_test = cnn_runner(config)
+        x = x_test[:2]
+        oracle = runner.forward(x)
+
+        def faulty_system():
+            system = MultiChipSystem.ring(config, 2)
+            system.set_link_error_model(
+                0, Hemisphere.EAST, 0,
+                LinkErrorModel(seed=11, ber=1e-3, burst=(2, 2),
+                               max_retries=2),
+            )
+            return system
+
+        fast = execute_pipeline(runner, x, 2, system=faulty_system())
+        dense = execute_pipeline(
+            runner, x, 2, system=faulty_system(), fast_forward=False
+        )
+        assert np.array_equal(fast.logits, oracle.logits)
+        assert np.array_equal(dense.logits, oracle.logits)
+        for a, b in zip(fast.executed.stages, dense.executed.stages):
+            assert a.cycles == b.cycles
+            assert a.transfer_cycles == b.transfer_cycles
+
+    def test_dead_link_raises_with_context(self, config):
+        runner, x_test = cnn_runner(config)
+        system = MultiChipSystem.ring(config, 2)
+        system.set_link_error_model(
+            0, Hemisphere.EAST, 0, LinkErrorModel(dead_after=0)
+        )
+        with pytest.raises(C2cLinkError) as err:
+            execute_pipeline(runner, x_test[:1], 2, system=system)
+        message = str(err.value)
+        assert "link" in message
+        assert "cycle" in message
+
+
+class TestFuzzCorpus:
+    """Every corpus model, every chip count: bit-identical to the oracle
+    under both cores."""
+
+    CORPUS = [
+        ("small-cnn", None, 2),
+        ("small-cnn", None, 3),
+        ("deep-cnn", make_deep_cnn, 2),
+        ("deep-cnn", make_deep_cnn, 4),
+    ]
+
+    @pytest.mark.parametrize(
+        "label,factory,n_chips",
+        CORPUS,
+        ids=[f"{label}-{n}chips" for label, _, n in CORPUS],
+    )
+    def test_cnn_corpus(self, config, label, factory, n_chips):
+        runner, x_test = cnn_runner(
+            config, model=factory() if factory else None
+        )
+        x = x_test[:2]
+        oracle = runner.forward(x)
+        for fast_forward in (True, False):
+            result = execute_pipeline(
+                runner, x, n_chips, fast_forward=fast_forward
+            )
+            assert np.array_equal(result.logits, oracle.logits)
+
+    def test_mlp_corpus(self, config, rng):
+        runner = TspCnnRunner(
+            make_mlp(), config, rng.standard_normal((24, 16)),
+            max_vectors_per_program=16,
+        )
+        x = rng.standard_normal((4, 16))
+        oracle = runner.forward(x)
+        for fast_forward in (True, False):
+            result = execute_pipeline(
+                runner, x, 2, fast_forward=fast_forward
+            )
+            assert np.array_equal(result.logits, oracle.logits)

@@ -175,3 +175,66 @@ class TestAccounting:
             BatchPolicy(max_batch=0)
         with pytest.raises(ServeError):
             BatchPolicy(max_delay_s=-1.0)
+
+
+class TestDeadlineFairness:
+    """Regression: _ready_batch used to scan queues in dict-insertion
+    order and release the first *full* queue it found, so a busy model
+    registered earlier could starve a quiet model whose lone request had
+    long blown its deadline."""
+
+    def test_overdue_model_beats_full_earlier_queue(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=4, max_delay_s=1.0),
+            clock=clock,
+        )
+        # model "b" registers first (earlier dict slot) and is kept full
+        for i in range(4):
+            b.submit(make_request(i, model="b", submitted_s=0.0))
+        b.submit(make_request(99, model="a", submitted_s=0.0))
+        clock.now = 5.0  # both overdue; "a" and "b" aged equally
+        for i in range(4, 8):
+            b.submit(make_request(i, model="b", submitted_s=4.9))
+
+        first = b.next_batch(timeout=0)
+        second = b.next_batch(timeout=0)
+        assert first is not None and second is not None
+        # most-overdue head wins, even though "b" has a full queue in an
+        # earlier dict slot; the 0.0-submitted "b" batch is equally
+        # overdue so either may come first, but "a" must be in the
+        # first two releases, not starved behind refilling "b" queues
+        released = {batch.model for batch in (first, second)}
+        assert "a" in released
+
+    def test_strictly_most_overdue_first(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=4, max_delay_s=1.0),
+            clock=clock,
+        )
+        for i in range(4):
+            b.submit(make_request(i, model="b", submitted_s=2.0))
+        b.submit(make_request(99, model="a", submitted_s=0.0))
+        clock.now = 5.0
+        batch = b.next_batch(timeout=0)
+        assert batch is not None
+        assert batch.model == "a"
+        assert batch.trigger == "deadline"
+        assert [r.id for r in batch.requests] == [99]
+        # the full-but-less-overdue queue follows immediately
+        batch = b.next_batch(timeout=0)
+        assert batch.model == "b"
+        assert batch.trigger == "full"
+
+    def test_overdue_full_queue_reports_full_trigger(self):
+        clock = FakeClock()
+        b = DynamicBatcher(
+            default_policy=BatchPolicy(max_batch=4, max_delay_s=1.0),
+            clock=clock,
+        )
+        for i in range(4):
+            b.submit(make_request(i, model="m", submitted_s=0.0))
+        clock.now = 5.0
+        batch = b.next_batch(timeout=0)
+        assert batch.trigger == "full"  # deadline blown *and* full

@@ -15,9 +15,10 @@ Two layers of guarantees:
 import numpy as np
 import pytest
 
+from repro.arch import Hemisphere
 from repro.compiler import StreamProgramBuilder, execute
 from repro.config import small_test_chip
-from repro.errors import TspError, WatchdogError
+from repro.errors import C2cLinkError, ServeError, TspError, WatchdogError
 from repro.obs import TelemetryCollector
 from repro.resil import Watchdog
 from repro.serve import (
@@ -27,9 +28,12 @@ from repro.serve import (
     InferenceServer,
     ProgramCache,
     ServeModel,
+    ShardedCnnServeModel,
 )
 from repro.serve.models import TransformerMlpServeModel
+from repro.nn import make_shapes, make_small_cnn
 from repro.nn.transformer import TransformerConfig
+from repro.sim import LinkErrorModel
 from repro.sim.chip import TspChip
 
 
@@ -216,3 +220,108 @@ class TestPoolService:
                 config, [make_mlp(config)],
                 DynamicBatcher(), ProgramCache(), n_workers=0,
             )
+
+
+def make_sharded_cnn(config, n_chips=2, name="sharded"):
+    data = make_shapes(n_train=48, n_test=4, image_size=8,
+                       n_classes=3, seed=0)
+    model = make_small_cnn(3, channels=4, image_size=8, seed=0)
+    return ShardedCnnServeModel(
+        name, model, config, data.x_train[:24], n_chips=n_chips,
+        max_vectors_per_program=32,
+    ), data.x_test
+
+
+class TestMultiChipPool:
+    """Pool workers that own a whole ring: sharded models are served
+    transparently, scrub discipline spans every chip, and a dead link
+    fails only its batch with chip/link/cycle context."""
+
+    def test_sharded_model_matches_single_chip_reference(self, config):
+        sharded, x_test = make_sharded_cnn(config)
+        server = InferenceServer(
+            config, [sharded], n_workers=1, n_chips=2,
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=0.001),
+        )
+        futures = [server.submit("sharded", x) for x in x_test]
+        results = [f.result(timeout=120.0) for f in futures]
+        stats = server.stats()
+        server.close()
+        for payload, result in zip(x_test, results):
+            # run_reference is the *single-chip* oracle — this equality
+            # is the tentpole bit-exactness claim through the full
+            # serving path (batcher, cache, pooled ring)
+            ref = server.sequential_reference("sharded", payload)
+            assert np.array_equal(result.output, ref)
+        assert stats["requests"]["failed"] == 0
+        assert stats["requests"]["completed"] == len(x_test)
+
+    def test_sharded_and_single_chip_models_share_a_pool(self, config):
+        sharded, x_test = make_sharded_cnn(config)
+        server = InferenceServer(
+            config, [sharded, make_mlp(config)], n_workers=1, n_chips=2,
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=0.001),
+        )
+        rng = np.random.default_rng(3)
+        mlp_payloads = rng.standard_normal((2, 16))
+        futures = [server.submit("sharded", x) for x in x_test[:2]]
+        futures += [server.submit("mlp", p) for p in mlp_payloads]
+        results = [f.result(timeout=120.0) for f in futures]
+        server.close()
+        for payload, result in zip(x_test[:2], results[:2]):
+            assert np.array_equal(
+                result.output,
+                server.sequential_reference("sharded", payload),
+            )
+        for payload, result in zip(mlp_payloads, results[2:]):
+            assert np.array_equal(
+                result.output,
+                server.sequential_reference("mlp", payload),
+            )
+
+    def test_model_wider_than_pool_rejected(self, config):
+        sharded, _ = make_sharded_cnn(config, n_chips=3)
+        with pytest.raises(ServeError):
+            InferenceServer(config, [sharded], n_workers=1, n_chips=2)
+
+    def test_sharded_model_needs_two_chips(self, config):
+        with pytest.raises(ServeError):
+            make_sharded_cnn(config, n_chips=1)
+
+    def test_dead_link_fails_batch_with_context_then_pool_recovers(
+        self, config
+    ):
+        """Seeded dead link injected at checkout: that batch's futures
+        fail with C2cLinkError naming the receiving chip, the link, and
+        the cycle; the next checkout's scrub detaches the error model and
+        the pool serves clean again."""
+        sharded, x_test = make_sharded_cnn(config)
+        server = InferenceServer(
+            config, [sharded], n_workers=1, n_chips=2,
+            default_policy=BatchPolicy(max_batch=2, max_delay_s=0.001),
+        )
+        worker = server.pool.workers[0]
+        worker.inject_at_checkout(
+            lambda system: system.set_link_error_model(
+                0, Hemisphere.EAST, 0, LinkErrorModel(dead_after=0)
+            )
+        )
+        doomed = [server.submit("sharded", x) for x in x_test[:2]]
+        errors = [f.error(timeout=120.0) for f in doomed]
+        assert all(isinstance(e, C2cLinkError) for e in errors)
+        message = str(errors[0])
+        assert "pool0.c1" in message  # the receiving chip of the ring
+        assert "link" in message
+        assert "cycle" in message
+
+        # recovery: scrub + clear_error_models at the next checkout
+        payload = x_test[2]
+        result = server.submit("sharded", payload).result(timeout=120.0)
+        assert np.array_equal(
+            result.output, server.sequential_reference("sharded", payload)
+        )
+        assert server.pool.alive == 1
+        stats = server.stats()
+        server.close()
+        assert stats["requests"]["failed"] == 2
+        assert stats["requests"]["completed"] >= 1
