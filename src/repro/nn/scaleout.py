@@ -42,6 +42,7 @@ from ..compiler.partition import (
 )
 from ..config import ArchConfig
 from ..errors import ConfigError
+from ..obs import rtrace
 from ..sim.c2c import DEFAULT_LINK_LATENCY
 from .perfmodel import LayerEstimate, estimate_network
 from .resnet import LayerSpec
@@ -396,56 +397,105 @@ def execute_pipeline(
     stage_stats = [ChunkRunStats() for _ in range(n_chips)]
     stages: list[ExecutedStage] = []
     current = x
+    batch_ctx = rtrace.current()
     for index, (start, stop) in enumerate(segments):
         chip = system.chips[index]
+        # open a per-stage span so this stage's execute spans (recorded
+        # by the chunk executor via the ambient context) and its outbound
+        # transfer spans nest under it rather than directly under the batch
+        stage_ctx = token = None
+        stage_start_us = 0.0
+        if batch_ctx is not None:
+            tracer = batch_ctx.tracer
+            stage_ctx = batch_ctx.child(tracer.next_id())
+            token = rtrace.push(stage_ctx)
+            stage_start_us = tracer.now_us()
         cycles = 0
-        for position in range(start, stop):
-            layer = runner.layers[position]
-            current, layer_cycles = runner.apply_layer(
-                layer,
-                current,
-                chip=chip,
-                cache=cache,
-                stats=stage_stats[index],
-                prequantized=(index > 0 and position == start),
-                fast_forward=fast_forward,
-            )
-            cycles += layer_cycles
-        egress_vectors = 0
-        transfer_cycles = 0
-        if index < n_chips - 1:
-            consumer = runner.layers[segments[index + 1][0]]
-            quantized = runner.quantize_boundary(consumer, current)
-            words = pack_payload(quantized, lanes)
-            egress_vectors = words.shape[0]
-            landed = []
-            for offset in range(0, words.shape[0], words_cap):
-                chunk = words[offset : offset + words_cap]
-                transfer = _transfer_for(
-                    system, index, chunk.shape[0],
-                    fingerprint=plan.fingerprint, cache=cache,
-                    stage_slice=stage_slice, base_address=base_address,
-                    interval=interval,
-                )
-                chip.load_memory(
-                    Hemisphere.WEST, stage_slice, base_address, chunk
-                )
-                runs = system.run(
-                    transfer.programs, max_cycles=max_cycles,
+        try:
+            for position in range(start, stop):
+                layer = runner.layers[position]
+                current, layer_cycles = runner.apply_layer(
+                    layer,
+                    current,
+                    chip=chip,
+                    cache=cache,
+                    stats=stage_stats[index],
+                    prequantized=(index > 0 and position == start),
                     fast_forward=fast_forward,
                 )
-                transfer_cycles += runs[0].cycles
-                landed.append(
-                    np.asarray(
-                        system.chips[index + 1].read_memory(
-                            Hemisphere.WEST, stage_slice, base_address,
-                            chunk.shape[0],
-                        ),
-                        dtype=np.uint8,
+                cycles += layer_cycles
+            egress_vectors = 0
+            transfer_cycles = 0
+            if index < n_chips - 1:
+                consumer = runner.layers[segments[index + 1][0]]
+                quantized = runner.quantize_boundary(consumer, current)
+                words = pack_payload(quantized, lanes)
+                egress_vectors = words.shape[0]
+                landed = []
+                for offset in range(0, words.shape[0], words_cap):
+                    chunk = words[offset : offset + words_cap]
+                    transfer = _transfer_for(
+                        system, index, chunk.shape[0],
+                        fingerprint=plan.fingerprint, cache=cache,
+                        stage_slice=stage_slice, base_address=base_address,
+                        interval=interval,
                     )
-                )
-            received = np.vstack(landed)
-            current = unpack_payload(received, quantized.shape, np.int8)
+                    chip.load_memory(
+                        Hemisphere.WEST, stage_slice, base_address, chunk
+                    )
+                    hop_start_us = (
+                        stage_ctx.tracer.now_us()
+                        if stage_ctx is not None else 0.0
+                    )
+                    runs = system.run(
+                        transfer.programs, max_cycles=max_cycles,
+                        fast_forward=fast_forward,
+                    )
+                    transfer_cycles += runs[0].cycles
+                    if stage_ctx is not None:
+                        tracer = stage_ctx.tracer
+                        tracer.record_under(
+                            stage_ctx, "transfer",
+                            hop_start_us, tracer.now_us(),
+                            chip=getattr(chip, "chip_id", None),
+                            cycles=runs[0].cycles,
+                            clock_ghz=config.clock_ghz,
+                            chip_events=(
+                                tuple(runs[index].trace)
+                                if tracer.chip_events else ()
+                            ),
+                            args={
+                                "hop": f"{index}->{index + 1}",
+                                "vectors": int(chunk.shape[0]),
+                            },
+                        )
+                    landed.append(
+                        np.asarray(
+                            system.chips[index + 1].read_memory(
+                                Hemisphere.WEST, stage_slice, base_address,
+                                chunk.shape[0],
+                            ),
+                            dtype=np.uint8,
+                        )
+                    )
+                received = np.vstack(landed)
+                current = unpack_payload(received, quantized.shape, np.int8)
+        finally:
+            if stage_ctx is not None:
+                rtrace.pop(token)
+        if batch_ctx is not None:
+            tracer = batch_ctx.tracer
+            tracer.record_under(
+                batch_ctx, "stage", stage_start_us, tracer.now_us(),
+                span_id=stage_ctx.span_id,
+                chip=getattr(chip, "chip_id", None),
+                cycles=cycles,
+                clock_ghz=config.clock_ghz,
+                args={
+                    "stage": index,
+                    "layers": list(plan.stages[index].names),
+                },
+            )
         stages.append(
             ExecutedStage(
                 chip=index,

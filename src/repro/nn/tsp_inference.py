@@ -24,6 +24,7 @@ import numpy as np
 from ..compiler import StreamProgramBuilder, execute
 from ..config import ArchConfig
 from ..errors import TspError
+from ..obs import rtrace
 from .layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, im2col
 from .model import Sequential
 from .quantize import calibrate
@@ -273,12 +274,30 @@ class TspCnnRunner:
         inputs = {
             name: padded[:, start:end] for name, start, end in bindings
         }
+        ctx = rtrace.current()
+        span_start = ctx.tracer.now_us() if ctx is not None else 0.0
         t0 = time.perf_counter()
         result = execute(
             compiled, chip=chip, inputs=inputs, max_cycles=2_000_000,
             fast_forward=fast_forward,
         )
         execute_s = time.perf_counter() - t0
+        if ctx is not None:
+            # span start is the clock anchor: host µs of run cycle 0
+            ctx.tracer.record_under(
+                ctx, "execute", span_start, ctx.tracer.now_us(),
+                chip=getattr(chip, "chip_id", None),
+                cycles=result.run.cycles,
+                clock_ghz=self.config.clock_ghz,
+                chip_events=(
+                    tuple(result.run.trace)
+                    if ctx.tracer.chip_events else ()
+                ),
+                args={
+                    "layer": layer.name, "rows": n_rows, "hit": hit,
+                    "fast_forward": fast_forward,
+                },
+            )
         if stats is not None:
             stats.compile_s += compile_s
             stats.execute_s += execute_s

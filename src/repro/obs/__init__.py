@@ -12,10 +12,23 @@ Three layers, all exact under fast-forward simulation:
 * :mod:`repro.obs.attribution` — :func:`attribute` /
   :func:`render_report`, the per-phase roofline + top-slices + stall
   taxonomy report behind ``python -m repro.obs``.
+* :mod:`repro.obs.rtrace` — request-scoped distributed tracing across
+  the serving stack (:class:`RequestTracer`, :class:`TraceContext`),
+  anchoring the chip cycle domain to the host µs domain.
+* :mod:`repro.obs.metrics` — bounded-memory serving metrics
+  (:class:`LatencyHistogram`, :class:`SloTracker`,
+  :class:`MetricsExporter`) behind ``python -m repro.obs.metrics``.
 """
 
 from .attribution import attribute, render_report, write_report
 from .counters import AutoTelemetry, TelemetryCollector
+from .metrics import (
+    LatencyHistogram,
+    MetricsExporter,
+    SloTracker,
+    percentile,
+)
+from .rtrace import RequestTracer, Span, TraceContext
 from .trace import (
     HostSpan,
     PerfettoTraceBuilder,
@@ -26,10 +39,17 @@ from .trace import (
 __all__ = [
     "AutoTelemetry",
     "HostSpan",
+    "LatencyHistogram",
+    "MetricsExporter",
     "PerfettoTraceBuilder",
+    "RequestTracer",
+    "SloTracker",
+    "Span",
     "TelemetryCollector",
+    "TraceContext",
     "attribute",
     "instruction_duration",
+    "percentile",
     "render_report",
     "write_report",
     "write_trace",

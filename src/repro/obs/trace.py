@@ -502,6 +502,160 @@ class PerfettoTraceBuilder:
             })
 
     # ------------------------------------------------------------------
+    def add_request_trace(
+        self,
+        tracer,
+        name: str = "serve",
+        pid: int = 100,
+        chip_pid_base: int = 200,
+        timing=None,
+    ) -> None:
+        """Render a :class:`~repro.obs.rtrace.RequestTracer` as ONE
+        unified trace: host phases and on-chip events share a timeline.
+
+        * The host process (``pid``) gets one thread row per span track
+          (the request row, the batcher-form row, each pool worker), with
+          every recorded phase as an ``"X"`` duration span.
+        * Each request additionally becomes an async ``"b"``/``"e"`` pair
+          (``id`` = request id), so Perfetto's "Async" rows show one bar
+          per request spanning its whole life.
+        * Spans that carry a clock anchor (a chip run: ``chip``,
+          ``cycles``, ``clock_ghz``) and retained chip events get one
+          process per chip (``chip_pid_base + i``); every cycle-stamped
+          instruction event is placed at
+          ``span.start_us + cycle * 1e-3 / clock_ghz`` — the anchor math
+          that folds the deterministic cycle domain into the host µs
+          domain — and a flow arrow connects the owning host span to the
+          first on-chip event.
+        """
+        spans = tracer.spans()
+        self.events.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": name},
+        })
+        self.events.append({
+            "name": "process_sort_index", "ph": "M", "pid": pid,
+            "args": {"sort_index": pid},
+        })
+        tids = {
+            track: i
+            for i, track in enumerate(sorted({s.track for s in spans}))
+        }
+        for track, tid in tids.items():
+            self.events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": track},
+            })
+        chip_pids: dict[str, int] = {}
+        chip_icus: dict[str, dict[str, int]] = {}
+        for chip in sorted(
+            {s.chip for s in spans if s.chip and s.chip_events}
+        ):
+            chip_pid = chip_pid_base + len(chip_pids)
+            chip_pids[chip] = chip_pid
+            chip_icus[chip] = {}
+            self.events.append({
+                "name": "process_name", "ph": "M", "pid": chip_pid,
+                "args": {"name": chip},
+            })
+            self.events.append({
+                "name": "process_sort_index", "ph": "M", "pid": chip_pid,
+                "args": {"sort_index": chip_pid},
+            })
+        for span in spans:
+            args = {
+                "span": span.id,
+                **({"parent": span.parent_id}
+                   if span.parent_id is not None else {}),
+                **({"request": span.request_id}
+                   if span.request_id is not None else {}),
+                **({"batch": span.batch_id}
+                   if span.batch_id is not None else {}),
+                **({"model": span.model} if span.model else {}),
+                **({"chip": span.chip} if span.chip else {}),
+                **({"cycles": span.cycles}
+                   if span.cycles is not None else {}),
+                **span.args,
+            }
+            tid = tids[span.track]
+            self.events.append({
+                "name": span.name, "cat": "rtrace", "ph": "X",
+                "ts": round(span.start_us, 3),
+                "dur": round(max(span.dur_us, 0.001), 3),
+                "pid": pid, "tid": tid,
+                "args": args,
+            })
+            if span.name == "request" and span.request_id is not None:
+                common = {
+                    "cat": "request",
+                    "name": f"request {span.request_id}",
+                    "id": span.request_id, "pid": pid, "tid": tid,
+                }
+                self.events.append({
+                    **common, "ph": "b", "ts": round(span.start_us, 3),
+                    "args": args,
+                })
+                self.events.append({
+                    **common, "ph": "e", "ts": round(span.end_us, 3),
+                })
+            if span.chip and span.chip_events and span.clock_ghz:
+                self._add_anchored_chip_events(
+                    span, chip_pids[span.chip], chip_icus[span.chip],
+                    pid, tid, timing,
+                )
+
+    def _add_anchored_chip_events(
+        self, span, chip_pid, icu_tids, host_pid, host_tid, timing
+    ) -> None:
+        """Place one anchored run's cycle-stamped events on the host
+        timeline and draw the host-span -> chip flow arrow."""
+        cycle_us = 1e-3 / span.clock_ghz
+        first_ts = None
+        for event in span.chip_events:
+            if event.mnemonic == "NOP":
+                continue
+            tid = icu_tids.get(event.icu)
+            if tid is None:
+                tid = icu_tids[event.icu] = len(icu_tids)
+                self.events.append({
+                    "name": "thread_name", "ph": "M", "pid": chip_pid,
+                    "tid": tid, "args": {"name": event.icu},
+                })
+            ts = round(span.start_us + event.cycle * cycle_us, 6)
+            if first_ts is None or ts < first_ts:
+                first_ts = ts
+            dur = (
+                mnemonic_duration(event.mnemonic, timing)
+                if timing is not None else 1
+            )
+            self.events.append({
+                "name": event.mnemonic, "cat": "dispatch", "ph": "X",
+                "ts": ts, "dur": round(dur * cycle_us, 6),
+                "pid": chip_pid, "tid": tid,
+                "args": {
+                    "text": event.text, "cycle": event.cycle,
+                    "span": span.id,
+                },
+            })
+        if first_ts is not None:
+            flow_id = self._next_flow_id
+            self._next_flow_id += 1
+            common = {
+                "cat": "rtrace", "name": f"{span.name} anchor",
+                "id": flow_id,
+            }
+            self.events.append({
+                **common, "ph": "s", "ts": round(span.start_us, 3),
+                "pid": host_pid, "tid": host_tid,
+            })
+            self.events.append({
+                **common, "ph": "f", "bp": "e", "ts": first_ts,
+                "pid": chip_pid, "tid": icu_tids[
+                    next(iter(icu_tids))
+                ],
+            })
+
+    # ------------------------------------------------------------------
     def add_system(self, system, collectors=None, intents=None) -> None:
         """One process per chip of a :class:`MultiChipSystem`."""
         for i, chip in enumerate(system.chips):

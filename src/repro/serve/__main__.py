@@ -21,7 +21,11 @@ import numpy as np
 from ..config import small_test_chip
 from ..nn import make_shapes, make_small_cnn, train
 from ..nn.transformer import TransformerConfig
-from .models import CnnServeModel, TransformerMlpServeModel
+from .models import (
+    CnnServeModel,
+    ShardedCnnServeModel,
+    TransformerMlpServeModel,
+)
 from .request import BatchPolicy
 from .server import InferenceServer
 
@@ -35,6 +39,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="requests per model (default 24)")
     parser.add_argument("--workers", type=int, default=2,
                         help="pool size (default 2)")
+    parser.add_argument("--chips", type=int, default=1,
+                        help="chips per worker (default 1); >1 serves the "
+                             "CNN pipeline-sharded over a C2C ring")
     parser.add_argument("--max-batch", type=int, default=4,
                         help="dynamic batch ceiling (default 4)")
     parser.add_argument("--seed", type=int, default=0)
@@ -54,8 +61,17 @@ def main(argv: list[str] | None = None) -> int:
     cnn = make_small_cnn(3, channels=4, image_size=12, seed=args.seed)
     train(cnn, data, epochs=4, lr=0.1, seed=args.seed)
 
+    if args.chips > 1:
+        cnn_model = ShardedCnnServeModel(
+            "cnn", cnn, config, calibration=data.x_train[:32],
+            n_chips=args.chips,
+        )
+    else:
+        cnn_model = CnnServeModel(
+            "cnn", cnn, config, calibration=data.x_train[:32]
+        )
     models = [
-        CnnServeModel("cnn", cnn, config, calibration=data.x_train[:32]),
+        cnn_model,
         TransformerMlpServeModel(
             "mlp",
             TransformerConfig(d_model=32, n_heads=4, d_ff=64,
@@ -69,8 +85,11 @@ def main(argv: list[str] | None = None) -> int:
     server = InferenceServer(
         config, models,
         n_workers=args.workers,
+        n_chips=args.chips,
         default_policy=policy,
         record_spans=args.trace is not None,
+        tracing=args.trace is not None,
+        trace_chip_events=args.trace is not None,
     )
 
     images = data.x_test[:args.requests]
@@ -117,11 +136,16 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.trace:
         from ..obs.trace import PerfettoTraceBuilder, write_trace
-        builder = PerfettoTraceBuilder()
-        builder.add_host_spans(server.spans, name="serve")
+        builder = PerfettoTraceBuilder(clock_ghz=config.clock_ghz)
+        # one unified trace: request/batch/phase spans + anchored
+        # on-chip events, host batch spans as a separate process
+        builder.add_request_trace(server.tracer)
+        builder.add_host_spans(list(server.spans), name="serve.batches",
+                               pid=101)
         write_trace(builder.build(), args.trace)
         print(f"  trace              {args.trace} "
-              f"({len(server.spans)} spans)")
+              f"({len(server.tracer)} rtrace spans, "
+              f"{server.tracer.snapshot()['dropped']} dropped)")
 
     print()
     print(json.dumps(stats, indent=2))

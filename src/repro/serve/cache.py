@@ -23,6 +23,15 @@ from dataclasses import dataclass
 
 from ..compiler.cachekey import graph_fingerprint
 from ..compiler.scheduler import CompiledProgram
+from ..obs import rtrace
+
+
+def _span(ctx, name: str, start_us: float, key: str, **args) -> None:
+    """Record one cache-phase span under the ambient batch context."""
+    ctx.tracer.record_under(
+        ctx, name, start_us, ctx.tracer.now_us(),
+        args={"key": key[:16], **args},
+    )
 
 
 @dataclass
@@ -108,6 +117,8 @@ class ProgramCache:
         scheduler runs outside the cache lock, so a long compile never
         stalls unrelated lookups.
         """
+        ctx = rtrace.current()
+        lookup_us = ctx.tracer.now_us() if ctx is not None else 0.0
         key = graph_fingerprint(
             builder.graph, builder.config,
             timing=builder.timing, blacklist=blacklist,
@@ -117,6 +128,8 @@ class ProgramCache:
             if program is not None:
                 self._programs.move_to_end(key)
                 self.stats.hits += 1
+                if ctx is not None:
+                    _span(ctx, "cache", lookup_us, key, hit=True)
                 return program, key, True, 0.0
             flight = self._inflight.get(key)
             leader = flight is None
@@ -124,12 +137,18 @@ class ProgramCache:
                 flight = self._inflight[key] = _InFlight()
         if not leader:
             flight.done.wait()
+            if ctx is not None:
+                # coalesced onto another thread's single-flight compile
+                _span(ctx, "compile_wait", lookup_us, key)
             if flight.error is not None:
                 raise flight.error
             with self._lock:
                 self.stats.hits += 1
             assert flight.program is not None
             return flight.program, key, True, 0.0
+        if ctx is not None:
+            _span(ctx, "cache", lookup_us, key, hit=False)
+        compile_us = ctx.tracer.now_us() if ctx is not None else 0.0
         t0 = time.perf_counter()
         try:
             program = builder.compile(blacklist=blacklist)
@@ -140,6 +159,8 @@ class ProgramCache:
             flight.done.set()
             raise
         compile_s = time.perf_counter() - t0
+        if ctx is not None:
+            _span(ctx, "compile", compile_us, key)
         with self._lock:
             self.stats.misses += 1
             self.stats.compile_s += compile_s
@@ -161,16 +182,22 @@ class ProgramCache:
         tolerated (transfer planning is cheap — single-flight is reserved
         for scheduler runs in :meth:`get_or_compile`).
         """
+        ctx = rtrace.current()
+        lookup_us = ctx.tracer.now_us() if ctx is not None else 0.0
         with self._lock:
             value = self._programs.get(key)
             if value is not None:
                 self._programs.move_to_end(key)
                 self.stats.hits += 1
+                if ctx is not None:
+                    _span(ctx, "cache", lookup_us, key, hit=True)
                 return value
         value = factory()
         with self._lock:
             self.stats.misses += 1
             self._insert(key, value)
+        if ctx is not None:
+            _span(ctx, "build", lookup_us, key)
         return value
 
     # ------------------------------------------------------------------

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from ..config import ArchConfig
 from ..errors import ServeError, TspError
 from ..nn.tsp_inference import ChunkRunStats
+from ..obs import rtrace
 from ..sim.chip import TspChip
 from ..sim.multichip import MultiChipSystem
 from .batcher import DynamicBatcher
@@ -45,6 +46,9 @@ class BatchOutcome:
     error: BaseException | None = None
     started_s: float = 0.0
     finished_s: float = 0.0
+    #: the batch's span id in the request tracer (None when tracing off) —
+    #: the linkage request root spans point at via args["batch_span"]
+    span_id: int | None = None
 
 
 class PoolWorker(threading.Thread):
@@ -121,29 +125,41 @@ class PoolWorker(threading.Thread):
             self.pool.execute_batch(self, batch)
 
     def execute(self, batch: Batch) -> BatchOutcome:
-        """Check out the chip, run one batch, resolve its futures."""
+        """Check out the chip, run one batch, resolve its futures.
+
+        With a tracer attached, the worker opens one batch-scoped
+        :class:`~repro.obs.rtrace.TraceContext` and installs it as the
+        ambient context for the duration of the run — the cache, the
+        chunk executor, and the ring-transfer path record their
+        cache / compile / execute / stage / transfer child spans against
+        it without any signature change.
+        """
         outcome = BatchOutcome(
             batch=batch, worker=self.name, ok=False,
             started_s=time.monotonic(),
         )
+        tracer = self.pool.tracer
+        ctx = token = None
+        if tracer is not None:
+            outcome.span_id = tracer.next_id()
+            ctx = rtrace.TraceContext(
+                tracer=tracer,
+                span_id=outcome.span_id,
+                batch_id=batch.id,
+                model=batch.model,
+                worker=self.name,
+            )
+            token = rtrace.push(ctx)
+            start_us = tracer.us_of(outcome.started_s)
+            oldest_us = tracer.us_of(
+                min(r.timing.submitted_s for r in batch.requests)
+            )
+            tracer.record_under(
+                ctx, "batch_form", oldest_us, start_us,
+                args={"trigger": batch.trigger, "n": len(batch.requests)},
+            )
         try:
-            self._checkout()
-            model = self.pool.model(batch.model)
-            payloads = [r.payload for r in batch.requests]
-            target = (
-                self.system
-                if self.system is not None
-                and getattr(model, "n_chips", 1) > 1
-                else self.chip
-            )
-            outputs = model.run_batch(
-                target, self.pool.cache, payloads, stats=outcome.stats
-            )
-            if len(outputs) != len(batch.requests):
-                raise TspError(
-                    f"model {batch.model!r} returned {len(outputs)} "
-                    f"outputs for {len(batch.requests)} requests"
-                )
+            outputs = self._run_traced(batch, outcome, tracer, ctx)
         except BaseException as error:  # resolve futures on every path
             outcome.error = error
             outcome.finished_s = time.monotonic()
@@ -157,11 +173,13 @@ class PoolWorker(threading.Thread):
                 self._scrub()
             except Exception:
                 pass
+            self._finish_trace(outcome, tracer, token)
             return outcome
         outcome.ok = True
-        outcome.finished_s = time.monotonic()
-        self.batches_run += 1
         n = len(batch.requests)
+        respond_start = time.monotonic()
+        outcome.finished_s = respond_start
+        self.batches_run += 1
         for request in batch.requests:
             request.timing.completed_s = outcome.finished_s
             request.timing.compile_s = outcome.stats.compile_s / n
@@ -181,7 +199,62 @@ class PoolWorker(threading.Thread):
                     cache_misses=outcome.stats.cache_misses,
                 )
             )
+        if tracer is not None:
+            tracer.record_under(
+                ctx, "respond",
+                tracer.us_of(respond_start), tracer.now_us(),
+                args={"n": n},
+            )
+        self._finish_trace(outcome, tracer, token)
         return outcome
+
+    def _run_traced(self, batch, outcome, tracer, ctx):
+        """Checkout + model run, with checkout timed when tracing."""
+        if tracer is not None:
+            t0 = tracer.now_us()
+            self._checkout()
+            tracer.record_under(ctx, "checkout", t0, tracer.now_us())
+        else:
+            self._checkout()
+        model = self.pool.model(batch.model)
+        payloads = [r.payload for r in batch.requests]
+        target = (
+            self.system
+            if self.system is not None
+            and getattr(model, "n_chips", 1) > 1
+            else self.chip
+        )
+        outputs = model.run_batch(
+            target, self.pool.cache, payloads, stats=outcome.stats
+        )
+        if len(outputs) != len(batch.requests):
+            raise TspError(
+                f"model {batch.model!r} returned {len(outputs)} "
+                f"outputs for {len(batch.requests)} requests"
+            )
+        return outputs
+
+    def _finish_trace(self, outcome, tracer, token) -> None:
+        """Record the enclosing batch span and drop the ambient context."""
+        if tracer is None:
+            return
+        rtrace.pop(token)
+        batch = outcome.batch
+        tracer.record(
+            f"batch {batch.model}#{batch.id}",
+            self.name,
+            tracer.us_of(outcome.started_s),
+            tracer.us_of(outcome.finished_s),
+            span_id=outcome.span_id,
+            batch_id=batch.id,
+            model=batch.model,
+            args={
+                "trigger": batch.trigger,
+                "ok": outcome.ok,
+                "requests": [r.id for r in batch.requests],
+                "cycles": outcome.stats.cycles,
+            },
+        )
 
 
 class ChipPool:
@@ -197,6 +270,7 @@ class ChipPool:
         n_chips: int = 1,
         chip_kwargs: dict | None = None,
         on_outcome=None,
+        tracer=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("a pool needs at least one worker")
@@ -207,6 +281,8 @@ class ChipPool:
         self.cache = cache
         self.n_chips = n_chips
         self.chip_kwargs = dict(chip_kwargs or {})
+        #: optional RequestTracer workers record batch-scoped spans into
+        self.tracer = tracer
         self._models = {m.name: m for m in models}
         for m in models:
             if getattr(m, "n_chips", 1) > n_chips:

@@ -23,12 +23,15 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 
 import numpy as np
 
 from ..config import ArchConfig
 from ..errors import ServeError
 from ..obs.counters import TelemetryCollector
+from ..obs.metrics import LatencyHistogram, SloTracker
+from ..obs.rtrace import RequestTracer
 from ..obs.trace import HostSpan
 from .batcher import DynamicBatcher
 from .cache import ProgramCache
@@ -43,14 +46,18 @@ from .request import (
 )
 
 
-def _percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
-
-
 class InferenceServer:
-    """Serve registered models on a pool of simulated TSP chips."""
+    """Serve registered models on a pool of simulated TSP chips.
+
+    Observability is bounded-memory end to end: latency accounting lives
+    in log-bucketed :class:`~repro.obs.metrics.LatencyHistogram` s
+    (O(buckets), not O(requests)), host spans in a drop-oldest ring
+    buffer of at most ``max_spans`` entries (evictions counted in the
+    registry), and — with ``tracing=True`` — a
+    :class:`~repro.obs.rtrace.RequestTracer` that connects every
+    request's queue-wait / batch / cache / compile / execute / transfer /
+    respond phases into one span tree, equally bounded.
+    """
 
     def __init__(
         self,
@@ -62,9 +69,16 @@ class InferenceServer:
         policies: dict[str, BatchPolicy] | None = None,
         default_policy: BatchPolicy | None = None,
         record_spans: bool = False,
+        max_spans: int = 4096,
+        tracing: bool = False,
+        trace_chip_events: bool = False,
+        slos: dict[str, float] | None = None,
+        slo_default_s: float | None = None,
     ) -> None:
         if not models:
             raise ServeError("an inference server needs at least one model")
+        if max_spans < 1:
+            raise ServeError("max_spans must be >= 1")
         self.config = config
         self.models = {m.name: m for m in models}
         if len(self.models) != len(models):
@@ -75,13 +89,30 @@ class InferenceServer:
         self.cache = ProgramCache(capacity=cache_capacity)
         self.registry = TelemetryCollector(name="serve")
         self.record_spans = record_spans
-        self.spans: list[HostSpan] = []
+        self.max_spans = max_spans
+        self.spans: deque[HostSpan] = deque(maxlen=max_spans)
+        self.spans_dropped = 0
         self._start_s = time.monotonic()
+        self.tracer: RequestTracer | None = (
+            RequestTracer(
+                max_spans=max_spans,
+                origin_s=self._start_s,
+                chip_events=trace_chip_events,
+            )
+            if tracing else None
+        )
+        self.slo = SloTracker(
+            targets=slos,
+            default_target_s=slo_default_s,
+            registry=self.registry,
+        )
         self._lock = threading.Lock()
         self._next_request_id = 0
         self._completed = 0
         self._failed = 0
-        self._latencies: dict[str, list[float]] = {}  # model -> total_s
+        #: model -> phase ("total" | "queue") -> bounded histogram
+        self._histograms: dict[str, dict[str, LatencyHistogram]] = {}
+        chip_kwargs = {"trace": True} if trace_chip_events else None
         self.pool = ChipPool(
             config,
             models,
@@ -89,7 +120,9 @@ class InferenceServer:
             self.cache,
             n_workers=n_workers,
             n_chips=n_chips,
+            chip_kwargs=chip_kwargs,
             on_outcome=self._observe,
+            tracer=self.tracer,
         )
         self._closed = False
         self.pool.start()
@@ -114,22 +147,42 @@ class InferenceServer:
         """Microseconds since server start — the registry's 'cycle'."""
         return int((time.monotonic() - self._start_s) * 1e6)
 
+    def _histogram(self, model: str, phase: str) -> LatencyHistogram:
+        phases = self._histograms.setdefault(model, {})
+        hist = phases.get(phase)
+        if hist is None:
+            hist = phases[phase] = LatencyHistogram()
+        return hist
+
+    def histogram_snapshot(self) -> dict[str, dict[str, LatencyHistogram]]:
+        """Consistent copies of every latency histogram (model x phase)."""
+        with self._lock:
+            return {
+                model: {
+                    phase: hist.copy() for phase, hist in phases.items()
+                }
+                for model, phases in self._histograms.items()
+            }
+
     def _observe(self, outcome: BatchOutcome) -> None:
         """Pool callback: fold one batch into counters and spans."""
         us = self._now_us()
-        unit = f"serve:{outcome.batch.model}"
+        model = outcome.batch.model
+        unit = f"serve:{model}"
         reg = self.registry
         n = len(outcome.batch.requests)
         with self._lock:
             if outcome.ok:
                 self._completed += n
                 reg.count(unit, "requests_ok", us, n)
-                lat = self._latencies.setdefault(outcome.batch.model, [])
-                for request in outcome.batch.requests:
-                    lat.append(request.timing.total_s)
             else:
                 self._failed += n
                 reg.count(unit, "requests_failed", us, n)
+            total_hist = self._histogram(model, "total")
+            queue_hist = self._histogram(model, "queue")
+            for request in outcome.batch.requests:
+                total_hist.record(request.timing.total_s)
+                queue_hist.record(request.timing.queue_s)
             reg.count(unit, "batches", us, 1)
             reg.count(unit, f"trigger_{outcome.batch.trigger}", us, 1)
             reg.count(unit, "batched_requests", us, n)
@@ -144,6 +197,10 @@ class InferenceServer:
             )
             reg.mark_high("serve", "batch_size_high", n)
             reg.mark_high("serve", "queue_depth_high", self.batcher.depth_high)
+            for request in outcome.batch.requests:
+                self.slo.observe(
+                    model, request.timing.total_s, us, ok=outcome.ok
+                )
             if self.record_spans:
                 start_us = int(
                     (outcome.started_s - self._start_s) * 1e6
@@ -151,11 +208,14 @@ class InferenceServer:
                 dur_us = max(
                     int((outcome.finished_s - outcome.started_s) * 1e6), 1
                 )
+                if len(self.spans) == self.max_spans:
+                    self.spans_dropped += 1
+                    reg.count("serve", "spans_dropped", us, 1)
                 self.spans.append(
                     HostSpan(
                         track=outcome.worker,
                         name=(
-                            f"{outcome.batch.model} "
+                            f"{model} "
                             f"batch{outcome.batch.id} x{n}"
                         ),
                         start_us=start_us,
@@ -169,6 +229,45 @@ class InferenceServer:
                         },
                     )
                 )
+        if self.tracer is not None:
+            self._trace_requests(outcome)
+
+    def _trace_requests(self, outcome: BatchOutcome) -> None:
+        """Record each request's root + queue-wait spans, linked to the
+        batch span the pool worker recorded (``args["batch_span"]``)."""
+        tracer = self.tracer
+        for request in outcome.batch.requests:
+            start_us = tracer.us_of(request.timing.submitted_s)
+            end_us = tracer.us_of(
+                request.timing.completed_s or outcome.finished_s
+            )
+            root = tracer.record(
+                "request",
+                "requests",
+                start_us,
+                end_us,
+                request_id=request.id,
+                batch_id=outcome.batch.id,
+                model=outcome.batch.model,
+                args={
+                    "batch_span": outcome.span_id,
+                    "worker": outcome.worker,
+                    "ok": outcome.ok,
+                },
+            )
+            dispatched_s = (
+                request.timing.dispatched_s or outcome.started_s
+            )
+            tracer.record(
+                "queue_wait",
+                "requests",
+                start_us,
+                tracer.us_of(dispatched_s),
+                parent_id=root.id,
+                request_id=request.id,
+                batch_id=outcome.batch.id,
+                model=outcome.batch.model,
+            )
 
     # ------------------------------------------------------------------
     def submit(self, model: str, payload: np.ndarray) -> ServeFuture:
@@ -190,7 +289,19 @@ class InferenceServer:
             payload=payload,
             timing=RequestTiming(submitted_s=time.monotonic()),
         )
-        self.batcher.submit(request)
+        try:
+            self.batcher.submit(request)
+        except ServeError:
+            # rejected before entering the queue — an SLO shed
+            self.slo.shed(model, self._now_us())
+            raise
+        # sample queue depth on every submit, not just at batch
+        # completion — peaks between batches are exactly the interesting
+        # ones for admission control
+        with self._lock:
+            self.registry.mark_high(
+                "serve", "queue_depth_high", self.batcher.depth_high
+            )
         return request.future
 
     def run(
@@ -210,25 +321,41 @@ class InferenceServer:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """One JSON-able rollup: requests, latency percentiles, cache, pool."""
+        """One JSON-able rollup: requests, latency quantiles, cache, pool.
+
+        Latency quantiles come from the bounded histograms — upper
+        bounds within ``1/sub_buckets`` of exact — so a long-running
+        server's stats cost never grows with traffic.
+        """
         with self._lock:
             latency = {
                 model: {
-                    "n": len(vals),
-                    "p50_ms": round(_percentile(vals, 50) * 1e3, 3),
-                    "p99_ms": round(_percentile(vals, 99) * 1e3, 3),
-                    "max_ms": round(max(vals) * 1e3, 3) if vals else 0.0,
+                    **phases["total"].stats_ms(),
+                    "queue_p99_ms": round(
+                        phases["queue"].quantile(0.99) * 1e3, 3
+                    ),
                 }
-                for model, vals in self._latencies.items()
+                for model, phases in self._histograms.items()
             }
             completed, failed = self._completed, self._failed
+            submitted = self._next_request_id
+            spans = {
+                "recorded": len(self.spans),
+                "dropped": self.spans_dropped,
+                "max_spans": self.max_spans,
+            }
         return {
             "requests": {
-                "submitted": self._next_request_id,
+                "submitted": submitted,
                 "completed": completed,
                 "failed": failed,
             },
             "latency": latency,
+            "slo": self.slo.snapshot(),
+            "spans": spans,
+            "tracing": (
+                self.tracer.snapshot() if self.tracer is not None else None
+            ),
             "cache": self.cache.snapshot(),
             "batcher": {
                 "released": dict(self.batcher.released),

@@ -37,6 +37,7 @@ from .lockstep import (
     LockstepResult,
     RecordingChecker,
     assert_lockstep,
+    assert_trace_lockstep,
     run_lockstep,
 )
 from .oracle import (
@@ -64,6 +65,7 @@ __all__ = [
     "Violation",
     "assert_conformance",
     "assert_lockstep",
+    "assert_trace_lockstep",
     "interpret",
     "run_conformance",
     "run_differential",

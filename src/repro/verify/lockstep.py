@@ -315,3 +315,33 @@ def _telemetry_divergence(slow: dict, fast: dict) -> str:
                 f"fast={fs.get(key)}"
             )
     return "telemetry snapshots differ (structure mismatch)"
+
+
+# ----------------------------------------------------------------------
+def assert_trace_lockstep(tracer_a, tracer_b) -> None:
+    """Assert two request traces did cycle-identical on-chip work.
+
+    The cycle-domain projection of a request trace
+    (:meth:`repro.obs.rtrace.RequestTracer.cycle_signature` — span cycle
+    counts plus retained instruction-dispatch events, host microseconds
+    excluded, order-insensitive) is a pure function of the executed
+    programs, so a serve session traced under the dense core and one
+    traced under the fast-forward core must agree exactly.  Raises
+    :class:`~repro.errors.DivergenceError` at the first differing entry.
+    """
+    sig_a = tracer_a.cycle_signature()
+    sig_b = tracer_b.cycle_signature()
+    if sig_a == sig_b:
+        return
+    if len(sig_a) != len(sig_b):
+        raise DivergenceError(
+            f"trace cycle signatures differ in size: "
+            f"{len(sig_a)} vs {len(sig_b)} anchored spans"
+        )
+    for index, (entry_a, entry_b) in enumerate(zip(sig_a, sig_b)):
+        if entry_a != entry_b:
+            raise DivergenceError(
+                f"trace cycle signatures diverge at anchored span "
+                f"{index}: {entry_a[:4]} vs {entry_b[:4]}"
+            )
+    raise DivergenceError("trace cycle signatures differ")

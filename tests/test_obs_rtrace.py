@@ -1,0 +1,376 @@
+"""Request-scoped tracing: bounded buffers, span trees, cycle lockstep.
+
+Three layers of guarantees:
+
+* :class:`~repro.obs.rtrace.RequestTracer` is a bounded drop-oldest ring
+  buffer — tracing memory is O(max_spans) and every eviction is counted.
+* A traced serve session connects each request id to its whole journey:
+  queue-wait, batch, checkout, cache/compile, per-chip execution, and —
+  sharded over a ring — per-stage and per-hop transfer spans, rendered
+  into ONE unified Perfetto trace with chip events anchored to host µs.
+* The cycle-domain projection of a trace is bit-identical between the
+  dense and fast-forward cores (:func:`assert_trace_lockstep`), because
+  on-chip work is a pure function of the executed programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DivergenceError
+from repro.nn import make_shapes, make_small_cnn, train
+from repro.nn.scaleout import execute_pipeline
+from repro.nn.tsp_inference import TspCnnRunner
+from repro.obs import rtrace
+from repro.obs.rtrace import PHASES, RequestTracer, TraceContext
+from repro.obs.trace import PerfettoTraceBuilder
+from repro.serve import BatchPolicy, InferenceServer
+from repro.serve.models import CnnServeModel, ShardedCnnServeModel
+from repro.testing import make_small_config
+from repro.verify import assert_trace_lockstep
+
+
+class TestRequestTracer:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            RequestTracer(max_spans=0)
+
+    def test_record_and_readout(self):
+        tracer = RequestTracer(max_spans=16)
+        span = tracer.record("request", "requests", 10.0, 30.0,
+                             request_id=7, model="m")
+        assert span.dur_us == 20.0
+        assert span.end_us == 30.0
+        assert len(tracer) == 1
+        assert tracer.spans()[0].request_id == 7
+
+    def test_negative_duration_clamped(self):
+        tracer = RequestTracer(max_spans=4)
+        span = tracer.record("x", "t", 50.0, 40.0)
+        assert span.dur_us == 0.0
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        tracer = RequestTracer(max_spans=3)
+        for i in range(5):
+            tracer.record(f"s{i}", "t", float(i), float(i) + 1.0)
+        assert len(tracer) == 3
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+        snap = tracer.snapshot()
+        assert snap == {"recorded": 3, "dropped": 2, "max_spans": 3}
+
+    def test_memory_is_bounded_not_per_span(self):
+        tracer = RequestTracer(max_spans=8)
+        for i in range(10_000):
+            tracer.record("s", "t", float(i), float(i) + 1.0)
+        assert len(tracer) == 8
+        assert tracer.dropped == 10_000 - 8
+
+    def test_record_under_parents_and_inherits_context(self):
+        tracer = RequestTracer(max_spans=16)
+        ctx = TraceContext(tracer=tracer, span_id=42, batch_id=3,
+                           model="cnn", worker="w0")
+        span = tracer.record_under(ctx, "cache", 1.0, 2.0)
+        assert span.parent_id == 42
+        assert span.batch_id == 3
+        assert span.model == "cnn"
+        assert span.track == "w0"
+
+    def test_child_context_reparents_only(self):
+        tracer = RequestTracer(max_spans=16)
+        ctx = TraceContext(tracer=tracer, span_id=1, batch_id=2,
+                           model="m", worker="w")
+        child = ctx.child(99)
+        assert child.span_id == 99
+        assert (child.tracer, child.batch_id, child.model, child.worker) \
+            == (tracer, 2, "m", "w")
+
+    def test_ambient_context_push_pop(self):
+        tracer = RequestTracer(max_spans=4)
+        assert rtrace.current() is None
+        ctx = TraceContext(tracer=tracer, span_id=1)
+        token = rtrace.push(ctx)
+        try:
+            assert rtrace.current() is ctx
+        finally:
+            rtrace.pop(token)
+        assert rtrace.current() is None
+
+    def test_phase_names_cover_serving_path(self):
+        assert set(PHASES) >= {
+            "queue_wait", "batch_form", "checkout", "cache", "compile",
+            "execute", "stage", "transfer", "respond",
+        }
+
+
+# ----------------------------------------------------------------------
+def _trained_cnn(seed=0, image_size=8):
+    data = make_shapes(n_train=64, n_test=16, image_size=image_size,
+                       n_classes=3, noise=0.08, seed=seed)
+    cnn = make_small_cnn(3, channels=4, image_size=image_size, seed=seed)
+    train(cnn, data, epochs=1, lr=0.1, seed=seed)
+    return cnn, data
+
+
+def _deep_cnn(seed=0):
+    """Four matrix layers — enough pipeline depth for a 4-chip ring."""
+    from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+    from repro.nn.model import Sequential
+
+    rng = np.random.default_rng(seed)
+    data = make_shapes(n_train=64, n_test=8, image_size=8, n_classes=3,
+                       noise=0.08, seed=seed)
+    model = Sequential([
+        Conv2D(1, 4, kernel=3, rng=rng),
+        ReLU(),
+        Conv2D(4, 4, kernel=3, rng=rng),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(4, 8, kernel=3, rng=rng),
+        ReLU(),
+        Flatten(),
+        Dense(8 * 4 * 4, 3, rng=rng),
+    ])
+    train(model, data, epochs=1, lr=0.1, seed=seed)
+    return model, data
+
+
+def _serve_traced(config, models, n_requests, payloads, *, n_chips=1,
+                  n_workers=1, max_spans=4096, chip_events=False):
+    server = InferenceServer(
+        config, models, n_workers=n_workers, n_chips=n_chips,
+        default_policy=BatchPolicy(max_batch=4, max_delay_s=0.002),
+        tracing=True, trace_chip_events=chip_events, max_spans=max_spans,
+        record_spans=True,
+    )
+    futures = [
+        server.submit(models[0].name, payloads[i % len(payloads)])
+        for i in range(n_requests)
+    ]
+    for future in futures:
+        future.result(timeout=300.0)
+    server.close()
+    return server
+
+
+class TestServeTracing:
+    @pytest.fixture(scope="class")
+    def traced_server(self):
+        # class-scoped: one traced session, many read-only assertions
+        # (a fresh frozen config per class keeps isolation intact)
+        config = make_small_config()
+        cnn, data = _trained_cnn()
+        model = CnnServeModel("cnn", cnn, config,
+                              calibration=data.x_train[:16],
+                              max_vectors_per_program=32)
+        return _serve_traced(config, [model], 8, data.x_test,
+                             chip_events=True)
+
+    def test_every_request_resolves_to_full_journey(self, traced_server):
+        tracer = traced_server.tracer
+        for request_id in range(8):
+            tree = tracer.request_tree(request_id)
+            names = {span.name for span in tree}
+            assert "request" in names
+            assert "queue_wait" in names
+            assert any(n.startswith("batch ") for n in names)
+            assert {"checkout", "cache", "execute", "respond"} <= names
+            root = tree[0]
+            assert root.request_id == request_id
+            assert root.parent_id is None
+
+    def test_compile_spans_present_once_cold(self, traced_server):
+        names = [s.name for s in traced_server.tracer.spans()]
+        assert "compile" in names
+
+    def test_execute_spans_carry_clock_anchor(self, traced_server):
+        executes = [
+            s for s in traced_server.tracer.spans() if s.name == "execute"
+        ]
+        assert executes
+        for span in executes:
+            assert span.chip is not None
+            assert span.cycles is not None and span.cycles > 0
+            assert span.clock_ghz == traced_server.config.clock_ghz
+            assert span.chip_events  # chips ran with trace=True
+            for event in span.chip_events:
+                assert 0 <= event.cycle <= span.cycles
+
+    def test_unified_perfetto_trace(self, traced_server):
+        builder = PerfettoTraceBuilder(
+            clock_ghz=traced_server.config.clock_ghz
+        )
+        builder.add_request_trace(traced_server.tracer)
+        events = builder.build()
+        names = {e["name"] for e in events}
+        phs = {e["ph"] for e in events}
+        # host phases, async request bars, anchored chip dispatches, and
+        # the host->chip flow arrows all land in ONE event list
+        assert "request" in names and "execute" in names
+        assert {"X", "M", "b", "e", "s", "f"} <= phs
+        chip_pids = {
+            e["pid"] for e in events
+            if e.get("cat") == "dispatch"
+        }
+        assert chip_pids and all(pid >= 200 for pid in chip_pids)
+        # anchored chip events sit inside their owning execute span
+        executes = {
+            s.id: s for s in traced_server.tracer.spans()
+            if s.name == "execute"
+        }
+        for event in events:
+            if event.get("cat") != "dispatch":
+                continue
+            span = executes[event["args"]["span"]]
+            cycle_us = 1e-3 / span.clock_ghz
+            expected = span.start_us + event["args"]["cycle"] * cycle_us
+            assert event["ts"] == pytest.approx(expected, abs=1e-3)
+
+    def test_stats_exposes_tracing_accounting(self, traced_server):
+        stats = traced_server.stats()
+        assert stats["tracing"]["recorded"] == len(traced_server.tracer)
+        assert stats["tracing"]["dropped"] == 0
+        assert stats["spans"]["max_spans"] == 4096
+
+
+class TestSpanRingBuffer:
+    """Satellite: ``server.spans`` must not grow without bound."""
+
+    def test_host_spans_capped_with_dropped_counter(self, config):
+        cnn, data = _trained_cnn()
+        model = CnnServeModel("cnn", cnn, config,
+                              calibration=data.x_train[:16],
+                              max_vectors_per_program=32)
+        server = InferenceServer(
+            config, [model], n_workers=1,
+            default_policy=BatchPolicy(max_batch=1, max_delay_s=0.0),
+            record_spans=True, max_spans=2,
+        )
+        futures = [
+            server.submit("cnn", data.x_test[i % 8]) for i in range(6)
+        ]
+        for future in futures:
+            future.result(timeout=300.0)
+        server.close()
+        assert len(server.spans) <= 2
+        assert server.spans_dropped == server.pool.workers[0].batches_run - 2
+        dropped = server.registry.totals().get("serve", {}).get(
+            "spans_dropped", 0
+        )
+        assert dropped == server.spans_dropped
+        stats = server.stats()
+        assert stats["spans"]["recorded"] <= 2
+        assert stats["spans"]["dropped"] == server.spans_dropped
+
+    def test_max_spans_validated(self, config):
+        cnn, data = _trained_cnn()
+        model = CnnServeModel("cnn", cnn, config,
+                              calibration=data.x_train[:16],
+                              max_vectors_per_program=32)
+        with pytest.raises(Exception):
+            InferenceServer(config, [model], max_spans=0)
+
+
+class TestShardedTracing:
+    def test_two_chip_pipeline_records_stage_and_transfer(self, config):
+        cnn, data = _trained_cnn()
+        model = ShardedCnnServeModel(
+            "cnn", cnn, config, calibration=data.x_train[:16],
+            n_chips=2, max_vectors_per_program=32,
+        )
+        server = _serve_traced(config, [model], 4, data.x_test,
+                               n_chips=2, chip_events=True)
+        tree = server.tracer.request_tree(0)
+        names = [s.name for s in tree]
+        assert "stage" in names
+        assert "transfer" in names
+        transfers = [s for s in tree if s.name == "transfer"]
+        for span in transfers:
+            assert span.cycles > 0
+            assert span.args["hop"] == "0->1"
+        # stage spans name the chips of the worker's ring
+        stage_chips = {s.chip for s in tree if s.name == "stage"}
+        assert stage_chips == {"pool0.c0", "pool0.c1"}
+
+    def test_four_chip_session_full_acceptance_tree(self, config):
+        """The acceptance criterion: an n_chips=4 sharded serve session
+        where one request id resolves to nested spans covering
+        queue-wait, batch, cache/compile, per-chip execution, and
+        per-hop ring transfer — in one unified Perfetto trace."""
+        model_net, data = _deep_cnn()
+        model = ShardedCnnServeModel(
+            "cnn", model_net, config, calibration=data.x_train[:16],
+            n_chips=4, max_vectors_per_program=32,
+        )
+        server = _serve_traced(config, [model], 2, data.x_test,
+                               n_chips=4, chip_events=True)
+        tree = server.tracer.request_tree(0)
+        names = {s.name for s in tree}
+        assert {"request", "queue_wait", "checkout", "cache",
+                "execute", "stage", "transfer", "respond"} <= names
+        assert any(n.startswith("batch ") for n in names)
+        hops = sorted(
+            s.args["hop"] for s in tree if s.name == "transfer"
+        )
+        assert hops == ["0->1", "1->2", "2->3"]
+        execute_chips = {s.chip for s in tree if s.name == "execute"}
+        assert execute_chips == {
+            "pool0.c0", "pool0.c1", "pool0.c2", "pool0.c3"
+        }
+        # every span of the tree renders into one trace file
+        builder = PerfettoTraceBuilder(clock_ghz=config.clock_ghz)
+        builder.add_request_trace(server.tracer)
+        spans_in_trace = {
+            e["args"]["span"] for e in builder.build()
+            if e.get("cat") == "rtrace" and e["ph"] == "X"
+        }
+        assert {s.id for s in tree} <= spans_in_trace
+
+
+class TestTraceLockstep:
+    def _traced_pipeline(self, config, runner, x, n_chips, fast_forward):
+        tracer = RequestTracer(max_spans=4096, chip_events=True)
+        ctx = TraceContext(tracer=tracer, span_id=tracer.next_id(),
+                           batch_id=0, model="cnn", worker="w0")
+        token = rtrace.push(ctx)
+        try:
+            result = execute_pipeline(
+                runner, x, n_chips, fast_forward=fast_forward,
+            )
+        finally:
+            rtrace.pop(token)
+        return tracer, result
+
+    def test_dense_and_fast_forward_traces_cycle_identical(self, config):
+        cnn, data = _trained_cnn()
+        runner = TspCnnRunner(cnn, config, data.x_train[:16],
+                              max_vectors_per_program=32)
+        x = data.x_test[:2]
+        dense, res_d = self._traced_pipeline(config, runner, x, 2, False)
+        fast, res_f = self._traced_pipeline(config, runner, x, 2, True)
+        assert np.array_equal(res_d.logits, res_f.logits)
+        sig = dense.cycle_signature()
+        assert sig  # anchored spans exist
+        assert sig == fast.cycle_signature()
+        assert_trace_lockstep(dense, fast)
+
+    def test_divergent_traces_raise(self, config):
+        cnn, data = _trained_cnn()
+        runner = TspCnnRunner(cnn, config, data.x_train[:16],
+                              max_vectors_per_program=32)
+        one, _ = self._traced_pipeline(
+            config, runner, data.x_test[:1], 2, True
+        )
+        two, _ = self._traced_pipeline(
+            config, runner, data.x_test[:2], 2, True
+        )
+        with pytest.raises(DivergenceError):
+            assert_trace_lockstep(one, two)
+
+    def test_signature_excludes_host_time(self):
+        a = RequestTracer(max_spans=8)
+        b = RequestTracer(max_spans=8)
+        a.record("execute", "w0", 100.0, 200.0, model="m", chip="c0",
+                 cycles=61, clock_ghz=0.9)
+        b.record("execute", "w0", 5000.0, 9000.0, model="m", chip="c0",
+                 cycles=61, clock_ghz=0.9)
+        assert a.cycle_signature() == b.cycle_signature()
+        assert_trace_lockstep(a, b)
