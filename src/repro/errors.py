@@ -129,6 +129,45 @@ class ServeError(TspError):
     """The inference serving layer could not accept or complete a request."""
 
 
+class RequestError(ServeError):
+    """One request's terminal serving failure, with full attribution.
+
+    ``outcome`` distinguishes why the request died:
+
+    * ``"failed"`` — a non-retryable error (a software bug, a model
+      contract violation) failed the batch outright.
+    * ``"retryable_exhausted"`` — the failure was retryable hardware
+      trouble, but the request ran out of budget: either its attempt
+      counter hit the retry policy's ``max_attempts`` or its deadline no
+      longer had one estimated batch-latency of slack.
+    * ``"shed"`` — admission control rejected it (pool capacity down and
+      the queue full of more valuable work).
+    * ``"shutdown"`` — the server closed while it was still queued.
+
+    ``attempt`` is the attempt that failed (0-based) and ``chip_index``
+    the ring index of the chip the last failure was localized to (None
+    for single-chip workers or when unknown) — together with the
+    inherited chip/cycle/unit context, every retry and shed is
+    attributable in logs, metrics, and traces.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        outcome: str = "failed",
+        attempt: int = 0,
+        chip_index: int | None = None,
+        chip: int | str | None = None,
+        cycle: int | None = None,
+        unit: str | None = None,
+    ) -> None:
+        super().__init__(message, chip=chip, cycle=cycle, unit=unit)
+        self.outcome = outcome
+        self.attempt = attempt
+        self.chip_index = chip_index
+
+
 class VerificationError(TspError):
     """The conformance layer found a disagreement or a coverage gap."""
 

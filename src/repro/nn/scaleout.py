@@ -285,6 +285,27 @@ class PipelineRunResult:
     stage_stats: list[ChunkRunStats] = field(default_factory=list)
 
 
+def _pick_stage_slice(config: ArchConfig, stage_slice: int, blacklist):
+    """First staging slice index healthy in *both* hemispheres.
+
+    The pipeline stages activations in WEST MEM on direct hops, but a
+    re-routed (westward) ring hop stages in EAST — so under a blacklist
+    the staging index must be healthy on both sides, on every chip (the
+    blacklist is chip-agnostic, like the compiler's).
+    """
+    if blacklist is None or not blacklist.mem_slices:
+        return stage_slice
+    n = config.mem_slices_per_hemisphere
+    for index in range(stage_slice, n):
+        if (Hemisphere.WEST, index) not in blacklist.mem_slices and (
+            Hemisphere.EAST, index
+        ) not in blacklist.mem_slices:
+            return index
+    raise ConfigError(
+        "no healthy MEM slice left to stage pipeline transfers in"
+    )
+
+
 def _transfer_for(
     system, src, n_words, *, fingerprint, cache, stage_slice,
     base_address, interval,
@@ -314,6 +335,47 @@ def _transfer_for(
     return cache.get_or_build(key, factory)
 
 
+def _ring_transfer_for(
+    system, route, n_words, *, fingerprint, cache, stage_slice,
+    base_address, interval,
+):
+    """Build (or fetch) the timed store-and-forward plan for one route.
+
+    The plan's dispatch schedule is a pure function of (route, word
+    count, staging layout, per-cable arrival latencies) — the key folds
+    all of them in, so replacing a cable's error model (different retry
+    slack) recompiles rather than replaying a stale schedule.  The
+    payload itself is *not* part of the plan: the caller re-loads it
+    into the route head's staging slice before every run.
+    """
+    from ..resil.degrade import build_ring_transfer
+
+    lanes = system.chips[0].config.n_lanes
+
+    def factory():
+        return build_ring_transfer(
+            system, route,
+            np.zeros((n_words, lanes), dtype=np.uint8),
+            stage_slice=stage_slice, base_address=base_address,
+            interval=interval,
+        )
+
+    if cache is None or not hasattr(cache, "get_or_build"):
+        return factory()
+    n_chips = len(system.chips)
+    eastward = route[1] == (route[0] + 1) % n_chips
+    out_hemisphere = Hemisphere.EAST if eastward else Hemisphere.WEST
+    latencies = "/".join(
+        str(system.chips[a].c2c_unit(out_hemisphere).links[0].arrival_latency)
+        for a in route[:-1]
+    )
+    key = (
+        f"ringxfer:{fingerprint}:{'-'.join(map(str, route))}:{n_words}:"
+        f"{latencies}:{interval}:{stage_slice}:{base_address}"
+    )
+    return cache.get_or_build(key, factory)
+
+
 def execute_pipeline(
     runner: TspCnnRunner,
     x: np.ndarray,
@@ -328,6 +390,7 @@ def execute_pipeline(
     stage_slice: int = 0,
     base_address: int = 0,
     max_cycles: int = 2_000_000,
+    blacklist=None,
 ) -> PipelineRunResult:
     """Run one batch through an executed N-chip pipeline.
 
@@ -346,7 +409,16 @@ def execute_pipeline(
     is a :class:`repro.serve.ProgramCache`: matmul chunk programs share
     the single-chip cache entries, and transfer programs are cached under
     keys that incorporate the partition fingerprint.
+
+    ``blacklist`` (a :class:`repro.resil.Blacklist`) serves degraded:
+    matmul programs recompile around dead MEM slices / MXM planes (via
+    the blacklist-aware cache key), staging moves off blacklisted
+    slices, and a dead ring cable re-routes the affected hop the long
+    way around through :func:`repro.resil.plan_ring_route` — all
+    bit-identical to the healthy run, because quantize-before-ship and
+    store-and-forward never transform the payload.
     """
+    from ..resil.degrade import plan_ring_route
     from ..sim.chip import TspChip
     from ..sim.multichip import MultiChipSystem
 
@@ -359,7 +431,7 @@ def execute_pipeline(
         for layer in runner.layers:
             current, layer_cycles = runner.apply_layer(
                 layer, current, chip=chip, cache=cache, stats=stats,
-                fast_forward=fast_forward,
+                fast_forward=fast_forward, blacklist=blacklist,
             )
             cycles += layer_cycles
             if isinstance(layer, CompiledLayer):
@@ -393,6 +465,13 @@ def execute_pipeline(
 
     segments = _stage_segments(runner, plan)
     lanes = config.n_lanes
+    stage_slice = _pick_stage_slice(config, stage_slice, blacklist)
+    dead_cables = (
+        frozenset(blacklist.ring_cables)
+        if blacklist is not None and blacklist.ring_cables
+        else frozenset()
+    )
+    ring_n = len(system.chips)
     words_cap = (1 << config.mem_addr_bits) - base_address
     stage_stats = [ChunkRunStats() for _ in range(n_chips)]
     stages: list[ExecutedStage] = []
@@ -422,6 +501,7 @@ def execute_pipeline(
                     stats=stage_stats[index],
                     prequantized=(index > 0 and position == start),
                     fast_forward=fast_forward,
+                    blacklist=blacklist,
                 )
                 cycles += layer_cycles
             egress_vectors = 0
@@ -431,34 +511,71 @@ def execute_pipeline(
                 quantized = runner.quantize_boundary(consumer, current)
                 words = pack_payload(quantized, lanes)
                 egress_vectors = words.shape[0]
+                # a dead ring cable re-routes this hop the long way
+                # around; the direct two-chip route keeps the fast path
+                route = (
+                    plan_ring_route(ring_n, index, index + 1, dead_cables)
+                    if dead_cables else [index, index + 1]
+                )
                 landed = []
                 for offset in range(0, words.shape[0], words_cap):
                     chunk = words[offset : offset + words_cap]
-                    transfer = _transfer_for(
-                        system, index, chunk.shape[0],
-                        fingerprint=plan.fingerprint, cache=cache,
-                        stage_slice=stage_slice, base_address=base_address,
-                        interval=interval,
-                    )
-                    chip.load_memory(
-                        Hemisphere.WEST, stage_slice, base_address, chunk
-                    )
                     hop_start_us = (
                         stage_ctx.tracer.now_us()
                         if stage_ctx is not None else 0.0
                     )
-                    runs = system.run(
-                        transfer.programs, max_cycles=max_cycles,
-                        fast_forward=fast_forward,
-                    )
-                    transfer_cycles += runs[0].cycles
+                    if len(route) == 2:
+                        transfer = _transfer_for(
+                            system, index, chunk.shape[0],
+                            fingerprint=plan.fingerprint, cache=cache,
+                            stage_slice=stage_slice,
+                            base_address=base_address,
+                            interval=interval,
+                        )
+                        chip.load_memory(
+                            Hemisphere.WEST, stage_slice, base_address,
+                            chunk,
+                        )
+                        runs = system.run(
+                            transfer.programs, max_cycles=max_cycles,
+                            fast_forward=fast_forward,
+                        )
+                        hop_cycles = runs[0].cycles
+                        landed_words = system.chips[index + 1].read_memory(
+                            Hemisphere.WEST, stage_slice, base_address,
+                            chunk.shape[0],
+                        )
+                    else:
+                        ring_plan = _ring_transfer_for(
+                            system, route, chunk.shape[0],
+                            fingerprint=plan.fingerprint, cache=cache,
+                            stage_slice=stage_slice,
+                            base_address=base_address,
+                            interval=max(interval, 4),
+                        )
+                        # the plan is payload-free: stage this chunk at
+                        # the route head before every lockstep run
+                        system.chips[route[0]].load_memory(
+                            ring_plan.dst_hemisphere, stage_slice,
+                            base_address, chunk,
+                        )
+                        runs = system.run(
+                            ring_plan.programs, max_cycles=max_cycles,
+                            fast_forward=fast_forward,
+                        )
+                        hop_cycles = max(r.cycles for r in runs)
+                        landed_words = system.chips[route[-1]].read_memory(
+                            ring_plan.dst_hemisphere, stage_slice,
+                            base_address, chunk.shape[0],
+                        )
+                    transfer_cycles += hop_cycles
                     if stage_ctx is not None:
                         tracer = stage_ctx.tracer
                         tracer.record_under(
                             stage_ctx, "transfer",
                             hop_start_us, tracer.now_us(),
                             chip=getattr(chip, "chip_id", None),
-                            cycles=runs[0].cycles,
+                            cycles=hop_cycles,
                             clock_ghz=config.clock_ghz,
                             chip_events=(
                                 tuple(runs[index].trace)
@@ -466,17 +583,12 @@ def execute_pipeline(
                             ),
                             args={
                                 "hop": f"{index}->{index + 1}",
+                                "route": list(route),
                                 "vectors": int(chunk.shape[0]),
                             },
                         )
                     landed.append(
-                        np.asarray(
-                            system.chips[index + 1].read_memory(
-                                Hemisphere.WEST, stage_slice, base_address,
-                                chunk.shape[0],
-                            ),
-                            dtype=np.uint8,
-                        )
+                        np.asarray(landed_words, dtype=np.uint8)
                     )
                 received = np.vstack(landed)
                 current = unpack_payload(received, quantized.shape, np.int8)

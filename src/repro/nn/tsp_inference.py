@@ -243,6 +243,7 @@ class TspCnnRunner:
         cache=None,
         stats: ChunkRunStats | None = None,
         fast_forward: bool = True,
+        blacklist=None,
     ) -> tuple[np.ndarray, int]:
         """Compile (or fetch from cache) and simulate one activation chunk.
 
@@ -253,17 +254,21 @@ class TspCnnRunner:
         replays one of a handful of compiled programs — per-row MXM
         results are independent, so padding never changes the real rows,
         and bucketing keeps a 1-row tail from simulating ``max_vectors``
-        dead rows.
+        dead rows.  A ``blacklist`` (dead MEM slices / MXM planes) reaches
+        the scheduler through the cache key, so degraded and healthy
+        binaries for the same shape coexist in one cache.
         """
         n_rows = acts_q.shape[0]
         n_prog = _pad_bucket(n_rows, self.max_vectors) if cache is not None \
             else n_rows
         g, bindings = build_chunk_builder(self.config, layer, n_prog)
         if cache is not None:
-            compiled, _key, hit, compile_s = cache.get_or_compile(g)
+            compiled, _key, hit, compile_s = cache.get_or_compile(
+                g, blacklist=blacklist
+            )
         else:
             t0 = time.perf_counter()
-            compiled = g.compile()
+            compiled = g.compile(blacklist=blacklist)
             compile_s = time.perf_counter() - t0
             hit = False
         if n_prog != n_rows:
@@ -319,6 +324,7 @@ class TspCnnRunner:
         stats: ChunkRunStats | None = None,
         prequantized: bool = False,
         fast_forward: bool = True,
+        blacklist=None,
     ) -> tuple[np.ndarray, int]:
         """Quantize, run on chip (in chunks), dequantize + bias (+ReLU).
 
@@ -336,7 +342,7 @@ class TspCnnRunner:
             chunk = acts_q[start : start + self.max_vectors]
             acc, chunk_cycles = self._run_matmul_chunk(
                 layer, chunk, chip=chip, cache=cache, stats=stats,
-                fast_forward=fast_forward,
+                fast_forward=fast_forward, blacklist=blacklist,
             )
             chunks.append(acc)
             cycles += chunk_cycles
@@ -356,6 +362,7 @@ class TspCnnRunner:
         stats: ChunkRunStats | None = None,
         prequantized: bool = False,
         fast_forward: bool = True,
+        blacklist=None,
     ) -> tuple[np.ndarray, int]:
         """Run one lowered layer; returns ``(activations, chip cycles)``.
 
@@ -375,6 +382,7 @@ class TspCnnRunner:
             out, cycles = self._matrix_forward(
                 layer, cols, chip=chip, cache=cache, stats=stats,
                 prequantized=prequantized, fast_forward=fast_forward,
+                blacklist=blacklist,
             )
             n = current.shape[0]
             return out.reshape(n, ho, wo, -1).transpose(0, 3, 1, 2), cycles
@@ -386,6 +394,7 @@ class TspCnnRunner:
             stats=stats,
             prequantized=prequantized,
             fast_forward=fast_forward,
+            blacklist=blacklist,
         )
 
     def forward(
@@ -395,6 +404,7 @@ class TspCnnRunner:
         cache=None,
         stats: ChunkRunStats | None = None,
         fast_forward: bool = True,
+        blacklist=None,
     ) -> TspForwardResult:
         """Batch inference; every MAC runs on the simulated chip.
 
@@ -414,7 +424,7 @@ class TspCnnRunner:
         for layer in self.layers:
             current, cycles = self.apply_layer(
                 layer, current, chip=chip, cache=cache, stats=stats,
-                fast_forward=fast_forward,
+                fast_forward=fast_forward, blacklist=blacklist,
             )
             if isinstance(layer, CompiledLayer):
                 total_cycles += cycles

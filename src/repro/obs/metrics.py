@@ -380,7 +380,10 @@ class MetricsExporter:
             "Requests by terminal state.",
             [
                 (_labels(state=state), requests[state])
-                for state in ("submitted", "completed", "failed")
+                for state in (
+                    "submitted", "completed", "failed", "retried", "shed"
+                )
+                if state in requests  # retried/shed: newer servers only
             ],
         )
         hist_samples: list[tuple[str, object]] = []
@@ -447,12 +450,26 @@ class MetricsExporter:
         )
         pool = stats["pool"]
         metric(
-            "tsp_serve_pool_workers", "gauge", "Pool workers (alive).",
+            "tsp_serve_pool_workers", "gauge",
+            "Pool workers by health accounting.",
             [
-                (_labels(state="configured"), pool["workers"]),
-                (_labels(state="alive"), pool["alive"]),
+                (_labels(state=state), pool[key])
+                for state, key in (
+                    ("configured", "workers"),
+                    ("alive", "alive"),
+                    ("capacity", "capacity"),
+                    ("quarantined", "quarantined"),
+                    ("spares", "spares"),
+                )
+                if key in pool  # health fields: newer servers only
             ],
         )
+        if "repaired" in pool:
+            metric(
+                "tsp_serve_pool_repairs_total", "counter",
+                "Quarantined hardware returned to service.",
+                [(_labels(), pool["repaired"])],
+            )
         metric(
             "tsp_serve_batches_total", "counter",
             "Batches released, by trigger.",

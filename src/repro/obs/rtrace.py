@@ -46,7 +46,10 @@ from collections import deque
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
-#: host-side phases a request passes through, in causal order
+#: host-side phases a request passes through, in causal order; the
+#: final four only appear on self-healing paths (a failed batch's
+#: requeue, a worker's health transitions, quarantined hardware
+#: returning to service)
 PHASES = (
     "queue_wait",
     "batch_form",
@@ -57,6 +60,10 @@ PHASES = (
     "stage",
     "transfer",
     "respond",
+    "retry",
+    "quarantine",
+    "recompile_degraded",
+    "repair",
 )
 
 _CURRENT: ContextVar = ContextVar("repro_rtrace_current", default=None)

@@ -24,6 +24,7 @@ from .degrade import (
     RingTransferPlan,
     TimedProgram,
     assert_avoids,
+    blacklist_from_fault,
     build_ring_transfer,
     compile_degraded,
     plan_ring_route,
@@ -49,6 +50,7 @@ __all__ = [
     "WEAROUT_THRESHOLD",
     "Watchdog",
     "assert_avoids",
+    "blacklist_from_fault",
     "build_ring_transfer",
     "compile_degraded",
     "plan_ring_route",

@@ -26,13 +26,14 @@ silently re-use dead hardware.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..arch.geometry import Direction, Hemisphere, SliceKind
 from ..compiler.partition import TimedProgram
-from ..errors import C2cLinkError, CompileError
+from ..errors import C2cLinkError, CompileError, MemoryFaultError
 from ..isa.c2c import Deskew, Receive, Send
 from ..isa.mem import Read
 from ..isa.program import IcuId, Program
@@ -71,6 +72,54 @@ class Blacklist:
         for cable in sorted(self.ring_cables):
             parts.append(f"ring-cable{cable}")
         return ", ".join(parts) if parts else "(empty)"
+
+
+_MEM_UNIT = re.compile(r"MEM_([WE])(\d+)")
+_C2C_UNIT = re.compile(r"C2C_([WE])")
+
+
+def blacklist_from_fault(
+    error: BaseException,
+    *,
+    chip_index: int = 0,
+    n_chips: int = 1,
+) -> Blacklist | None:
+    """Localize a hardware fault into a :class:`Blacklist`, if possible.
+
+    Reads the chip/cycle/unit context :class:`~repro.errors.TspError`
+    carries: a :class:`~repro.errors.MemoryFaultError` naming a
+    ``MEM_W3``-style unit blacklists that slice; a
+    :class:`~repro.errors.C2cLinkError` naming a ``C2C_E``/``C2C_W``
+    endpoint on a ring of ``n_chips >= 3`` blacklists the cable behind it
+    (``chip_index`` is the faulting chip's ring position; cable ``i`` is
+    the East(i) <-> West(i+1) hop).  A 2-chip ring has no alternate arc
+    to re-route over, so its link faults — like watchdog fires and
+    unattributable errors — return ``None``: not localizable, handle as
+    transient.
+    """
+    unit = getattr(error, "unit", None)
+    if unit is None:
+        return None
+    unit = str(unit)
+    if isinstance(error, MemoryFaultError):
+        m = _MEM_UNIT.fullmatch(unit)
+        if m:
+            hemisphere = (
+                Hemisphere.WEST if m.group(1) == "W" else Hemisphere.EAST
+            )
+            return Blacklist(
+                mem_slices=frozenset({(hemisphere, int(m.group(2)))})
+            )
+    if isinstance(error, C2cLinkError) and n_chips >= 3:
+        m = _C2C_UNIT.fullmatch(unit)
+        if m:
+            cable = (
+                chip_index
+                if m.group(1) == "E"
+                else (chip_index - 1) % n_chips
+            )
+            return Blacklist(ring_cables=frozenset({cable}))
+    return None
 
 
 def compile_degraded(builder, blacklist: Blacklist):

@@ -20,6 +20,7 @@ deadline is untouched in both.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..arch.geometry import Hemisphere
@@ -111,13 +112,24 @@ class HealthMonitor:
     The monitor is passive: it reads counters the simulator maintains
     anyway (the SRF correction CSR and the per-link fault counters), so
     an attached-but-idle monitor adds zero per-cycle cost to a run.
+
+    Memory is bounded: both the per-chip poll history and the report log
+    keep only the most recent ``history_cap`` entries — a serving worker
+    polls between every batch, so a long-lived monitor must cost
+    O(history_cap), not O(polls).  :meth:`trend` therefore measures the
+    wearout slope over the retained window.
     """
 
-    def __init__(self, wearout_threshold: int = WEAROUT_THRESHOLD) -> None:
+    def __init__(
+        self,
+        wearout_threshold: int = WEAROUT_THRESHOLD,
+        history_cap: int = 256,
+    ) -> None:
         self.wearout_threshold = wearout_threshold
-        #: poll history per chip: list of (cycle, csr corrections)
-        self._history: dict[int, list[tuple[int, int]]] = {}
-        self.reports: list[HealthReport] = []
+        self.history_cap = history_cap
+        #: poll history per chip: recent (cycle, csr corrections) pairs
+        self._history: dict[int, deque[tuple[int, int]]] = {}
+        self.reports: deque[HealthReport] = deque(maxlen=history_cap)
 
     # ------------------------------------------------------------------
     def poll(self, chip: TspChip, cycle: int | None = None) -> HealthReport:
@@ -125,7 +137,9 @@ class HealthMonitor:
         if cycle is None:
             cycle = chip.now
         corrections = chip.srf.corrections
-        history = self._history.setdefault(id(chip), [])
+        history = self._history.setdefault(
+            id(chip), deque(maxlen=self.history_cap)
+        )
         previous = history[-1][1] if history else 0
         history.append((cycle, corrections))
 

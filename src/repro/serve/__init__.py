@@ -19,6 +19,7 @@ Quickstart::
 or ``python -m repro.serve`` for a self-contained demo.
 """
 
+from ..errors import RequestError
 from .batcher import DynamicBatcher
 from .cache import CacheStats, ProgramCache
 from .models import (
@@ -36,6 +37,14 @@ from .request import (
     RequestTiming,
     ServeFuture,
 )
+from .resilient import (
+    Diagnosis,
+    HealthPolicy,
+    LatencyEstimator,
+    QuarantineRecord,
+    RetryPolicy,
+    diagnose,
+)
 from .server import InferenceServer
 
 __all__ = [
@@ -45,15 +54,22 @@ __all__ = [
     "CacheStats",
     "ChipPool",
     "CnnServeModel",
+    "Diagnosis",
     "DynamicBatcher",
+    "HealthPolicy",
     "InferenceRequest",
     "InferenceResult",
     "InferenceServer",
+    "LatencyEstimator",
     "PoolWorker",
     "ProgramCache",
+    "QuarantineRecord",
+    "RequestError",
     "RequestTiming",
+    "RetryPolicy",
     "ServeFuture",
     "ServeModel",
     "ShardedCnnServeModel",
     "TransformerMlpServeModel",
+    "diagnose",
 ]

@@ -68,11 +68,70 @@ class DynamicBatcher:
                 self.depth_high = total
             self._cond.notify_all()
 
+    def requeue(self, request: InferenceRequest) -> None:
+        """Put a retried request back at the *front* of its model queue.
+
+        Retries have already waited a full queue pass plus a failed
+        execution, so they re-enter at the head — FIFO order among first
+        attempts is preserved behind them, and a retried request cannot
+        be starved by fresh arrivals while its deadline burns down.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServeError("batcher is closed; retry rejected")
+            self._queues.setdefault(request.model, deque()).appendleft(
+                request
+            )
+            self._cond.notify_all()
+
     def close(self) -> None:
         """Stop accepting requests; queued work drains as final batches."""
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def abort(self) -> list[InferenceRequest]:
+        """Close *and* evict everything still queued, returning it.
+
+        The fail-fast shutdown path: :meth:`close` lets queued work drain
+        as final batches, which is right for a graceful stop but wrong
+        for teardown — requests would keep a dying server's chips busy.
+        The caller owns failing the returned requests' futures.
+        """
+        with self._cond:
+            self._closed = True
+            evicted: list[InferenceRequest] = []
+            for q in self._queues.values():
+                evicted.extend(q)
+                q.clear()
+            self._cond.notify_all()
+        return evicted
+
+    def shed_victim(
+        self, priority: int, slack_s: float, now: float
+    ) -> InferenceRequest | None:
+        """Pop the queued request least worth serving, if any is *less*
+        worth serving than a ``(priority, slack_s)`` candidate.
+
+        Shedding order: lowest priority first; within a priority, the
+        most deadline-hopeless (smallest remaining slack) first.  Returns
+        the evicted request, or None when every queued request is at
+        least as valuable as the candidate — in which case admission
+        control should shed the candidate itself.
+        """
+        with self._cond:
+            worst = None
+            worst_key = None
+            worst_queue = None
+            for q in self._queues.values():
+                for request in q:
+                    key = (request.priority, request.slack_s(now))
+                    if worst_key is None or key < worst_key:
+                        worst, worst_key, worst_queue = request, key, q
+            if worst is None or worst_key >= (priority, slack_s):
+                return None
+            worst_queue.remove(worst)
+            return worst
 
     # ------------------------------------------------------------------
     def _pop_batch(

@@ -52,8 +52,16 @@ class ServeModel:
     def run_batch(
         self, chip, cache, payloads: list[np.ndarray],
         stats: ChunkRunStats | None = None,
+        blacklist=None,
     ) -> list[np.ndarray]:
-        """Execute one batch; returns one output per payload, in order."""
+        """Execute one batch; returns one output per payload, in order.
+
+        ``blacklist`` (a :class:`repro.resil.Blacklist`, or None) is the
+        degraded-serving contract: the adapter must compile every program
+        through the cache with it, so a worker with dead hardware serves
+        bit-identical results on what remains.  The pool only passes it
+        when non-empty, so adapters that never degrade may ignore it.
+        """
         raise NotImplementedError
 
     def run_reference(self, payload: np.ndarray) -> np.ndarray:
@@ -86,9 +94,12 @@ class _RunnerServeModel(ServeModel):
     def run_batch(
         self, chip, cache, payloads: list[np.ndarray],
         stats: ChunkRunStats | None = None,
+        blacklist=None,
     ) -> list[np.ndarray]:
         x = np.stack(payloads)
-        result = self.runner.forward(x, chip=chip, cache=cache, stats=stats)
+        result = self.runner.forward(
+            x, chip=chip, cache=cache, stats=stats, blacklist=blacklist
+        )
         return [result.logits[i] for i in range(len(payloads))]
 
     def run_reference(self, payload: np.ndarray) -> np.ndarray:
@@ -154,11 +165,13 @@ class ShardedCnnServeModel(CnnServeModel):
     def run_batch(
         self, system, cache, payloads: list[np.ndarray],
         stats: ChunkRunStats | None = None,
+        blacklist=None,
     ) -> list[np.ndarray]:
         x = np.stack(payloads)
         result = execute_pipeline(
             self.runner, x, self.n_chips,
             system=system, cache=cache, stats=stats, plan=self.plan,
+            blacklist=blacklist,
         )
         return [result.logits[i] for i in range(len(payloads))]
 

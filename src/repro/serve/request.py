@@ -115,13 +115,30 @@ class ServeFuture:
 
 @dataclass
 class InferenceRequest:
-    """One queued inference call."""
+    """One queued inference call.
+
+    ``deadline_s`` is an *absolute* ``time.monotonic()`` instant (None =
+    no deadline): the retry path re-enqueues a failed request only while
+    the deadline still has one estimated batch-latency of slack, and
+    admission control sheds the most deadline-hopeless requests first.
+    ``priority`` orders shedding (lower sheds first); ``attempt`` counts
+    executions — 0 on first dispatch, bumped by every retry requeue.
+    """
 
     id: int
     model: str
     payload: np.ndarray
     timing: RequestTiming
     future: ServeFuture = field(default_factory=ServeFuture)
+    deadline_s: float | None = None
+    priority: int = 0
+    attempt: int = 0
+
+    def slack_s(self, now: float) -> float:
+        """Seconds of deadline budget left (inf with no deadline)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.deadline_s - now
 
 
 @dataclass

@@ -1,0 +1,241 @@
+"""Self-healing serving policies: retry budgets, fault diagnosis, repair.
+
+The TSP has no hardware arbitration to mask a fault — a failed batch is
+a *software* event the serving tier must close the loop on (the paper's
+Section II-D fleet-health story, and the datacenter-accelerator stance of
+the TPU paper: degradation is a serving concern).  This module holds the
+policy vocabulary the :class:`~repro.serve.pool.ChipPool` executes:
+
+* :class:`RetryPolicy` — how many attempts a request gets and how much
+  deadline slack a retry must still have (one estimated batch latency,
+  from the :class:`LatencyEstimator` EWMA).
+* :class:`HealthPolicy` — how many transient strikes quarantine a chip,
+  how many clean probes repair it, and how often a degraded chip
+  re-checks its blacklisted hardware.
+* :func:`diagnose` — classify a batch failure as ``software`` (never
+  retry), ``degradable`` (localizable to a :class:`~repro.resil.Blacklist`
+  — recompile around it and keep serving), or ``transient`` (retry the
+  requests, strike the chip).
+* :func:`probe_memory` / :func:`blacklist_recovered` — the repair
+  policy's hardware checks: a host-level sweep over every MEM slice, and
+  the degraded worker's periodic re-probe of just its blacklisted
+  resources.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+
+from ..arch.geometry import Hemisphere
+from ..errors import ServeError, SimulationError
+from ..resil.degrade import Blacklist, blacklist_from_fault
+
+#: chip ids of pooled ring members look like ``pool0.c2`` / ``spare1.c0``
+_RING_CHIP_ID = re.compile(r".*\.c(\d+)$")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware retry budget for failed batches.
+
+    A request is re-enqueued after a retryable failure only while
+    ``attempt + 1 < max_attempts`` *and* its deadline still has at least
+    one estimated batch latency of slack — retrying work that cannot
+    finish in time just burns capacity the healthy requests need.
+    ``default_deadline_s`` (relative, applied at submit) gives every
+    request a deadline when the caller sets none; None leaves such
+    requests deadline-free (retries limited by ``max_attempts`` only).
+    """
+
+    max_attempts: int = 3
+    default_deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ServeError("max_attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When to quarantine, how to repair, how often to re-check."""
+
+    #: consecutive transient failures before the chip is quarantined
+    quarantine_after: int = 2
+    #: clean probe passes before quarantined hardware re-enters service
+    probes_required: int = 2
+    #: successful degraded batches between blacklist re-probes
+    recheck_after: int = 8
+    #: ECC/FEC counter level that flags a chip at checkout health polls
+    wearout_threshold: int = 10
+
+    def __post_init__(self) -> None:
+        if self.quarantine_after < 1:
+            raise ServeError("quarantine_after must be >= 1")
+        if self.probes_required < 1:
+            raise ServeError("probes_required must be >= 1")
+
+
+class LatencyEstimator:
+    """Thread-safe per-model EWMA of observed batch latency.
+
+    The retry path's cost model: "one more attempt takes about this
+    long".  Optimistic before the first observation (``initial_s``) so a
+    cold server never refuses the retry that would have warmed it up.
+    """
+
+    def __init__(self, alpha: float = 0.3, initial_s: float = 0.05) -> None:
+        self.alpha = alpha
+        self.initial_s = initial_s
+        self._lock = threading.Lock()
+        self._estimates: dict[str, float] = {}
+
+    def observe(self, model: str, seconds: float) -> None:
+        with self._lock:
+            previous = self._estimates.get(model)
+            if previous is None:
+                self._estimates[model] = seconds
+            else:
+                self._estimates[model] = (
+                    self.alpha * seconds + (1 - self.alpha) * previous
+                )
+
+    def estimate(self, model: str) -> float:
+        with self._lock:
+            return self._estimates.get(model, self.initial_s)
+
+
+# ----------------------------------------------------------------------
+# Diagnosis
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """What a batch failure means for the hardware that ran it.
+
+    ``kind`` is ``"software"`` (a bug or contract violation — failing
+    again is certain, never retry, never blame the chip),
+    ``"degradable"`` (localized to ``blacklist`` — recompile around the
+    dead resource and keep the chip serving), or ``"transient"`` (retry
+    the requests; repeated strikes quarantine the chip).
+    """
+
+    kind: str
+    blacklist: Blacklist | None = None
+    chip_index: int | None = None
+    reason: str = ""
+
+
+def chip_index_of(error: BaseException) -> int | None:
+    """The ring position of the chip an error names, if parseable."""
+    chip_id = getattr(error, "chip_id", None)
+    if chip_id is None:
+        return None
+    m = _RING_CHIP_ID.match(str(chip_id))
+    return int(m.group(1)) if m else None
+
+
+def diagnose(error: BaseException, n_chips: int = 1) -> Diagnosis:
+    """Classify one batch failure for the retry/quarantine machinery."""
+    if not isinstance(error, SimulationError):
+        return Diagnosis(
+            kind="software",
+            reason=f"{type(error).__name__} is not a hardware fault",
+        )
+    chip_index = chip_index_of(error)
+    blacklist = blacklist_from_fault(
+        error, chip_index=chip_index or 0, n_chips=n_chips
+    )
+    if blacklist is not None:
+        return Diagnosis(
+            kind="degradable",
+            blacklist=blacklist,
+            chip_index=chip_index,
+            reason=f"localized to {blacklist.describe()}",
+        )
+    return Diagnosis(
+        kind="transient",
+        chip_index=chip_index,
+        reason=f"unlocalized {type(error).__name__}",
+    )
+
+
+def merge_blacklists(
+    a: Blacklist | None, b: Blacklist | None
+) -> Blacklist:
+    """Union of two blacklists (either may be None)."""
+    a = a or Blacklist()
+    b = b or Blacklist()
+    return Blacklist(
+        mem_slices=a.mem_slices | b.mem_slices,
+        mxm_planes=a.mxm_planes | b.mxm_planes,
+        ring_cables=a.ring_cables | b.ring_cables,
+    )
+
+
+# ----------------------------------------------------------------------
+# Quarantine accounting and repair probes
+
+
+@dataclass
+class QuarantineRecord:
+    """One piece of hardware pulled from service, and why."""
+
+    worker: str
+    reason: str
+    since_s: float
+    hardware: object = field(repr=False, default=None)
+    blacklist: Blacklist | None = None
+    probes_passed: int = 0
+    repaired_s: float | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.repaired_s is None
+
+
+def _chips_of(hardware) -> list:
+    return list(hardware.chips) if hasattr(hardware, "chips") else [hardware]
+
+
+def probe_memory(hardware, skip: Blacklist | None = None) -> None:
+    """Host-level SRAM sweep: write+read one word in every MEM slice.
+
+    The repair policy's probe: cheap (no compile, no simulation run) yet
+    it touches every slice of every chip of ``hardware``, so a dead slice
+    raises :class:`~repro.errors.MemoryFaultError` with the slice's unit
+    context.  Slices on ``skip`` are not probed (known-dead hardware a
+    degraded blacklist already routes around).
+    """
+    skip_slices = skip.mem_slices if skip is not None else frozenset()
+    for chip in _chips_of(hardware):
+        for hemisphere in Hemisphere:
+            for index in range(chip.config.mem_slices_per_hemisphere):
+                if (hemisphere, index) in skip_slices:
+                    continue
+                unit = chip.mem_unit(hemisphere, index)
+                word = unit.host_read(0)
+                unit.host_write(0, word)
+
+
+def blacklist_recovered(hardware, blacklist: Blacklist) -> bool:
+    """True when every blacklisted resource probes healthy again.
+
+    The degraded worker's periodic re-check.  Only MEM slices are
+    probeable from the host; a blacklist carrying MXM planes or ring
+    cables is conservatively treated as still faulty (those need a full
+    compiled probe, which quarantine-and-repair covers).
+    """
+    if blacklist.mxm_planes or blacklist.ring_cables:
+        return False
+    for chip in _chips_of(hardware):
+        for hemisphere, index in blacklist.mem_slices:
+            unit = chip.mem_unit(hemisphere, index)
+            if unit.dead:
+                return False
+            try:
+                unit.host_read(0)
+            except SimulationError:
+                return False
+    return True

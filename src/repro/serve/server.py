@@ -28,7 +28,7 @@ from collections import deque
 import numpy as np
 
 from ..config import ArchConfig
-from ..errors import ServeError
+from ..errors import RequestError, ServeError
 from ..obs.counters import TelemetryCollector
 from ..obs.metrics import LatencyHistogram, SloTracker
 from ..obs.rtrace import RequestTracer
@@ -44,6 +44,7 @@ from .request import (
     RequestTiming,
     ServeFuture,
 )
+from .resilient import HealthPolicy, RetryPolicy
 
 
 class InferenceServer:
@@ -74,6 +75,10 @@ class InferenceServer:
         trace_chip_events: bool = False,
         slos: dict[str, float] | None = None,
         slo_default_s: float | None = None,
+        n_spares: int = 0,
+        retry: RetryPolicy | None = None,
+        health_policy: HealthPolicy | None = None,
+        shed_factor: int = 4,
     ) -> None:
         if not models:
             raise ServeError("an inference server needs at least one model")
@@ -106,10 +111,17 @@ class InferenceServer:
             default_target_s=slo_default_s,
             registry=self.registry,
         )
+        if shed_factor < 1:
+            raise ServeError("shed_factor must be >= 1")
+        self.shed_factor = shed_factor
         self._lock = threading.Lock()
         self._next_request_id = 0
         self._completed = 0
         self._failed = 0
+        self._retried = 0
+        self._shed = 0
+        #: recent pool health events (quarantine/repair/degraded/retired)
+        self.health_events: deque[dict] = deque(maxlen=256)
         #: model -> phase ("total" | "queue") -> bounded histogram
         self._histograms: dict[str, dict[str, LatencyHistogram]] = {}
         chip_kwargs = {"trace": True} if trace_chip_events else None
@@ -123,6 +135,10 @@ class InferenceServer:
             chip_kwargs=chip_kwargs,
             on_outcome=self._observe,
             tracer=self.tracer,
+            n_spares=n_spares,
+            retry=retry,
+            health_policy=health_policy,
+            on_health=self._observe_health,
         )
         self._closed = False
         self.pool.start()
@@ -135,11 +151,38 @@ class InferenceServer:
         self.close()
 
     def close(self, timeout: float = 30.0) -> None:
-        """Drain queued requests, stop the workers, and join them."""
+        """Fail-fast shutdown: queued requests resolve, workers join.
+
+        In-flight batches finish; everything still *queued* fails
+        immediately with a ``shutdown``-outcome
+        :class:`~repro.errors.RequestError` instead of keeping a dying
+        server's chips busy — no caller ever hangs on a future the
+        server will never run.  Parked (quarantined) workers and the
+        repair loop are woken so they exit too.
+        """
         if self._closed:
             return
         self._closed = True
-        self.batcher.close()
+        aborted = self.batcher.abort()
+        now = time.monotonic()
+        us = self._now_us()
+        for request in aborted:
+            request.timing.completed_s = now
+            request.future.set_error(
+                RequestError(
+                    f"request {request.id} ({request.model}) dropped: "
+                    "server shutting down",
+                    outcome="shutdown",
+                    attempt=request.attempt,
+                )
+            )
+        if aborted:
+            with self._lock:
+                self._failed += len(aborted)
+                self.registry.count(
+                    "serve", "requests_shutdown", us, len(aborted)
+                )
+        self.pool.shutdown()
         self.pool.join(timeout=timeout)
 
     # ------------------------------------------------------------------
@@ -171,16 +214,30 @@ class InferenceServer:
         unit = f"serve:{model}"
         reg = self.registry
         n = len(outcome.batch.requests)
+        requeued_ids = {r.id for r in outcome.requeued}
+        # requests re-enqueued for retry are neither completed nor
+        # failed — they come back through a later batch's outcome
+        final = [
+            r for r in outcome.batch.requests if r.id not in requeued_ids
+        ]
         with self._lock:
             if outcome.ok:
                 self._completed += n
                 reg.count(unit, "requests_ok", us, n)
             else:
-                self._failed += n
-                reg.count(unit, "requests_failed", us, n)
+                if requeued_ids:
+                    self._retried += len(requeued_ids)
+                    reg.count(
+                        unit, "requests_retried", us, len(requeued_ids)
+                    )
+                if final:
+                    self._failed += len(final)
+                    reg.count(unit, "requests_failed", us, len(final))
+            if outcome.degraded:
+                reg.count(unit, "degraded_batches", us, 1)
             total_hist = self._histogram(model, "total")
             queue_hist = self._histogram(model, "queue")
-            for request in outcome.batch.requests:
+            for request in final:
                 total_hist.record(request.timing.total_s)
                 queue_hist.record(request.timing.queue_s)
             reg.count(unit, "batches", us, 1)
@@ -197,7 +254,7 @@ class InferenceServer:
             )
             reg.mark_high("serve", "batch_size_high", n)
             reg.mark_high("serve", "queue_depth_high", self.batcher.depth_high)
-            for request in outcome.batch.requests:
+            for request in final:
                 self.slo.observe(
                     model, request.timing.total_s, us, ok=outcome.ok
                 )
@@ -231,6 +288,13 @@ class InferenceServer:
                 )
         if self.tracer is not None:
             self._trace_requests(outcome)
+
+    def _observe_health(self, event: dict) -> None:
+        """Pool callback: count quarantine/repair/degraded transitions."""
+        us = self._now_us()
+        with self._lock:
+            self.registry.count("serve", f"health_{event['kind']}", us, 1)
+            self.health_events.append(dict(event))
 
     def _trace_requests(self, outcome: BatchOutcome) -> None:
         """Record each request's root + queue-wait spans, linked to the
@@ -270,8 +334,23 @@ class InferenceServer:
             )
 
     # ------------------------------------------------------------------
-    def submit(self, model: str, payload: np.ndarray) -> ServeFuture:
-        """Enqueue one request; returns a future to block on."""
+    def submit(
+        self,
+        model: str,
+        payload: np.ndarray,
+        deadline_s: float | None = None,
+        priority: int = 0,
+    ) -> ServeFuture:
+        """Enqueue one request; returns a future to block on.
+
+        ``deadline_s`` is a *relative* latency budget (absolute deadline
+        = now + budget; defaults to the pool retry policy's
+        ``default_deadline_s``): the retry machinery only re-enqueues a
+        failed request while the budget has an estimated batch latency of
+        slack, and admission control sheds the most deadline-hopeless,
+        lowest-``priority`` requests first when quarantines shrink pool
+        capacity.
+        """
         served = self.models.get(model)
         if served is None:
             raise ServeError(
@@ -280,6 +359,11 @@ class InferenceServer:
             )
         payload = np.asarray(payload, dtype=np.float64)
         served.validate(payload)
+        now = time.monotonic()
+        budget = (
+            deadline_s if deadline_s is not None
+            else self.pool.retry.default_deadline_s
+        )
         with self._lock:
             request_id = self._next_request_id
             self._next_request_id += 1
@@ -287,8 +371,11 @@ class InferenceServer:
             id=request_id,
             model=model,
             payload=payload,
-            timing=RequestTiming(submitted_s=time.monotonic()),
+            timing=RequestTiming(submitted_s=now),
+            deadline_s=None if budget is None else now + budget,
+            priority=priority,
         )
+        self._admit(request, now)
         try:
             self.batcher.submit(request)
         except ServeError:
@@ -303,6 +390,48 @@ class InferenceServer:
                 "serve", "queue_depth_high", self.batcher.depth_high
             )
         return request.future
+
+    def _admit(self, request: InferenceRequest, now: float) -> None:
+        """Capacity-aware admission control at the submit edge.
+
+        At full capacity every request queues.  When quarantines shrink
+        the pool, the queue is capped at ``shed_factor`` batches per
+        surviving worker; past that, the least valuable request — lowest
+        priority, then smallest deadline slack — is shed with a distinct
+        ``shed`` outcome.  That victim is usually an already-queued
+        request (its future fails immediately); when the newcomer itself
+        is the least valuable, :meth:`submit` raises instead.
+        """
+        capacity = self.pool.capacity()
+        if capacity >= len(self.pool.workers):
+            return
+        policy = self.batcher.policy_for(request.model)
+        limit = self.shed_factor * capacity * policy.max_batch
+        if self.batcher.depth() < limit:
+            return
+        us = self._now_us()
+        victim = self.batcher.shed_victim(
+            request.priority, request.slack_s(now), now
+        )
+        if victim is None:
+            victim = request
+        with self._lock:
+            self._shed += 1
+            self.registry.count(
+                f"serve:{victim.model}", "requests_shed_capacity", us, 1
+            )
+        self.slo.shed(victim.model, us)
+        error = RequestError(
+            f"request {victim.id} ({victim.model}) shed: pool capacity "
+            f"{capacity}/{len(self.pool.workers)}, queue over "
+            f"{limit} requests",
+            outcome="shed",
+            attempt=victim.attempt,
+        )
+        if victim is request:
+            raise error
+        victim.timing.completed_s = now
+        victim.future.set_error(error)
 
     def run(
         self, model: str, payload: np.ndarray, timeout: float = 60.0
@@ -338,6 +467,7 @@ class InferenceServer:
                 for model, phases in self._histograms.items()
             }
             completed, failed = self._completed, self._failed
+            retried, shed = self._retried, self._shed
             submitted = self._next_request_id
             spans = {
                 "recorded": len(self.spans),
@@ -349,6 +479,8 @@ class InferenceServer:
                 "submitted": submitted,
                 "completed": completed,
                 "failed": failed,
+                "retried": retried,
+                "shed": shed,
             },
             "latency": latency,
             "slo": self.slo.snapshot(),
@@ -364,6 +496,14 @@ class InferenceServer:
             "pool": {
                 "workers": len(self.pool.workers),
                 "alive": self.pool.alive,
+                "capacity": self.pool.capacity(),
+                "quarantined": len(self.pool.active_quarantined),
+                "quarantines_total": len(self.pool.quarantined),
+                "repaired": self.pool.repaired_count,
+                "spares": self.pool.n_spares,
+                "states": {
+                    w.name: w.state for w in self.pool.workers
+                },
                 "batches_run": sum(
                     w.batches_run for w in self.pool.workers
                 ),

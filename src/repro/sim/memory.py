@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..arch.geometry import SliceAddress
-from ..errors import BankConflictError, SimulationError
+from ..errors import BankConflictError, MemoryFaultError, SimulationError
 from ..isa.base import Instruction
 from ..isa.mem import Gather, Read, Scatter, Write
 from ..isa.program import IcuId
@@ -41,6 +41,8 @@ class MemSliceUnit(FunctionalUnit):
         self._checks_valid_arr: np.ndarray | None = None
         # (cycle -> set of access kinds) for bank-conflict detection
         self._accesses: dict[int, list[tuple[str, int]]] = {}
+        #: hard physical failure: every access faults until revive()
+        self.dead = False
 
     def begin_run(self) -> None:
         # cycle-keyed: run N+1's cycle 0 must not conflict with run N's
@@ -49,11 +51,40 @@ class MemSliceUnit(FunctionalUnit):
     def scrub(self) -> None:
         # checkout reset: dematerialize SRAM (and its ECC check words) so
         # no tenant's data survives into the next checkout; the zero-fill
-        # contract of a fresh chip is restored lazily by ``storage``
+        # contract of a fresh chip is restored lazily by ``storage``.
+        # ``dead`` deliberately survives: a hard slice failure is physical
+        # damage, not tenant state — only revive() clears it.
         self._storage = None
         self._checks = None
         self._checks_valid_arr = None
         self._accesses.clear()
+
+    # ------------------------------------------------------------------
+    # hard-failure modeling
+    # ------------------------------------------------------------------
+    def mark_dead(self) -> None:
+        """Hard-fail the whole slice: every access raises until revive().
+
+        Models a permanently failed SRAM tile (as opposed to the soft
+        errors of :meth:`inject_fault`, which ECC corrects): scrubs do
+        not clear it, so a pooled chip carries the damage across checkout
+        boundaries and the serving layer must blacklist the slice and
+        recompile around it.
+        """
+        self.dead = True
+
+    def revive(self) -> None:
+        """Clear a hard failure (the chaos harness's repair action)."""
+        self.dead = False
+
+    def _check_dead(self, cycle: int | None = None) -> None:
+        if self.dead:
+            raise MemoryFaultError(
+                f"{self.address}: slice is dead (hard SRAM failure)",
+                chip=self.chip.chip_id,
+                cycle=cycle,
+                unit=self.name,
+            )
 
     @property
     def storage(self) -> np.ndarray:
@@ -83,6 +114,7 @@ class MemSliceUnit(FunctionalUnit):
     # ------------------------------------------------------------------
     def host_write(self, address: int, data: np.ndarray) -> None:
         """Host DMA: place one or more 320-byte vectors starting at address."""
+        self._check_dead()
         data = np.atleast_2d(np.asarray(data, dtype=np.uint8))
         if data.shape[1] != self.chip.config.n_lanes:
             raise SimulationError(
@@ -100,6 +132,7 @@ class MemSliceUnit(FunctionalUnit):
 
     def host_read(self, address: int, n_words: int = 1) -> np.ndarray:
         """Host readback of ``n_words`` vectors starting at ``address``."""
+        self._check_dead()
         if address + n_words > self.n_words:
             raise SimulationError("host_read past end of slice")
         return self.storage[address : address + n_words].copy()
@@ -145,6 +178,7 @@ class MemSliceUnit(FunctionalUnit):
     # instruction execution
     # ------------------------------------------------------------------
     def execute(self, icu: IcuId, instruction: Instruction, cycle: int) -> None:
+        self._check_dead(cycle)
         if isinstance(instruction, Read):
             self._exec_read(instruction, cycle)
         elif isinstance(instruction, Write):

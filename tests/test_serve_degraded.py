@@ -1,0 +1,180 @@
+"""Degraded-mode serving equivalence: blacklisted hardware, same bits.
+
+Property: a pool worker carrying a :class:`Blacklist` — one dead MEM
+slice or one dead MXM plane, the post-quarantine "degraded spare" state —
+serves any request mix bit-identical to the healthy sequential oracle.
+The blacklist rides the graph fingerprint, so degraded recompiles flow
+through the ordinary :class:`ProgramCache` next to healthy binaries, and
+the allocator simply never places on the dead resource; the arithmetic
+(and therefore the answer) is untouched.
+
+The deterministic half pins the scale-out story: a 3-chip pipeline with
+a dead ring cable re-routes stage hand-offs the long way around the ring
+(store-and-forward through the intermediate chip) and still matches the
+single-chip oracle — dense and fast-forward — even with the blacklisted
+MEM slice physically marked dead on every chip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import Hemisphere
+from repro.config import small_test_chip
+from repro.nn import Dense, ReLU, Sequential
+from repro.nn.scaleout import execute_pipeline
+from repro.nn.tsp_inference import TspCnnRunner
+from repro.resil import Blacklist
+from repro.serve import (
+    BatchPolicy,
+    InferenceServer,
+    ProgramCache,
+    TransformerMlpServeModel,
+)
+from repro.nn.transformer import TransformerConfig
+from repro.sim import MultiChipSystem
+from repro.sim.chip import TspChip
+
+CONFIG = small_test_chip()
+
+
+def make_mlp(name="mlp", seed=0):
+    return TransformerMlpServeModel(
+        name,
+        TransformerConfig(d_model=16, n_heads=2, d_ff=32,
+                          seq_len=8, n_layers=1, vocab=64),
+        CONFIG,
+        seed=seed,
+        max_vectors_per_program=8,
+    )
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return make_mlp()
+
+
+def one_resource_blacklists():
+    """Every single-resource blacklist the small chip can lose."""
+    hemis = st.sampled_from([Hemisphere.WEST, Hemisphere.EAST])
+    mem = st.tuples(
+        hemis, st.integers(0, CONFIG.mem_slices_per_hemisphere - 1)
+    ).map(lambda p: Blacklist(mem_slices=frozenset({p})))
+    mxm = st.tuples(
+        hemis, st.integers(0, CONFIG.mxm_planes - 1)
+    ).map(lambda p: Blacklist(mxm_planes=frozenset({p})))
+    return st.one_of(mem, mxm)
+
+
+class TestDegradedWorkerBitIdentical:
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        blacklist=one_resource_blacklists(),
+        seed=st.integers(0, 2**16),
+        n_requests=st.integers(1, 6),
+    )
+    def test_served_mix_matches_sequential_oracle(
+        self, mlp, blacklist, seed, n_requests
+    ):
+        rng = np.random.default_rng(seed)
+        payloads = [rng.standard_normal(16) for _ in range(n_requests)]
+        with InferenceServer(
+            CONFIG, [mlp], n_workers=1,
+            default_policy=BatchPolicy(max_batch=3, max_delay_s=0.001),
+        ) as server:
+            worker = server.pool.workers[0]
+            # the post-repair "degraded spare" state, installed directly
+            worker.blacklist = blacklist
+            worker.state = "degraded"
+            futures = [
+                server.submit("mlp", p, deadline_s=60.0)
+                for p in payloads
+            ]
+            for payload, future in zip(payloads, futures):
+                result = future.result(timeout=120.0)
+                reference = server.sequential_reference("mlp", payload)
+                assert np.array_equal(result.output, reference), (
+                    f"degraded serve diverged under {blacklist.describe()}"
+                )
+            assert worker.state == "degraded"
+            assert not server.pool.quarantined
+
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        blacklist=one_resource_blacklists(),
+        fast_forward=st.booleans(),
+        seed=st.integers(0, 2**16),
+    )
+    def test_runner_dense_and_fast_forward_match_reference(
+        self, mlp, blacklist, fast_forward, seed
+    ):
+        """Below the pool: the degraded compile itself is bit-exact in
+        both execution cores."""
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, 16))
+        oracle = mlp.runner.forward(x)
+        chip = TspChip(CONFIG, chip_id="degraded")
+        degraded = mlp.runner.forward(
+            x, chip=chip, cache=ProgramCache(),
+            fast_forward=fast_forward, blacklist=blacklist,
+        )
+        assert np.array_equal(degraded.logits, oracle.logits)
+
+
+class TestRingRerouteBitIdentical:
+    def pipeline_runner(self, seed=3):
+        rng = np.random.default_rng(seed)
+        model = Sequential([
+            Dense(16, 32, rng=np.random.default_rng(seed + 1)),
+            ReLU(),
+            Dense(32, 16, rng=np.random.default_rng(seed + 2)),
+            ReLU(),
+            Dense(16, 8, rng=np.random.default_rng(seed + 3)),
+        ])
+        runner = TspCnnRunner(
+            model, CONFIG, rng.standard_normal((24, 16)),
+            max_vectors_per_program=32,
+        )
+        return runner, rng.standard_normal((3, 16))
+
+    @pytest.mark.parametrize("fast_forward", [True, False])
+    def test_dead_cable_reroutes_around_ring(self, fast_forward):
+        runner, x = self.pipeline_runner()
+        oracle = runner.forward(x)
+        # cable 0 (East(0) <-> West(1)) dark: the stage-0 -> stage-1
+        # hand-off must go 0 -> 2 -> 1 the long way around
+        blacklist = Blacklist(ring_cables=frozenset({0}))
+        result = execute_pipeline(
+            runner, x, 3, blacklist=blacklist,
+            fast_forward=fast_forward,
+        )
+        assert np.array_equal(result.logits, oracle.logits)
+
+    def test_reroute_with_physically_dead_slice(self):
+        """Combined fault: cable 0 dark AND MEM slice (WEST, 0) dead on
+        every chip.  If any degraded program still touched the dead
+        slice, the simulator would raise MemoryFaultError — bit-equality
+        therefore proves the blacklist was honoured end to end,
+        including the re-picked C2C staging slice."""
+        runner, x = self.pipeline_runner()
+        oracle = runner.forward(x)
+        system = MultiChipSystem.ring(CONFIG, 3)
+        for chip in system.chips:
+            chip.mem_unit(Hemisphere.WEST, 0).mark_dead()
+        blacklist = Blacklist(
+            mem_slices=frozenset({(Hemisphere.WEST, 0)}),
+            ring_cables=frozenset({0}),
+        )
+        result = execute_pipeline(
+            runner, x, 3, system=system, blacklist=blacklist
+        )
+        assert np.array_equal(result.logits, oracle.logits)

@@ -144,9 +144,12 @@ class TestPoolService:
             ref = server.sequential_reference("mlp", payload)
             assert np.array_equal(result.output, ref)
 
-    def test_watchdog_fault_fails_only_its_batch(self, config):
-        """inject_at_checkout + a 1-cycle watchdog: that batch dies with
-        chip/cycle context, the pool keeps serving afterwards."""
+    def test_watchdog_fault_retries_only_its_batch(self, config):
+        """inject_at_checkout + a 1-cycle watchdog: the fault is
+        retryable, so that batch's requests are transparently re-enqueued
+        (counted as retries, not failures), the chip is scrubbed, and the
+        retry runs clean because the hook was one-shot — callers see
+        bit-exact answers, just late."""
         server = InferenceServer(
             config,
             [make_mlp(config)],
@@ -160,14 +163,14 @@ class TestPoolService:
             )
         )
         rng = np.random.default_rng(1)
-        doomed = [server.submit("mlp", p)
-                  for p in rng.standard_normal((2, 16))]
-        errors = [f.error(timeout=60.0) for f in doomed]
-        assert all(isinstance(e, WatchdogError) for e in errors)
-        assert "pool0" in str(errors[0])  # chip context survives
-        assert "cycle" in str(errors[0])
+        payloads = rng.standard_normal((2, 16))
+        doomed = [server.submit("mlp", p) for p in payloads]
+        for payload, future in zip(payloads, doomed):
+            result = future.result(timeout=60.0)
+            assert np.array_equal(
+                result.output, server.sequential_reference("mlp", payload)
+            )
 
-        # the hook was one-shot: the next batch runs clean
         payload = rng.standard_normal(16)
         result = server.submit("mlp", payload).result(timeout=60.0)
         assert np.array_equal(
@@ -176,8 +179,9 @@ class TestPoolService:
         assert server.pool.alive == 1
         stats = server.stats()
         server.close()
-        assert stats["requests"]["failed"] == 2
-        assert stats["requests"]["completed"] >= 1
+        assert stats["requests"]["failed"] == 0
+        assert stats["requests"]["retried"] == 2
+        assert stats["requests"]["completed"] == 3
 
     def test_mid_batch_failure_is_contained(self, config):
         """A model that raises fails its own requests; other models on
@@ -291,10 +295,11 @@ class TestMultiChipPool:
     def test_dead_link_fails_batch_with_context_then_pool_recovers(
         self, config
     ):
-        """Seeded dead link injected at checkout: that batch's futures
-        fail with C2cLinkError naming the receiving chip, the link, and
-        the cycle; the next checkout's scrub detaches the error model and
-        the pool serves clean again."""
+        """Seeded dead link injected at checkout: a C2C fault on a
+        2-ring is retryable (no alternate arc to re-route through), so
+        the batch's requests are re-enqueued and the retry runs clean —
+        the next checkout's scrub detached the error model.  Callers see
+        bit-exact answers; the fault shows up as retries, not failures."""
         sharded, x_test = make_sharded_cnn(config)
         server = InferenceServer(
             config, [sharded], n_workers=1, n_chips=2,
@@ -307,14 +312,13 @@ class TestMultiChipPool:
             )
         )
         doomed = [server.submit("sharded", x) for x in x_test[:2]]
-        errors = [f.error(timeout=120.0) for f in doomed]
-        assert all(isinstance(e, C2cLinkError) for e in errors)
-        message = str(errors[0])
-        assert "pool0.c1" in message  # the receiving chip of the ring
-        assert "link" in message
-        assert "cycle" in message
+        for payload, future in zip(x_test[:2], doomed):
+            result = future.result(timeout=120.0)
+            assert np.array_equal(
+                result.output,
+                server.sequential_reference("sharded", payload),
+            )
 
-        # recovery: scrub + clear_error_models at the next checkout
         payload = x_test[2]
         result = server.submit("sharded", payload).result(timeout=120.0)
         assert np.array_equal(
@@ -323,5 +327,6 @@ class TestMultiChipPool:
         assert server.pool.alive == 1
         stats = server.stats()
         server.close()
-        assert stats["requests"]["failed"] == 2
-        assert stats["requests"]["completed"] >= 1
+        assert stats["requests"]["failed"] == 0
+        assert stats["requests"]["retried"] == 2
+        assert stats["requests"]["completed"] == 3
