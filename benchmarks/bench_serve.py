@@ -19,10 +19,16 @@ asserts the differential property end-to-end: every served output must be
 * served throughput >= 2x sequential (full mode only; ``--smoke`` runs a
   down-sized stream where the ratio is noisy but the invariants hold).
 
-Artifact schema (``tsp-serve-bench/1``)::
+The served path executes cache-hit programs through the schedule-replay
+engine (:mod:`repro.sim.replay`): the first execution of each compiled
+program records a fused-kernel plan, and every later batch replays it
+without the event-driven simulator.  ``served.cache.replay_plans`` counts
+the cached programs carrying a usable plan.
+
+Artifact schema (``tsp-serve-bench/2``)::
 
     {
-      "schema": "tsp-serve-bench/1",
+      "schema": "tsp-serve-bench/2",
       "smoke": false,
       "host": {"python": ..., "numpy": ..., "machine": ...},
       "stream": {"requests": N, "models": [...], "arrival_rps": r,
@@ -199,7 +205,7 @@ def main(argv=None) -> int:
     speedup = srv_rps / seq_rps
 
     artifact = {
-        "schema": "tsp-serve-bench/1",
+        "schema": "tsp-serve-bench/2",
         "smoke": args.smoke,
         "host": {
             "python": platform.python_version(),

@@ -90,13 +90,18 @@ def test_paced_program_rate(report_sink, small_config, benchmark):
 
 
 def test_fast_forward_speedup_and_artifact(report_sink, tmp_path):
-    """The acceptance gate: ≥3× on the paced workloads, artifact emitted.
+    """The acceptance gates: fast ≥ slow everywhere, ≥3× on the paced
+    workloads, replay ≥3× over fast, zero lockstep mismatches.
 
-    Measures every workload in both execution cores via
+    Measures every workload in all execution cores via
     :func:`bench_emit.collect` and writes the ``BENCH_sim.json``
-    perf-trajectory artifact next to this file (CI uploads it).  The
-    dense workloads only need to prove fast-forward is not a regression;
-    the paced workloads carry the ≥3× floor.
+    perf-trajectory artifact next to this file (CI uploads it).  Dense
+    programs have nothing to skip, so their gate is that fast-forward is
+    never slower than the cycle-by-cycle core (0.90 absorbs timer
+    noise); the paced workloads carry the ≥3× floor; and the recorded
+    schedule-replay plan must beat the fast-forward core ≥3× on the
+    paced serving shape, with the three-way dense/fast-forward/replay
+    lockstep bit-identical.
     """
     quick = os.environ.get("BENCH_QUICK", "") not in ("", "0")
     payload = bench_emit.collect(quick=quick)
@@ -104,7 +109,7 @@ def test_fast_forward_speedup_and_artifact(report_sink, tmp_path):
     bench_emit.write_artifact(payload, out)
 
     report = ExperimentReport(
-        "housekeeping", "Fast-forward vs cycle-by-cycle core"
+        "housekeeping", "Fast-forward and replay vs cycle-by-cycle core"
     )
     by_name = {w["name"]: w for w in payload["workloads"]}
     for name, w in by_name.items():
@@ -112,16 +117,28 @@ def test_fast_forward_speedup_and_artifact(report_sink, tmp_path):
             f"{name} speedup",
             "—",
             w["speedup"],
-            f"x ({w['skipped_fraction']:.0%} skipped)",
+            f"x ({w['skipped_fraction']:.0%} skipped, "
+            f"replay {w.get('replay_speedup', '—')}x)",
         )
     report_sink.append(report.render())
 
-    for name in ("dense-64", "dense-320"):
-        # dense programs have nothing to skip; fast path must not regress
-        assert by_name[name]["speedup"] > 0.8, by_name[name]
+    # the fast path must never lose to the cycle-by-cycle core — dense
+    # workloads included (the skip probe is gated off when nothing is
+    # quiescent).  Dense runs are parity by construction, so the gate is
+    # a noise-tolerant floor: 0.90 absorbs the timer jitter of a 3-round
+    # median; quick mode has a single round per mode, so its floor is
+    # wider.
+    floor = 0.80 if quick else 0.90
+    for name, w in by_name.items():
+        assert w["speedup"] >= floor, w
     for name in ("paced-64", "paced-320"):
         assert by_name[name]["speedup"] >= 3.0, by_name[name]
         assert by_name[name]["skipped_fraction"] > 0.5, by_name[name]
+    # the schedule-replay gates: ≥3× over fast on the paced workloads
+    # and on the serving chunk shape, bit-identical in three-way lockstep
+    for name in ("paced-64", "paced-320", "serve-64"):
+        assert by_name[name]["replay_speedup"] >= 3.0, by_name[name]
+    assert payload["replay"]["lockstep_ok"], payload["replay"]
 
 
 def test_telemetry_overhead_gate(report_sink, small_config):

@@ -78,8 +78,18 @@ def execute(
     max_cycles: int = 1_000_000,
     warmup_barrier: bool = False,
     fast_forward: bool = True,
+    record: bool = True,
 ) -> ExecutionResult:
-    """Load, bind, run, and read back a compiled program."""
+    """Load, bind, run, and read back a compiled program.
+
+    The first clean execution records a :class:`repro.sim.replay.ReplayPlan`
+    onto ``compiled.replay`` (see :mod:`repro.sim.replay`); later calls with
+    matching run parameters on pristine chips execute the plan directly
+    instead of simulating.  ``record=False`` disables both sides, forcing a
+    real simulation run.
+    """
+    from ..sim import replay as replay_mod
+
     if chip is None:
         chip = TspChip(compiled.config)
     load_compiled(chip, compiled)
@@ -91,14 +101,113 @@ def execute(
     unknown = set(inputs) - set(compiled.inputs)
     if unknown:
         raise SimulationError(f"unknown inputs bound: {sorted(unknown)}")
-    run = chip.run(
-        compiled.program,
-        max_cycles=max_cycles,
-        warmup_barrier=warmup_barrier,
-        fast_forward=fast_forward,
-    )
+
+    plan = compiled.replay if record else None
+    if (
+        plan is not None
+        and plan.fast_forward == fast_forward
+        and replay_mod.replay_allowed(
+            plan, chip, max_cycles=max_cycles, warmup_barrier=warmup_barrier
+        )
+    ):
+        run = plan.replay_into(chip)
+    else:
+        recorder = None
+        if (
+            record
+            and compiled.replay is None
+            and replay_mod.record_allowed(chip)
+        ):
+            recorder = replay_mod.ScheduleRecorder(
+                chip,
+                compiled,
+                warmup_barrier=warmup_barrier,
+                fast_forward=fast_forward,
+            )
+            chip.recorder = recorder
+        try:
+            run = chip.run(
+                compiled.program,
+                max_cycles=max_cycles,
+                warmup_barrier=warmup_barrier,
+                fast_forward=fast_forward,
+            )
+        finally:
+            if recorder is not None:
+                chip.recorder = None
+        if recorder is not None:
+            compiled.replay = recorder.finish(run)
     outputs = {
         name: fetch_output(chip, spec)
         for name, spec in compiled.outputs.items()
     }
     return ExecutionResult(outputs=outputs, run=run)
+
+
+def execute_batched(
+    compiled: CompiledProgram,
+    inputs_list: list[dict[str, np.ndarray]],
+    chip: TspChip | None = None,
+    max_cycles: int = 1_000_000,
+    warmup_barrier: bool = False,
+) -> list[ExecutionResult] | None:
+    """Evaluate B input bindings through the recorded plan in one pass.
+
+    Returns ``None`` when the batch cannot be replayed (no recorded plan,
+    plan unsupported, or the chip is in a state that demands real
+    simulation) — the caller falls back to sequential :func:`execute`
+    calls.  On success the results are bit-identical to B sequential
+    executions; when a chip is given, the B runs' activity and cycle
+    accounting land on it, but its memory is untouched (the batch never
+    materializes per-input SRAM state).
+    """
+    from ..sim import replay as replay_mod
+
+    if not inputs_list:
+        return []
+    plan = compiled.replay
+    if plan is None or not plan.ok:
+        return None
+    if chip is not None:
+        if not replay_mod.replay_allowed(
+            plan, chip, max_cycles=max_cycles, warmup_barrier=warmup_barrier
+        ):
+            return None
+        if chip.trace_enabled:
+            return None
+    elif plan.cycles > max_cycles or warmup_barrier != plan.warmup_barrier:
+        return None
+    outputs_list = plan.run_batched(inputs_list)
+    B = len(inputs_list)
+    if chip is not None:
+        from dataclasses import fields as dc_fields
+
+        chip.activity.stream_hop_bytes = chip.srf.hop_bytes_total
+        for f in dc_fields(plan.activity):
+            if f.name == "stream_hop_bytes":
+                continue
+            setattr(
+                chip.activity,
+                f.name,
+                getattr(chip.activity, f.name)
+                + getattr(plan.activity, f.name) * B,
+            )
+        chip.srf.hop_bytes_total += plan.activity.stream_hop_bytes * B
+        chip.activity.stream_hop_bytes = chip.srf.hop_bytes_total
+        if chip.obs is not None and plan.telemetry is not None:
+            for _ in range(B):
+                chip.obs.merge_state(plan.telemetry)
+    return [
+        ExecutionResult(
+            outputs=outputs,
+            run=RunResult(
+                cycles=plan.cycles,
+                instructions=plan.instructions,
+                activity=plan.activity.copy(),
+                trace=[],
+                ecc_corrections=0,
+                skipped_cycles=plan.skipped,
+            ),
+        )
+        for outputs in outputs_list
+    ]

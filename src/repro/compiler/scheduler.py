@@ -207,6 +207,12 @@ class CompiledProgram:
     #: so one instance can be executed any number of times on any chip of
     #: the same configuration.
     cache_key: str | None = None
+    #: recorded :class:`repro.sim.replay.ReplayPlan`, populated by the
+    #: runner after the first clean execution; rides the compiled program
+    #: (and hence the serving program cache) rather than living in a
+    #: parallel registry.  Excluded from equality: the plan is a derived
+    #: acceleration structure, not part of the program's identity.
+    replay: object | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass

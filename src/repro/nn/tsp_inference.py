@@ -282,9 +282,11 @@ class TspCnnRunner:
         ctx = rtrace.current()
         span_start = ctx.tracer.now_us() if ctx is not None else 0.0
         t0 = time.perf_counter()
+        # without a cache the compiled program dies with this call, so
+        # recording a replay plan onto it would be pure overhead
         result = execute(
             compiled, chip=chip, inputs=inputs, max_cycles=2_000_000,
-            fast_forward=fast_forward,
+            fast_forward=fast_forward, record=cache is not None,
         )
         execute_s = time.perf_counter() - t0
         if ctx is not None:
@@ -315,6 +317,85 @@ class TspCnnRunner:
                     stats.cache_misses += 1
         return result["acc"][:n_rows], result.run.cycles
 
+    def _run_matmul_group(
+        self,
+        layer: CompiledLayer,
+        group: list[np.ndarray],
+        n_prog: int,
+        chip,
+        cache,
+        stats: ChunkRunStats | None,
+        fast_forward: bool,
+        blacklist,
+    ) -> tuple[list[np.ndarray], int] | None:
+        """Run several same-bucket chunks as one batched plan replay.
+
+        Returns ``None`` when the shared program has no usable
+        :class:`~repro.sim.replay.ReplayPlan` yet (or the chip demands
+        real simulation); the caller falls back to the per-chunk loop,
+        whose first execution records the plan for next time.
+        """
+        from ..compiler.runner import execute_batched
+
+        g, bindings = build_chunk_builder(self.config, layer, n_prog)
+        compiled, _key, hit, compile_s = cache.get_or_compile(
+            g, blacklist=blacklist
+        )
+        plan = compiled.replay
+        if plan is None or not plan.ok or plan.fast_forward != fast_forward:
+            return None
+        inputs_list = []
+        for chunk in group:
+            if chunk.shape[0] != n_prog:
+                padded = np.zeros(
+                    (n_prog, chunk.shape[1]), dtype=chunk.dtype
+                )
+                padded[: chunk.shape[0]] = chunk
+            else:
+                padded = chunk
+            inputs_list.append(
+                {name: padded[:, start:end] for name, start, end in bindings}
+            )
+        ctx = rtrace.current()
+        span_start = ctx.tracer.now_us() if ctx is not None else 0.0
+        t0 = time.perf_counter()
+        results = execute_batched(
+            compiled, inputs_list, chip=chip, max_cycles=2_000_000
+        )
+        execute_s = time.perf_counter() - t0
+        if results is None:
+            return None
+        n = len(group)
+        cycles = plan.cycles * n
+        if ctx is not None:
+            ctx.tracer.record_under(
+                ctx, "execute", span_start, ctx.tracer.now_us(),
+                chip=getattr(chip, "chip_id", None),
+                cycles=cycles,
+                clock_ghz=self.config.clock_ghz,
+                args={
+                    "layer": layer.name, "batch": n,
+                    "rows": sum(c.shape[0] for c in group),
+                    "hit": hit, "replay": True,
+                },
+            )
+        if stats is not None:
+            stats.compile_s += compile_s
+            stats.execute_s += execute_s
+            stats.cycles += cycles
+            stats.programs += n
+            if hit:
+                stats.cache_hits += n
+            else:
+                stats.cache_misses += n
+        return (
+            [
+                res.outputs["acc"][: chunk.shape[0]]
+                for res, chunk in zip(results, group)
+            ],
+            cycles,
+        )
+
     def _matrix_forward(
         self,
         layer: CompiledLayer,
@@ -338,14 +419,39 @@ class TspCnnRunner:
             acts_q = self.quantize_boundary(layer, acts)
         chunks = []
         cycles = 0
-        for start in range(0, acts_q.shape[0], self.max_vectors):
-            chunk = acts_q[start : start + self.max_vectors]
-            acc, chunk_cycles = self._run_matmul_chunk(
-                layer, chunk, chip=chip, cache=cache, stats=stats,
-                fast_forward=fast_forward, blacklist=blacklist,
-            )
-            chunks.append(acc)
-            cycles += chunk_cycles
+        starts = list(range(0, acts_q.shape[0], self.max_vectors))
+        i = 0
+        while i < len(starts):
+            group = [acts_q[starts[i] : starts[i] + self.max_vectors]]
+            if cache is not None and chip is not None:
+                # consecutive chunks sharing a pad bucket replay the same
+                # compiled program — batch them through the recorded plan
+                bucket = _pad_bucket(group[0].shape[0], self.max_vectors)
+                while i + len(group) < len(starts):
+                    nxt_start = starts[i + len(group)]
+                    nxt = acts_q[nxt_start : nxt_start + self.max_vectors]
+                    if _pad_bucket(nxt.shape[0], self.max_vectors) != bucket:
+                        break
+                    group.append(nxt)
+                if len(group) >= 2:
+                    batched = self._run_matmul_group(
+                        layer, group, bucket, chip, cache, stats,
+                        fast_forward, blacklist,
+                    )
+                    if batched is not None:
+                        accs, group_cycles = batched
+                        chunks.extend(accs)
+                        cycles += group_cycles
+                        i += len(group)
+                        continue
+            for chunk in group:
+                acc, chunk_cycles = self._run_matmul_chunk(
+                    layer, chunk, chip=chip, cache=cache, stats=stats,
+                    fast_forward=fast_forward, blacklist=blacklist,
+                )
+                chunks.append(acc)
+                cycles += chunk_cycles
+            i += len(group)
         acc = np.vstack(chunks).astype(np.float64)
         out = acc * (layer.in_scale * layer.weight_scale) + layer.bias
         if layer.relu:

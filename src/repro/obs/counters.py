@@ -518,6 +518,63 @@ class TelemetryCollector:
             prev = d
 
     # ------------------------------------------------------------------
+    # state transfer (schedule replay)
+    # ------------------------------------------------------------------
+    @property
+    def is_fresh(self) -> bool:
+        """True while no counter, scalar, or dispatch has been observed."""
+        return (
+            not self._windows
+            and not self._high
+            and not self._low
+            and self.cycles == 0
+            and not self.dispatch_log
+        )
+
+    def export_state(self) -> dict:
+        """Detached copy of the full counter state, for replay plans.
+
+        The export of a collector that observed exactly one run is the
+        run's telemetry delta; :meth:`merge_state` folds it into another
+        collector of the same window width as if that collector had
+        observed the run itself.
+        """
+        return {
+            "windows": {
+                key: dict(buckets)
+                for key, buckets in self._windows.items()
+            },
+            "high": dict(self._high),
+            "low": dict(self._low),
+            "cycles": self.cycles,
+            "dispatch_log": list(self.dispatch_log),
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold an :meth:`export_state` image into this collector.
+
+        Additive counters merge window-by-window through :meth:`_bucket`
+        so the hot-path caches keep pointing at the live dicts; high/low
+        marks merge by extremum (they are absolute, not deltas).
+        """
+        totals = self._totals
+        for key, windows in state["windows"].items():
+            buckets = self._bucket(key)
+            added = 0
+            for w, v in windows.items():
+                buckets[w] = buckets.get(w, 0) + v
+                added += v
+            totals[key] += added
+        for key, value in state["high"].items():
+            if key not in self._high or value > self._high[key]:
+                self._high[key] = value
+        for key, value in state["low"].items():
+            if key not in self._low or value < self._low[key]:
+                self._low[key] = value
+        self.cycles += state["cycles"]
+        self.dispatch_log.extend(state["dispatch_log"])
+
+    # ------------------------------------------------------------------
     # read-out
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -207,6 +207,14 @@ class ProgramCache:
             return {
                 "capacity": self.capacity,
                 "resident": len(self._programs),
+                # programs that have recorded a schedule-replay plan
+                # (repro.sim.replay) and serve cache hits without the
+                # event-driven simulator
+                "replay_plans": sum(
+                    1
+                    for p in self._programs.values()
+                    if getattr(getattr(p, "replay", None), "ok", False)
+                ),
                 "hits": self.stats.hits,
                 "misses": self.stats.misses,
                 "evictions": self.stats.evictions,

@@ -168,10 +168,16 @@ class PoolWorker(threading.Thread):
         with self._hook_lock:
             hooks, self._checkout_hooks = self._checkout_hooks, []
         target = self.hardware
+        hooks.extend(self.pool._faults_for(target))
         for hook in hooks:
             hook(target)
-        for hook in self.pool._faults_for(target):
-            hook(target)
+        if hooks:
+            # a fault hook may perturb state the replay pristine check
+            # cannot see (direct storage writes, armed timers) — force
+            # real simulation for this checkout.  The next scrub clears
+            # the flag along with the fault.
+            for chip in getattr(target, "chips", [target]):
+                chip.external_fault_hooks = True
 
     # ------------------------------------------------------------------
     def _health_flagged(self) -> str | None:

@@ -118,6 +118,14 @@ class TspChip:
         self.now = 0
         #: runtime invariant checkers (see repro.verify.invariants)
         self.checkers: list = []
+        #: attached schedule recorder (repro.sim.replay), or None
+        self.recorder = None
+        #: count of host-injected hardware faults since the last scrub;
+        #: non-zero disqualifies the chip from schedule replay
+        self.faults_injected = 0
+        #: set by the serving pool when persistent hardware-fault hooks
+        #: were applied at checkout; cleared by scrub()
+        self.external_fault_hooks = False
         #: attached telemetry collector (repro.obs), or None — every
         #: instrumentation site in the simulator guards on this, so a chip
         #: without a collector runs zero telemetry code
@@ -130,6 +138,9 @@ class TspChip:
         self._units: dict[SliceAddress, FunctionalUnit] = {}
         for address in self.floorplan.slices:
             self._units[address] = self._make_unit(address)
+        self._mem_units = [
+            u for u in self._units.values() if isinstance(u, MemSliceUnit)
+        ]
 
         if TspChip.auto_telemetry is not None:
             TspChip.auto_telemetry.register(self)
@@ -168,6 +179,10 @@ class TspChip:
         assert isinstance(unit, C2cUnit)
         return unit
 
+    def mem_units(self) -> list[MemSliceUnit]:
+        """All 88 MEM slices, in floorplan order."""
+        return self._mem_units
+
     # ------------------------------------------------------------------
     def set_superlane_power(self, superlane: int, on: bool) -> None:
         if not 0 <= superlane < self.config.n_superlanes:
@@ -186,6 +201,8 @@ class TspChip:
             )
         if self.obs is not None:
             self.obs.on_dispatch(cycle, icu, instruction)
+        if self.recorder is not None:
+            self.recorder.on_dispatch(icu, instruction, cycle)
         for checker in self.checkers:
             checker.on_dispatch(cycle, str(icu), instruction)
 
@@ -270,6 +287,8 @@ class TspChip:
     def _notify_drive(
         self, direction: Direction, stream: int, position: int
     ) -> None:
+        if self.recorder is not None:
+            self.recorder.on_drive(direction, stream, position)
         for checker in self.checkers:
             checker.on_drive(self.now, direction, stream, position)
 
@@ -378,10 +397,11 @@ class TspChip:
                         f"program did not finish within {max_cycles} cycles"
                     )
                 self.now = cycle
-                self.events.run_phase(cycle, Phase.DRIVE)
+                drives = self.events.run_phase(cycle, Phase.DRIVE)
+                dispatch_before = self.activity.instructions
                 for queue in queues:
                     queue.step(cycle)
-                self.events.run_phase(cycle, Phase.CAPTURE)
+                captures = self.events.run_phase(cycle, Phase.CAPTURE)
                 self.srf.step(cycle)
                 self.activity.cycles += 1
 
@@ -410,7 +430,14 @@ class TspChip:
                             raise SimulationError(
                                 "barrier deadlock: Sync parked with no Notify"
                             )
-                if fast_forward:
+                # only a quiet cycle (no event fired, no dispatch) can open
+                # a quiescent span worth skipping; dense workloads never
+                # pay the next_active_cycle scan at all
+                if fast_forward and (
+                    drives == 0
+                    and captures == 0
+                    and self.activity.instructions == dispatch_before
+                ):
                     nxt = self.next_active_cycle(queues, cycle)
                     # no candidate: every live queue is parked with no
                     # release in sight — single-step, preserving the slow
@@ -583,6 +610,9 @@ class TspChip:
         self.weights_installed_bytes = 0
         self.now = 0
         self.checkers.clear()
+        self.recorder = None
+        self.faults_injected = 0
+        self.external_fault_hooks = False
         self.disarm_watchdog()
         self.detach_telemetry()
 

@@ -205,6 +205,9 @@ class MemSliceUnit(FunctionalUnit):
             if not self._checks_valid[address]:
                 self._store_checks(address)
             checks = self.checks[address].copy()
+        recorder = self.chip.recorder
+        if recorder is not None and recorder.active:
+            recorder.mem_read(self, instruction, cycle + self.dfunc(instruction))
         self.drive_at(
             cycle + self.dfunc(instruction),
             instruction.direction,
@@ -225,6 +228,9 @@ class MemSliceUnit(FunctionalUnit):
         )
 
         def _commit(vector: np.ndarray) -> None:
+            recorder = self.chip.recorder
+            if recorder is not None and recorder.active:
+                recorder.mem_write(self, instruction, sample_cycle, vector)
             self.storage[instruction.address] = vector
             if self.chip.srf_ecc_enabled:
                 self._store_checks(instruction.address)
@@ -323,3 +329,4 @@ class MemSliceUnit(FunctionalUnit):
         lane0 = superlane * self.chip.config.lanes_per_superlane
         byte, bitpos = divmod(local_bit, 8)
         self.storage[address, lane0 + byte] ^= np.uint8(1 << bitpos)
+        self.chip.faults_injected += 1

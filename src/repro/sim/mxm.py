@@ -70,8 +70,23 @@ class MxmUnit(FunctionalUnit):
         # results, and K-tile accumulators all belong to the previous
         # program; a checked-out chip starts with dark planes
         lanes = self.chip.config.n_lanes
+        cols = self.chip.config.mxm_plane_cols
+        if not any(self._staging_bytes.values()) and all(
+            p.weights is None
+            and p.staging is None
+            and not p.results
+            and not p.accumulators
+            and p.next_result_slot == 0
+            and p.next_drain_slot == 0
+            and not p.tandem_busy
+            and p.rows == lanes
+            and p.cols == cols
+            and p.dtype is DType.INT8
+            for p in self.planes
+        ):
+            return  # planes are already dark — nothing to reset
         self.planes = [
-            MxmPlane(rows=lanes, cols=self.chip.config.mxm_plane_cols)
+            MxmPlane(rows=lanes, cols=cols)
             for _ in range(2)
         ]
         self._staging_bytes = {0: bytearray(), 1: bytearray()}
@@ -93,14 +108,23 @@ class MxmUnit(FunctionalUnit):
     def _exec_lw(self, instruction: LoadWeights, cycle: int) -> None:
         plane = self.planes[instruction.plane]
         lanes = self.chip.config.n_lanes
+        sample = cycle + self.dskew(instruction)
 
         def _stage(vector: np.ndarray) -> None:
+            recorder = self.chip.recorder
+            if recorder is not None and recorder.active:
+                ref = recorder.resolve(
+                    sample, instruction.direction, instruction.stream,
+                    self.position, vector,
+                )
+                if ref[0] == "s":
+                    recorder.fail("input-derived LW weight load")
             if plane.staging is None:
                 plane.staging = np.zeros((lanes, lanes), dtype=np.uint8)
             plane.staging[instruction.row % lanes] = vector
 
         self.capture_at(
-            cycle + self.dskew(instruction),
+            sample,
             instruction.direction,
             instruction.stream,
             _stage,
@@ -135,7 +159,19 @@ class MxmUnit(FunctionalUnit):
         done_cycle = cycle + self.dskew(instruction) + n_cycles - 1
 
         for c in range(n_cycles):
-            def _absorb(vectors: list[np.ndarray], last=(c == n_cycles - 1)) -> None:
+            def _absorb(
+                vectors: list[np.ndarray],
+                last=(c == n_cycles - 1),
+                when=cycle + self.dskew(instruction) + c,
+            ) -> None:
+                recorder = self.chip.recorder
+                if recorder is not None and recorder.active:
+                    refs = recorder.operand_refs(
+                        self, when, instruction.direction,
+                        instruction.base_stream, vectors,
+                    )
+                    if any(r[0] == "s" for r in refs):
+                        recorder.fail("input-derived IW weight install")
                 for v in vectors:
                     staging.extend(v.tobytes())
                 if last:
@@ -205,6 +241,13 @@ class MxmUnit(FunctionalUnit):
                     raise SimulationError(
                         f"{self.address}: ABC with no installed weights"
                     )
+                recorder = self.chip.recorder
+                if recorder is not None and recorder.active:
+                    refs = recorder.operand_refs(
+                        self, when, instruction.direction,
+                        instruction.base_stream, planes_bytes,
+                    )
+                    recorder.mxm_compute(plane, instruction.dtype, refs)
                 result = self._dot(plane, instruction.dtype, planes_bytes)
                 plane.results.append((when + depth, result))
                 self.chip.activity.macc_ops += plane.rows * plane.cols
@@ -260,12 +303,21 @@ class MxmUnit(FunctionalUnit):
                 plane.results.popleft()
                 slot = plane.next_drain_slot % max(instruction.n_vectors, 1)
                 plane.next_drain_slot += 1
+                recorder = self.chip.recorder
+                if recorder is not None and recorder.active:
+                    recorder.pending_emit = recorder.mxm_drain(
+                        plane, slot, value, instruction.accumulate,
+                        slot in plane.accumulators,
+                        plane.accumulators.get(slot),
+                    )
                 if instruction.accumulate and slot in plane.accumulators:
                     value = value + plane.accumulators[slot]
                 plane.accumulators[slot] = value
                 if instruction.emit:
                     self._emit(plane, instruction, value, out)
                     plane.accumulators.pop(slot, None)
+                    if recorder is not None and recorder.active:
+                        recorder.mxm_clear_acc(plane, slot)
 
             self.chip.events.schedule(drain, Phase.CAPTURE, _drain)
 
@@ -276,6 +328,13 @@ class MxmUnit(FunctionalUnit):
         value: np.ndarray,
         cycle: int,
     ) -> None:
+        recorder = self.chip.recorder
+        if recorder is not None and recorder.active:
+            recorder.mxm_emit(
+                self, plane, instruction, recorder.pending_emit, cycle,
+                instruction.out_dtype,
+            )
+            recorder.pending_emit = None
         lanes = self.chip.config.n_lanes
         if instruction.out_dtype is DType.INT32:
             narrowed = np.clip(value, -(2**31), 2**31 - 1).astype(np.int32)

@@ -1,0 +1,797 @@
+"""Deterministic schedule replay: record a program's plan once, re-run data.
+
+The TSP has no dynamic behaviour (paper Sections I, IV-F): the compiler
+knows the cycle-exact schedule ahead of time, so a program's execution is a
+pure, input-invariant *plan* over which only data varies.  This module
+exploits that literally.  On the first execution of a
+:class:`~repro.compiler.scheduler.CompiledProgram`, a
+:class:`ScheduleRecorder` hooks the simulator and folds the resolved
+operation stream into a linear :class:`ReplayPlan` of fused numpy kernels;
+subsequent executions with new inputs run the plan directly — no ICU
+queues, no event heap, no per-cycle SRF stepping — and a batched entry
+point evaluates B inputs in one pass along a leading batch axis.
+
+Correctness strategy (fail closed):
+
+* **Taint-based constant folding.**  The words holding program inputs seed
+  a taint set.  Values derived (through streams, the VXM/SXM/MXM, or MEM
+  round-trips) from tainted words are recorded as dataflow ops over
+  *slots*; everything else is input-invariant and folds to the constant
+  observed during recording.  A read of a word that is neither tainted nor
+  known (memory image / written earlier in the run) marks the plan
+  unsupported, so replay never bakes in stale tenant state.
+* **Diagonal provenance.**  A stream value driven at position ``p`` on
+  cycle ``c`` flows along the diagonal ``c - p`` (eastward; ``c + p``
+  westward).  Producers of tainted values *announce* their drives;
+  consumers resolve a captured value to the announced entry with the
+  largest drive cycle ``<=`` the capture cycle, or fold it to a constant.
+  Constant drives landing on a tainted diagonal register shadow entries so
+  later constants correctly occlude earlier tainted values.
+* **ISA whitelist.**  Any dispatch outside the supported set (``Gather``,
+  ``Scatter``, ``Config``, C2C transfers) marks the plan unsupported; the
+  recording run itself is never disturbed.
+* **Bypass predicate.**  :func:`replay_allowed` refuses to replay onto a
+  chip with checkers, armed watchdogs, error models, dead slices, injected
+  faults, disabled superlanes or attached hardware-fault hooks — faulty
+  runs need the real machine.
+
+Observability is derived, not lost: the plan carries the recorded trace
+events, the telemetry-counter delta (mergeable into a fresh
+:class:`~repro.obs.counters.TelemetryCollector` of the same window), the
+exact cycle count and the activity-counter delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from collections import deque
+from typing import Any, Callable
+
+import numpy as np
+
+from ..arch.geometry import Direction, Hemisphere
+from ..arch.streams import DType, join_byte_planes, split_to_byte_planes
+from ..errors import SimulationError
+from ..isa.icu import Ifetch, Nop, Notify, Repeat, Sync
+from ..isa.mem import Read, Write
+from ..isa.mxm import (
+    Accumulate,
+    ActivationBufferControl,
+    InstallWeights,
+    LoadWeights,
+)
+from ..isa.sxm import Distribute, Permute, Rotate, Select, Shift, Transpose
+from ..isa.vxm import BinaryOp, Convert, UnaryOp
+from . import alu
+from .chip import RunResult, TraceEvent
+
+_DIR_INDEX = {Direction.EASTWARD: 0, Direction.WESTWARD: 1}
+
+#: instruction classes whose simulation effects the recorder understands.
+#: ``Config`` is deliberately absent (it flips superlane power mid-run,
+#: which would invalidate the recorded lane masks), as are Gather/Scatter
+#: (data-dependent addressing) and the C2C transfer set.
+_SUPPORTED = (
+    Read, Write,
+    UnaryOp, BinaryOp, Convert,
+    Shift, Select, Permute, Distribute, Rotate, Transpose,
+    LoadWeights, InstallWeights, ActivationBufferControl, Accumulate,
+    Nop, Sync, Notify, Ifetch, Repeat,
+)
+
+
+def _diag(direction: Direction, cycle: int, position: int) -> int:
+    if direction is Direction.EASTWARD:
+        return cycle - position
+    return cycle + position
+
+
+def probe_gather(
+    transform: Callable[[np.ndarray], np.ndarray], lanes: int
+) -> tuple[np.ndarray, np.ndarray | None] | None:
+    """Derive the (src_lane, zero_mask) of a pure gather-with-zero-fill.
+
+    SXM shifts/permutes/distributes are data-independent lane gathers that
+    may zero-fill some outputs.  Probing with the low and high bytes of
+    ``lane_index + 1`` recovers the mapping; a third probe verifies the
+    transform really is a gather (anything else marks it unusable).
+    """
+    idx = np.arange(1, lanes + 1, dtype=np.int64)
+    lo = transform((idx & 0xFF).astype(np.uint8)).astype(np.int64)
+    hi = transform((idx >> 8).astype(np.uint8)).astype(np.int64)
+    code = (hi << 8) | lo
+    zero = code == 0
+    src = np.clip(code - 1, 0, lanes - 1)
+    check_in = ((idx * 37 + 11) & 0xFF).astype(np.uint8)
+    expect = transform(check_in)
+    got = check_in[src].copy()
+    got[zero] = 0
+    if not np.array_equal(got, expect):
+        return None
+    return src, (zero if bool(zero.any()) else None)
+
+
+# ---------------------------------------------------------------------------
+# recorder
+# ---------------------------------------------------------------------------
+
+
+class ScheduleRecorder:
+    """Hooks the simulator during one run and folds it into a ReplayPlan.
+
+    Attach via ``chip.recorder`` *before* ``chip.run``; call
+    :meth:`finish` with the returned :class:`RunResult` afterwards.  The
+    recorder never alters the recorded run — on anything it cannot prove
+    input-invariant it flips to ``failed`` and keeps mirroring cheaply so
+    the run completes untouched.
+    """
+
+    def __init__(self, chip, compiled, *, warmup_barrier: bool,
+                 fast_forward: bool) -> None:
+        self.chip = chip
+        self.compiled = compiled
+        self.warmup_barrier = warmup_barrier
+        self.fast_forward = fast_forward
+        self.failed: str | None = None
+        self.lanes = chip.config.n_lanes
+        self.ops: list[tuple] = []
+        self.n_slots = 0
+        # word key -> tainted (input-derived) right now
+        self.tainted: set[tuple] = set()
+        # word keys whose pre-read value is reproduced at replay time
+        # (memory image or constant-written during the run)
+        self.known: set[tuple] = set()
+        self.in_words: list[tuple] = []
+        # (dir_idx, stream, diagonal) -> [(drive_cycle, slot | None)]
+        self._diag: dict[tuple, list] = {}
+        # (position, cycle, dir_idx, stream) drives already announced
+        self._announced: set[tuple] = set()
+        # id(plane) -> deque of pending result refs (None == constant)
+        self._mxm_results: dict[int, deque] = {}
+        # (id(plane), acc slot) -> ref | None for live accumulators
+        self._mxm_acc: dict[tuple, Any] = {}
+        self._mxm_planes: list = []
+        self.trace: list[TraceEvent] = []
+        self.pending_emit: Any = None
+        self._corr_start = chip.srf.corrections
+        for name, spec in compiled.inputs.items():
+            n_planes = 1 if spec.layout.is_parallel else spec.dtype.n_bytes
+            for p in range(n_planes):
+                for j in range(spec.n_vectors):
+                    hem, s, a = spec.layout.address_of(p, j)
+                    key = (hem, s, a)
+                    self.tainted.add(key)
+                    self.in_words.append((name, p, j, key))
+        for word in compiled.memory_image:
+            self.known.add((word.hemisphere, word.slice_index, word.address))
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.failed is None
+
+    def fail(self, reason: str) -> None:
+        if self.failed is None:
+            self.failed = reason
+
+    def _new_slot(self) -> int:
+        slot = self.n_slots
+        self.n_slots += 1
+        return slot
+
+    def resolve(self, cycle: int, direction: Direction, stream: int,
+                position: int, value: np.ndarray) -> tuple:
+        """Map a captured stream value to a slot ref or fold a constant."""
+        d = _DIR_INDEX[direction]
+        entries = self._diag.get((d, stream, _diag(direction, cycle, position)))
+        if entries:
+            best_c = -1
+            best_ref = None
+            for c0, ref in entries:
+                if c0 <= cycle and c0 > best_c:
+                    best_c = c0
+                    best_ref = ref
+            if best_ref is not None:
+                return ("s", best_ref)
+        return ("c", np.asarray(value, dtype=np.uint8).copy())
+
+    def announce(self, position: int, cycle: int, direction: Direction,
+                 stream: int, slot: int) -> None:
+        """Register a tainted drive scheduled for (cycle, direction, stream)."""
+        if self.failed is not None:
+            return
+        d = _DIR_INDEX[direction]
+        key = (d, stream, _diag(direction, cycle, position))
+        self._diag.setdefault(key, []).append((cycle, slot))
+        self._announced.add((position, cycle, d, stream))
+
+    # -- chip-level hooks --------------------------------------------------
+
+    def on_dispatch(self, icu, instruction, cycle: int) -> None:
+        self.trace.append(
+            TraceEvent(cycle, str(icu), instruction.mnemonic, str(instruction))
+        )
+        if self.failed is None and not isinstance(instruction, _SUPPORTED):
+            self.fail(f"unsupported instruction {instruction.mnemonic}")
+
+    def on_drive(self, direction: Direction, stream: int,
+                 position: int) -> None:
+        """Every SRF drive; shadows tainted diagonals hit by constants."""
+        if self.failed is not None:
+            return
+        cycle = self.chip.now
+        d = _DIR_INDEX[direction]
+        if (position, cycle, d, stream) in self._announced:
+            return
+        entries = self._diag.get((d, stream, _diag(direction, cycle, position)))
+        if entries is not None:
+            entries.append((cycle, None))
+
+    # -- MEM ---------------------------------------------------------------
+
+    def mem_read(self, unit, instruction, drive_cycle: int) -> None:
+        key = (unit.address.hemisphere, unit.address.index, instruction.address)
+        if key in self.tainted:
+            slot = self._new_slot()
+            self.ops.append(("read", slot, key))
+            self.announce(unit.position, drive_cycle, instruction.direction,
+                          instruction.stream, slot)
+        elif key not in self.known:
+            self.fail(f"read of unplaced word {key}")
+
+    def mem_write(self, unit, instruction, sample_cycle: int,
+                  vector: np.ndarray) -> None:
+        key = (unit.address.hemisphere, unit.address.index, instruction.address)
+        ref = self.resolve(sample_cycle, instruction.direction,
+                           instruction.stream, unit.position, vector)
+        if ref[0] == "s":
+            self.ops.append(("write", key, ref))
+            self.tainted.add(key)
+        else:
+            self.ops.append(("wconst", key, ref[1]))
+            self.tainted.discard(key)
+            self.known.add(key)
+
+    # -- VXM ---------------------------------------------------------------
+
+    def operand_refs(self, unit, sample: int, direction: Direction,
+                     base_stream: int, planes: list) -> list:
+        return [
+            self.resolve(sample, direction, base_stream + k, unit.position,
+                         planes[k])
+            for k in range(len(planes))
+        ]
+
+    def vxm_op(self, unit, op_tuple: tuple, out_dtype: DType, out_cycle: int,
+               out_direction: Direction, out_base_stream: int) -> None:
+        slots = [self._new_slot() for _ in range(out_dtype.n_streams)]
+        self.ops.append(op_tuple + (out_dtype, slots))
+        for k, slot in enumerate(slots):
+            self.announce(unit.position, out_cycle, out_direction,
+                          out_base_stream + k, slot)
+
+    # -- SXM ---------------------------------------------------------------
+
+    def sxm_route(self, unit, in_refs: list, src_input, src_lane, zero_mask,
+                  out_cycle: int, out_direction: Direction,
+                  out_stream: int) -> None:
+        slot = self._new_slot()
+        self.ops.append(("route", slot, list(in_refs), src_input, src_lane,
+                         zero_mask))
+        self.announce(unit.position, out_cycle, out_direction, out_stream,
+                      slot)
+
+    # -- MXM ---------------------------------------------------------------
+
+    def mxm_track(self, plane) -> deque:
+        q = self._mxm_results.get(id(plane))
+        if q is None:
+            q = deque()
+            self._mxm_results[id(plane)] = q
+            self._mxm_planes.append(plane)
+        return q
+
+    def mxm_compute(self, plane, dtype: DType, refs: list) -> None:
+        q = self.mxm_track(plane)
+        if all(r[0] == "c" for r in refs):
+            q.append(None)
+            return
+        if plane.weights is None:
+            self.fail("tainted MXM compute with no installed weights")
+            return
+        slot = self._new_slot()
+        if dtype is DType.FP16:
+            w = plane.weights.astype(np.float32)
+        else:
+            w = plane.weights.astype(np.int64)
+        self.ops.append(("dot", slot, dtype, plane.rows, w, list(refs)))
+        q.append(("s", slot))
+
+    def mxm_drain(self, plane, slot_idx: int, psum_value, accumulate: bool,
+                  acc_present: bool, acc_value) -> Any:
+        """Mirror one ACC drain; returns the ref of the post-drain value."""
+        q = self.mxm_track(plane)
+        if not q:
+            self.fail("MXM result mirror underflow")
+            return None
+        psum_ref = q.popleft()
+        key = (id(plane), slot_idx)
+        acc_ref = self._mxm_acc.get(key)
+        if accumulate and acc_present:
+            if psum_ref is None and acc_ref is None:
+                combined = None
+            else:
+                out = self._new_slot()
+                a = psum_ref if psum_ref is not None else \
+                    ("c", np.asarray(psum_value).copy())
+                b = acc_ref if acc_ref is not None else \
+                    ("c", np.asarray(acc_value).copy())
+                self.ops.append(("acc", out, a, b))
+                combined = ("s", out)
+        else:
+            combined = psum_ref
+        self._mxm_acc[key] = combined
+        return combined
+
+    def mxm_clear_acc(self, plane, slot_idx: int) -> None:
+        self._mxm_acc.pop((id(plane), slot_idx), None)
+
+    def mxm_emit(self, unit, plane, instruction, ref, cycle: int,
+                 out_dtype: DType) -> None:
+        if ref is None:
+            return
+        slots = [self._new_slot() for _ in range(out_dtype.n_streams)]
+        self.ops.append(("emit", slots, ref, out_dtype))
+        for offset, slot in enumerate(slots):
+            self.announce(unit.position, cycle, instruction.direction,
+                          instruction.base_stream + offset, slot)
+
+    # -- finish ------------------------------------------------------------
+
+    def finish(self, run: RunResult) -> "ReplayPlan":
+        chip = self.chip
+        if self.failed is None and run.ecc_corrections:
+            self.fail("ECC corrections during recording run")
+        if self.failed is None and chip.srf.corrections != self._corr_start:
+            self.fail("stream ECC corrections during recording run")
+        if self.failed is None:
+            for q in self._mxm_results.values():
+                if q:
+                    self.fail("undrained MXM results at end of run")
+                    break
+        if self.failed is None:
+            for ref in self._mxm_acc.values():
+                if ref is not None:
+                    self.fail("tainted MXM accumulator left at end of run")
+                    break
+        plan = ReplayPlan(
+            ok=self.failed is None,
+            reason=self.failed,
+            cache_key=getattr(self.compiled, "cache_key", None),
+            config=chip.config,
+            timing=chip.timing,
+            ecc_enabled=chip.srf_ecc_enabled,
+            warmup_barrier=self.warmup_barrier,
+            fast_forward=self.fast_forward,
+            lanes=self.lanes,
+            cycles=run.cycles,
+            final_now=chip.now,
+            skipped=run.skipped_cycles,
+            instructions=run.instructions,
+            activity=run.activity.copy(),
+            trace=self.trace,
+            ops=self.ops,
+            n_slots=self.n_slots,
+            in_words=self.in_words,
+            inputs=dict(self.compiled.inputs),
+            outputs=dict(self.compiled.outputs),
+        )
+        if not plan.ok:
+            plan.ops = []
+            plan.trace = []
+            return plan
+        if chip.obs is not None:
+            plan.telemetry = chip.obs.export_state()
+            plan.telemetry_window = chip.obs.window_cycles
+        for name, spec in self.compiled.outputs.items():
+            n_planes = 1 if spec.layout.is_parallel else spec.dtype.n_bytes
+            words = []
+            for p in range(n_planes):
+                for j in range(spec.n_vectors):
+                    hem, s, a = spec.layout.address_of(p, j)
+                    key = (hem, s, a)
+                    if key in self.tainted:
+                        words.append(("t", key))
+                    else:
+                        unit = chip.mem_unit(hem, s)
+                        if unit._storage is None:
+                            data = np.zeros(self.lanes, dtype=np.uint8)
+                        else:
+                            data = unit._storage[a].copy()
+                        words.append(("c", data))
+            plan.out_words[name] = words
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# plan
+# ---------------------------------------------------------------------------
+
+
+def _load(values: list, ref: tuple) -> np.ndarray:
+    return values[ref[1]] if ref[0] == "s" else ref[1]
+
+
+def _join_refs(values: list, refs: list, dtype: DType,
+               B: int | None) -> np.ndarray:
+    vals = [_load(values, r) for r in refs]
+    if B is not None and any(v.ndim == 2 for v in vals):
+        lanes = max(v.shape[-1] for v in vals)
+        vals = [
+            np.broadcast_to(v, (B, lanes)) if v.ndim == 1 else v
+            for v in vals
+        ]
+        stacked = np.stack(vals, axis=2)
+        return np.ascontiguousarray(stacked).view(dtype.numpy_dtype)\
+            .reshape(B, -1)
+    return join_byte_planes(vals, dtype)
+
+
+def _store_planes(values: list, z: np.ndarray, out_dtype: DType,
+                  slots: list) -> None:
+    if z.ndim == 2:
+        arr = np.ascontiguousarray(z, dtype=out_dtype.numpy_dtype)
+        raw = arr.view(np.uint8).reshape(
+            arr.shape[0], arr.shape[1], out_dtype.n_bytes
+        )
+        planes = [
+            np.ascontiguousarray(raw[:, :, b])
+            for b in range(out_dtype.n_bytes)
+        ]
+    else:
+        planes = split_to_byte_planes(
+            np.asarray(z, dtype=out_dtype.numpy_dtype), out_dtype
+        )
+    for slot, plane in zip(slots, planes):
+        values[slot] = plane
+
+
+@dataclass
+class ReplayPlan:
+    """The recorded, input-invariant execution plan of one program."""
+
+    ok: bool
+    reason: str | None
+    cache_key: object
+    config: object
+    timing: object
+    ecc_enabled: bool
+    warmup_barrier: bool
+    fast_forward: bool
+    lanes: int
+    cycles: int
+    final_now: int
+    skipped: int
+    instructions: int
+    activity: object
+    trace: list = field(repr=False, default_factory=list)
+    ops: list = field(repr=False, default_factory=list)
+    n_slots: int = 0
+    in_words: list = field(repr=False, default_factory=list)
+    out_words: dict = field(repr=False, default_factory=dict)
+    inputs: dict = field(repr=False, default_factory=dict)
+    outputs: dict = field(repr=False, default_factory=dict)
+    telemetry: dict | None = field(repr=False, default=None)
+    telemetry_window: int | None = None
+    #: number of times this plan has been replayed (single + batched)
+    replays: int = 0
+
+    # -- kernel interpreter ------------------------------------------------
+
+    def _execute_ops(self, values: list, mem_read, mem_write,
+                     B: int | None) -> None:
+        lanes = self.lanes
+        for op in self.ops:
+            tag = op[0]
+            if tag == "read":
+                _, slot, key = op
+                values[slot] = mem_read(key)
+            elif tag == "write":
+                _, key, ref = op
+                mem_write(key, _load(values, ref), False)
+            elif tag == "wconst":
+                _, key, data = op
+                mem_write(key, data, True)
+            elif tag == "vxm1":
+                _, alu_op, dtype, in_refs, out_dtype, slots = op
+                x = _join_refs(values, in_refs, dtype, B)
+                z = alu.apply_unary(alu_op, dtype, x)
+                _store_planes(values, z, out_dtype, slots)
+            elif tag == "vxm2":
+                _, alu_op, dtype, x_refs, y_refs, out_dtype, slots = op
+                x = _join_refs(values, x_refs, dtype, B)
+                y = _join_refs(values, y_refs, dtype, B)
+                z = alu.apply_binary(alu_op, dtype, x, y)
+                _store_planes(values, z, out_dtype, slots)
+            elif tag == "vxmc":
+                _, from_dtype, to_dtype, scale, in_refs, out_dtype, slots = op
+                x = _join_refs(values, in_refs, from_dtype, B)
+                z = alu.apply_convert(from_dtype, to_dtype, scale, x)
+                _store_planes(values, z, out_dtype, slots)
+            elif tag == "route":
+                _, slot, in_refs, src_input, src_lane, zero_mask = op
+                if B is None:
+                    if src_input is None:
+                        out = _load(values, in_refs[0])[src_lane]
+                    else:
+                        stacked = np.stack(
+                            [_load(values, r) for r in in_refs]
+                        )
+                        out = stacked[src_input, src_lane]
+                else:
+                    vals = [_load(values, r) for r in in_refs]
+                    vals = [
+                        np.broadcast_to(v, (B, lanes)) if v.ndim == 1 else v
+                        for v in vals
+                    ]
+                    if src_input is None:
+                        out = vals[0][:, src_lane]
+                    else:
+                        stacked = np.stack(vals, axis=1)
+                        out = stacked[:, src_input, src_lane]
+                if zero_mask is not None:
+                    out[..., zero_mask] = 0
+                values[slot] = out
+            elif tag == "dot":
+                _, slot, dtype, rows, w, refs = op
+                if dtype is DType.FP16:
+                    if B is None:
+                        raw = np.stack(
+                            [_load(values, refs[0]), _load(values, refs[1])],
+                            axis=1,
+                        ).reshape(-1)
+                        a = raw.view(np.float16)[:rows].astype(np.float32)
+                        values[slot] = (w.T @ a).astype(np.float64)
+                    else:
+                        p0 = np.ascontiguousarray(np.broadcast_to(
+                            _load(values, refs[0]), (B, lanes)))
+                        p1 = np.ascontiguousarray(np.broadcast_to(
+                            _load(values, refs[1]), (B, lanes)))
+                        out = np.empty((B, w.shape[1]), dtype=np.float64)
+                        for b in range(B):
+                            raw = np.stack([p0[b], p1[b]], axis=1).reshape(-1)
+                            a = raw.view(np.float16)[:rows]\
+                                .astype(np.float32)
+                            out[b] = (w.T @ a).astype(np.float64)
+                        values[slot] = out
+                else:
+                    plane0 = _load(values, refs[0])
+                    if B is None:
+                        a = plane0.view(np.int8)[:rows].astype(np.int64)
+                        values[slot] = w.T @ a
+                    else:
+                        p0 = np.ascontiguousarray(
+                            np.broadcast_to(plane0, (B, lanes)))
+                        a = p0.view(np.int8)[:, :rows].astype(np.int64)
+                        values[slot] = a @ w
+            elif tag == "acc":
+                _, out_slot, ref_a, ref_b = op
+                values[out_slot] = _load(values, ref_a) + _load(values, ref_b)
+            elif tag == "emit":
+                _, slots, ref, out_dtype = op
+                value = _load(values, ref)
+                if out_dtype is DType.INT32:
+                    narrowed = np.clip(
+                        value, -(2 ** 31), 2 ** 31 - 1
+                    ).astype(np.int32)
+                else:
+                    narrowed = value.astype(np.float32)
+                if narrowed.ndim == 2:
+                    padded = np.zeros((B, lanes), dtype=narrowed.dtype)
+                    n = min(narrowed.shape[1], lanes)
+                    padded[:, :n] = narrowed[:, :n]
+                else:
+                    padded = np.zeros(lanes, dtype=narrowed.dtype)
+                    n = min(narrowed.shape[0], lanes)
+                    padded[:n] = narrowed[:n]
+                _store_planes(values, padded, out_dtype, slots)
+            else:  # pragma: no cover - recorder and interpreter move together
+                raise SimulationError(f"unknown replay op {tag!r}")
+
+    # -- write-through single-input replay ---------------------------------
+
+    def replay_into(self, chip) -> RunResult:
+        """Apply the plan to ``chip`` exactly as ``chip.run`` would have.
+
+        Memory effects, ECC check storage, activity counters, trace and
+        telemetry deltas, and ``chip.now`` all land on the chip; the
+        caller binds inputs beforehand and fetches outputs afterwards
+        exactly as for a real run.
+        """
+        chip.begin_run()
+        chip.activity.stream_hop_bytes = chip.srf.hop_bytes_total
+        units: dict = {}
+
+        def _unit(key):
+            u = units.get(key[:2])
+            if u is None:
+                u = chip.mem_unit(key[0], key[1])
+                units[key[:2]] = u
+            return u
+
+        ecc = chip.srf_ecc_enabled
+
+        def mem_read(key):
+            return _unit(key).storage[key[2]].copy()
+
+        def mem_write(key, vector, is_const):
+            u = _unit(key)
+            u.storage[key[2]] = vector
+            if ecc:
+                u._store_checks(key[2])
+
+        values: list = [None] * self.n_slots
+        self._execute_ops(values, mem_read, mem_write, None)
+
+        for f in fields(self.activity):
+            if f.name == "stream_hop_bytes":
+                continue
+            setattr(chip.activity, f.name,
+                    getattr(chip.activity, f.name)
+                    + getattr(self.activity, f.name))
+        chip.srf.hop_bytes_total += self.activity.stream_hop_bytes
+        chip.activity.stream_hop_bytes = chip.srf.hop_bytes_total
+        if chip.trace_enabled:
+            chip.trace.extend(self.trace)
+        if chip.obs is not None and self.telemetry is not None:
+            chip.obs.merge_state(self.telemetry)
+        chip.now = self.final_now
+        self.replays += 1
+        return RunResult(
+            cycles=self.cycles,
+            instructions=self.instructions,
+            activity=self.activity.copy(),
+            trace=list(self.trace) if chip.trace_enabled else [],
+            ecc_corrections=0,
+            skipped_cycles=self.skipped,
+        )
+
+    # -- pure batched replay -----------------------------------------------
+
+    def run_batched(self, inputs_list: list[dict]) -> list[dict]:
+        """Evaluate B input bindings in one pass; the chip is untouched.
+
+        Returns one ``{name: tensor}`` output dict per input binding,
+        bit-identical to B sequential executions.
+        """
+        from ..compiler.scheduler import pack_tensor, unpack_tensor
+
+        B = len(inputs_list)
+        lanes = self.lanes
+        packed: dict[str, np.ndarray] = {}
+        for name, spec in self.inputs.items():
+            mats = []
+            for bound in inputs_list:
+                if name not in bound:
+                    raise SimulationError(
+                        f"batched replay missing input {name!r}"
+                    )
+                planes = pack_tensor(bound[name], spec.dtype, lanes)
+                if planes.shape[1] != spec.n_vectors:
+                    raise SimulationError(
+                        f"input {name!r}: expected {spec.n_vectors} "
+                        f"vectors, got {planes.shape[1]}"
+                    )
+                mats.append(planes)
+            packed[name] = np.stack(mats)  # (B, n_bytes, n_vectors, lanes)
+
+        overlay: dict[tuple, np.ndarray] = {}
+        for name, p, j, key in self.in_words:
+            overlay[key] = packed[name][:, p, j, :]
+
+        def mem_read(key):
+            value = overlay.get(key)
+            if value is None:
+                raise SimulationError(f"batched replay read of unbound {key}")
+            return value
+
+        def mem_write(key, vector, is_const):
+            if not is_const:
+                overlay[key] = vector
+
+        values: list = [None] * self.n_slots
+        self._execute_ops(values, mem_read, mem_write, B)
+
+        stacked_out: dict[str, np.ndarray] = {}
+        for name, spec in self.outputs.items():
+            n_planes = 1 if spec.layout.is_parallel else spec.dtype.n_bytes
+            arr = np.zeros((B, n_planes, spec.n_vectors, lanes),
+                           dtype=np.uint8)
+            i = 0
+            for p in range(n_planes):
+                for j in range(spec.n_vectors):
+                    kind, payload = self.out_words[name][i]
+                    i += 1
+                    if kind == "c":
+                        arr[:, p, j, :] = payload
+                    else:
+                        arr[:, p, j, :] = overlay[payload]
+            stacked_out[name] = arr
+        self.replays += B
+        return [
+            {
+                name: unpack_tensor(
+                    stacked_out[name][b], spec.dtype, spec.length
+                )
+                for name, spec in self.outputs.items()
+            }
+            for b in range(B)
+        ]
+
+
+# ---------------------------------------------------------------------------
+# bypass predicates
+# ---------------------------------------------------------------------------
+
+
+def _chip_is_pristine(chip) -> str | None:
+    """Reason the chip needs real simulation, or None if replay is safe."""
+    if chip.checkers:
+        return "conformance checkers attached"
+    if chip.watchdog is not None:
+        return "watchdog armed"
+    if chip.recorder is not None:
+        return "recording in progress"
+    if getattr(chip, "faults_injected", 0):
+        return "injected faults present"
+    if getattr(chip, "external_fault_hooks", False):
+        return "hardware fault hooks attached"
+    if chip.srf._dirty:
+        return "stream register file corrupted"
+    if not bool(chip.superlane_enabled.all()):
+        return "superlanes disabled"
+    for unit in chip.mem_units():
+        if unit.dead:
+            return "dead MEM slice"
+    for hemisphere in Hemisphere:
+        for link in chip.c2c_unit(hemisphere).links:
+            if link.error_model is not None:
+                return "C2C link error model attached"
+    return None
+
+
+def record_allowed(chip) -> bool:
+    """May a recording of this chip's next run generalize to clean chips?"""
+    if _chip_is_pristine(chip) is not None:
+        return False
+    obs = chip.obs
+    if obs is not None and not obs.is_fresh:
+        return False
+    return True
+
+
+def replay_allowed(plan: ReplayPlan | None, chip, *, max_cycles: int,
+                   warmup_barrier: bool) -> bool:
+    """May ``plan`` stand in for a real ``chip.run`` right now?"""
+    if plan is None or not plan.ok:
+        return False
+    if plan.cycles > max_cycles:
+        return False
+    if warmup_barrier != plan.warmup_barrier:
+        return False
+    if chip.config is not plan.config and chip.config != plan.config:
+        return False
+    if chip.timing is not plan.timing and chip.timing != plan.timing:
+        return False
+    if chip.srf_ecc_enabled != plan.ecc_enabled:
+        return False
+    if _chip_is_pristine(chip) is not None:
+        return False
+    obs = chip.obs
+    if obs is not None:
+        if plan.telemetry is None:
+            return False
+        if obs.window_cycles != plan.telemetry_window:
+            return False
+    return True

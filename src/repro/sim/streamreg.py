@@ -53,6 +53,10 @@ class StreamRegisterFile:
         #: injection, raw check overrides) — disables the empty-chip
         #: shortcut so such bytes still propagate exactly
         self._dirty = False
+        #: any write since construction/scrub; lets ``scrub`` skip the
+        #: three dense-array clears on a register file that is still
+        #: bit-identical to freshly constructed (the common pool case)
+        self._touched = False
         #: bytes that advanced a hop, for the power model
         self.hop_bytes_total = 0
         #: single-bit stream errors corrected at consumers (CSR counter)
@@ -79,9 +83,11 @@ class StreamRegisterFile:
         cumulative tallies.  The ECC enable stays — it is configuration,
         not run state.
         """
-        self._values[:] = 0
-        self._valid[:] = False
-        self._checks[:] = 0
+        if self._touched:
+            self._values[:] = 0
+            self._valid[:] = False
+            self._checks[:] = 0
+            self._touched = False
         self._driven_this_cycle.clear()
         self._n_valid = 0
         self._dirty = False
@@ -113,6 +119,7 @@ class StreamRegisterFile:
         """
         d, s, p = self._index(direction, stream, position)
         self._checks[d, s, p] = np.asarray(checks, dtype=np.uint16)
+        self._touched = True
         if not self._valid[d, s, p]:
             self._dirty = True
 
@@ -153,6 +160,7 @@ class StreamRegisterFile:
                 f"{vec.shape}"
             )
         self._values[d, s, p] = vec
+        self._touched = True
         if not self._valid[d, s, p]:
             self._valid[d, s, p] = True
             self._n_valid += 1
@@ -198,6 +206,7 @@ class StreamRegisterFile:
         byte, bitpos = divmod(bit, 8)
         self._values[d, s, p, byte] ^= np.uint8(1 << bitpos)
         self._dirty = True
+        self._touched = True
 
     # ------------------------------------------------------------------
     def step(self, now: int = 0) -> None:

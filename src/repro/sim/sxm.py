@@ -57,8 +57,31 @@ class SxmUnit(FunctionalUnit):
     ) -> None:
         """Capture one source stream, transform, drive one destination."""
         out_cycle = cycle + self.dfunc(instruction)
+        sample = cycle + self.dskew(instruction)
 
         def _with_value(vector: np.ndarray) -> None:
+            recorder = self.chip.recorder
+            if recorder is not None and recorder.active:
+                ref = recorder.resolve(
+                    sample, instruction.direction, instruction.src_stream,
+                    self.position, vector,
+                )
+                if ref[0] == "s":
+                    from .replay import probe_gather
+
+                    probe = probe_gather(
+                        transform, self.chip.config.n_lanes
+                    )
+                    if probe is None:
+                        recorder.fail(
+                            f"{instruction.mnemonic} is not a pure gather"
+                        )
+                    else:
+                        recorder.sxm_route(
+                            self, [ref], None, probe[0], probe[1],
+                            out_cycle, instruction.dst_direction,
+                            instruction.dst_stream,
+                        )
             result = self.apply_superlane_power(transform(vector))
             self.drive_at(
                 out_cycle,
@@ -69,7 +92,7 @@ class SxmUnit(FunctionalUnit):
             self._count(out_cycle)
 
         self.capture_at(
-            cycle + self.dskew(instruction),
+            sample,
             instruction.direction,
             instruction.src_stream,
             _with_value,
@@ -115,6 +138,22 @@ class SxmUnit(FunctionalUnit):
             if "a" not in state or "b" not in state:
                 return
             result = np.where(mask, state["b"], state["a"]).astype(np.uint8)
+            recorder = self.chip.recorder
+            if recorder is not None and recorder.active:
+                ref_a = recorder.resolve(
+                    sample, instruction.direction, instruction.src_stream_a,
+                    self.position, state["a"],
+                )
+                ref_b = recorder.resolve(
+                    sample, instruction.direction, instruction.src_stream_b,
+                    self.position, state["b"],
+                )
+                if ref_a[0] == "s" or ref_b[0] == "s":
+                    recorder.sxm_route(
+                        self, [ref_a, ref_b], mask.astype(np.int64),
+                        np.arange(lanes), None, out_cycle,
+                        instruction.dst_direction, instruction.dst_stream,
+                    )
             self.drive_at(
                 out_cycle,
                 instruction.dst_direction,
@@ -173,9 +212,36 @@ class SxmUnit(FunctionalUnit):
         """
         n = instruction.n
         per = self.chip.config.lanes_per_superlane
+        lanes = self.chip.config.n_lanes
         out_cycle = cycle + self.dfunc(instruction)
+        sample = cycle + self.dskew(instruction)
+
+        def _route_for(r: int) -> tuple[np.ndarray, np.ndarray | None]:
+            # lane sl*per + (i*n + k) sources sl*per + ((i+dr)%n)*n + (k+dc)%n
+            dr, dc = divmod(r, n)
+            lane = np.arange(lanes, dtype=np.int64)
+            base = (lane // per) * per
+            j = lane % per
+            row, col = np.divmod(np.minimum(j, n * n - 1), n)
+            src = base + ((row + dr) % n) * n + (col + dc) % n
+            zero = j >= n * n
+            return src, (zero if bool(zero.any()) else None)
 
         def _with_value(vector: np.ndarray) -> None:
+            recorder = self.chip.recorder
+            if recorder is not None and recorder.active:
+                ref = recorder.resolve(
+                    sample, instruction.direction, instruction.src_stream,
+                    self.position, vector,
+                )
+                if ref[0] == "s":
+                    for r in range(n * n):
+                        src, zero = _route_for(r)
+                        recorder.sxm_route(
+                            self, [ref], None, src, zero, out_cycle,
+                            instruction.dst_direction,
+                            instruction.dst_base_stream + r,
+                        )
             blocks = vector.reshape(-1, per)
             grid = blocks[:, : n * n].reshape(-1, n, n)
             for r in range(n * n):
@@ -192,7 +258,7 @@ class SxmUnit(FunctionalUnit):
             self._count(out_cycle, n * n)
 
         self.capture_at(
-            cycle + self.dskew(instruction),
+            sample,
             instruction.direction,
             instruction.src_stream,
             _with_value,
@@ -201,9 +267,28 @@ class SxmUnit(FunctionalUnit):
     def _exec_transpose(self, instruction: Transpose, cycle: int) -> None:
         """16x16 transpose across a 16-stream group, per superlane."""
         per = self.chip.config.lanes_per_superlane
+        lanes = self.chip.config.n_lanes
         out_cycle = cycle + self.dfunc(instruction)
+        sample = cycle + self.dskew(instruction)
 
         def _with_group(vectors: list[np.ndarray]) -> None:
+            recorder = self.chip.recorder
+            if recorder is not None and recorder.active:
+                refs = recorder.operand_refs(
+                    self, sample, instruction.direction,
+                    instruction.src_base_stream, vectors,
+                )
+                if any(r[0] == "s" for r in refs):
+                    # out_s[sl*per + j] = in_j[sl*per + s]
+                    lane = np.arange(lanes, dtype=np.int64)
+                    src_input = lane % per
+                    base = (lane // per) * per
+                    for s in range(per):
+                        recorder.sxm_route(
+                            self, refs, src_input, base + s, None,
+                            out_cycle, instruction.dst_direction,
+                            instruction.dst_base_stream + s,
+                        )
             # cube[s, superlane, lane]
             cube = np.stack(
                 [v.reshape(-1, per) for v in vectors], axis=0
@@ -220,7 +305,7 @@ class SxmUnit(FunctionalUnit):
             self._count(out_cycle, per)
 
         self.capture_group_at(
-            cycle + self.dskew(instruction),
+            sample,
             instruction.direction,
             instruction.src_base_stream,
             per,

@@ -90,10 +90,20 @@ class LockstepExecution:
 
 @dataclass
 class LockstepResult:
-    """Both executions plus every detected divergence."""
+    """All executions plus every detected divergence.
+
+    ``replay`` is the third leg of the comparator: the program recorded
+    once into a :class:`repro.sim.replay.ReplayPlan` and re-executed as
+    fused numpy kernels on a fresh chip.  It is ``None`` when the
+    program is outside the replay engine's supported set (``plan`` then
+    carries the reason) or when the harness cannot record (raw
+    ``Program`` without tensor I/O, ``chip_setup`` fault campaigns).
+    """
 
     slow: LockstepExecution
     fast: LockstepExecution
+    replay: LockstepExecution | None = None
+    plan: object | None = None
     mismatches: list[str] = field(default_factory=list)
 
     @property
@@ -203,9 +213,80 @@ def run_lockstep(
         compiled, inputs, True, timing, max_cycles, warmup_barrier,
         enable_ecc, config, chip_setup,
     )
-    result = LockstepResult(slow=slow, fast=fast)
+    replay = None
+    plan = None
+    if chip_setup is None and isinstance(compiled, CompiledProgram):
+        replay, plan = _execute_replay(
+            compiled, inputs, timing, max_cycles, warmup_barrier, enable_ecc
+        )
+    result = LockstepResult(slow=slow, fast=fast, replay=replay, plan=plan)
     _compare(result)
     return result
+
+
+def _execute_replay(
+    compiled: CompiledProgram,
+    inputs: dict[str, np.ndarray],
+    timing,
+    max_cycles: int,
+    warmup_barrier: bool,
+    enable_ecc: bool,
+):
+    """Record the program on one fresh chip, replay it on another.
+
+    Returns ``(execution, plan)``; ``execution`` is ``None`` when the
+    recorder marked the plan unsupported (the reason rides on ``plan``).
+    Checkers are deliberately absent from both chips — a chip with
+    checkers attached is outside the replay engine's bypass predicate by
+    design, so the recording must happen without them.
+    """
+    from ..compiler.runner import fetch_output
+    from ..sim.replay import ScheduleRecorder
+
+    def _fresh_chip() -> TspChip:
+        chip = TspChip(
+            compiled.config, timing=timing, trace=True, enable_ecc=enable_ecc
+        )
+        chip.attach_telemetry(TelemetryCollector(window_cycles=64))
+        load_compiled(chip, compiled)
+        for name, spec in compiled.inputs.items():
+            bind_input(chip, spec, inputs[name])
+        return chip
+
+    chip = _fresh_chip()
+    recorder = ScheduleRecorder(
+        chip, compiled, warmup_barrier=warmup_barrier, fast_forward=True
+    )
+    chip.recorder = recorder
+    try:
+        run = chip.run(
+            compiled.program,
+            max_cycles=max_cycles,
+            warmup_barrier=warmup_barrier,
+            fast_forward=True,
+        )
+    finally:
+        chip.recorder = None
+    plan = recorder.finish(run)
+    if not plan.ok:
+        return None, plan
+
+    chip = _fresh_chip()
+    run = plan.replay_into(chip)
+    outputs = {
+        name: fetch_output(chip, spec)
+        for name, spec in compiled.outputs.items()
+    }
+    return (
+        LockstepExecution(
+            run=run,
+            outputs=outputs,
+            memory=chip.memory_image(),
+            recorder=RecordingChecker(),
+            telemetry=chip.obs.snapshot(),
+        ),
+        plan,
+    )
 
 
 def assert_lockstep(compiled: CompiledProgram, **kwargs) -> LockstepResult:
@@ -283,6 +364,68 @@ def _compare(result: LockstepResult) -> None:
             note(f"MEM slice {name} materialized in only one mode")
         elif a != b:
             note(f"MEM slice {name} differs bit-wise")
+
+    if result.replay is not None:
+        _compare_replay(result)
+
+
+def _compare_replay(result: LockstepResult) -> None:
+    """Third leg: the replayed plan against the cycle-by-cycle reference.
+
+    Everything the replay engine reconstructs must be bit-identical to
+    the dense run: outputs, memory, cycle/instruction counts, activity,
+    the dispatch trace, and the merged telemetry snapshot.
+    ``skipped_cycles`` is compared against the fast leg — the plan was
+    recorded under fast-forward, whose skip tally is part of its
+    contract.
+    """
+    slow, fast, replay = result.slow, result.fast, result.replay
+    note = result.mismatches.append
+
+    if replay.run.cycles != slow.run.cycles:
+        note(
+            f"replay cycle count: slow={slow.run.cycles} "
+            f"replay={replay.run.cycles}"
+        )
+    if replay.run.instructions != slow.run.instructions:
+        note(
+            f"replay instructions: slow={slow.run.instructions} "
+            f"replay={replay.run.instructions}"
+        )
+    if replay.run.skipped_cycles != fast.run.skipped_cycles:
+        note(
+            f"replay skipped cycles: fast={fast.run.skipped_cycles} "
+            f"replay={replay.run.skipped_cycles}"
+        )
+    if replay.run.activity != slow.run.activity:
+        note(
+            f"replay activity counts: slow={slow.run.activity} "
+            f"replay={replay.run.activity}"
+        )
+    if replay.run.trace != slow.run.trace:
+        for i, (a, b) in enumerate(zip(slow.run.trace, replay.run.trace)):
+            if a != b:
+                note(f"replay trace[{i}]: slow={a} replay={b}")
+                break
+        else:
+            note(
+                f"replay trace length: slow={len(slow.run.trace)} "
+                f"replay={len(replay.run.trace)}"
+            )
+    if replay.telemetry != slow.telemetry:
+        note("replay " + _telemetry_divergence(slow.telemetry, replay.telemetry))
+    for name in sorted(set(slow.outputs) | set(replay.outputs)):
+        a, b = slow.outputs.get(name), replay.outputs.get(name)
+        if a is None or b is None:
+            note(f"replay output {name!r} missing from one mode")
+        elif a.shape != b.shape or a.tobytes() != b.tobytes():
+            note(f"replay output {name!r} differs bit-wise")
+    for name in sorted(set(slow.memory) | set(replay.memory)):
+        a, b = slow.memory.get(name), replay.memory.get(name)
+        if a is None or b is None:
+            note(f"replay MEM slice {name} materialized in only one mode")
+        elif a != b:
+            note(f"replay MEM slice {name} differs bit-wise")
 
 
 def _telemetry_divergence(slow: dict, fast: dict) -> str:

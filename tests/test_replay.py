@@ -1,0 +1,329 @@
+"""The schedule-replay engine (:mod:`repro.sim.replay`).
+
+The TSP's determinism means a compiled program's execution plan is a pure
+function of the binary — only the data changes between runs.  These tests
+pin the contract that makes record-once/replay-many safe:
+
+* the first clean ``execute()`` records a :class:`ReplayPlan`; later runs
+  replay it bit-identically (outputs, memory, cycles, activity);
+* the batched entry point equals B sequential executions;
+* anything that can make a run diverge from the recording — error
+  models, injected faults, dead slices, armed watchdogs, hardware fault
+  hooks, stream corruption — bypasses the plan and falls back to real
+  simulation (fail-closed);
+* the serving pool's checkout path flags fault hooks so a chaos window
+  never serves replayed results, and repair probes never poison replay
+  (the checkout scrub restores pristine state);
+* scrub keeps chip reuse bit-exact (the trimmed scrub fast path).
+"""
+
+import numpy as np
+
+from repro.arch import Direction, DType, Hemisphere
+from repro.compiler import StreamProgramBuilder, execute
+from repro.compiler.runner import execute_batched
+from repro.resil.health import Watchdog
+from repro.serve import ChipPool, DynamicBatcher, ProgramCache
+from repro.serve.resilient import probe_memory
+from repro.sim import LinkErrorModel, TspChip
+from repro.sim.replay import record_allowed, replay_allowed
+
+N_ROWS, K, M = 4, 16, 8
+
+
+def build_input_matmul(config, seed=0):
+    """An int8 matmul whose activations are a run-time input tensor."""
+    rng = np.random.default_rng(seed)
+    w = rng.integers(-12, 12, (K, M)).astype(np.int8)
+    g = StreamProgramBuilder(config)
+    acts = g.input_tensor("acts", (N_ROWS, K))
+    g.write_back(g.matmul(w, acts, name="weights"), name="acc")
+    return g.compile(), w
+
+
+def acts_for(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-90, 90, (N_ROWS, K)).astype(np.int8)
+
+
+def oracle(x, w):
+    return x.astype(np.int32) @ w.astype(np.int32)
+
+
+def recorded_program(config, seed=0):
+    """Compile and execute once so the program carries a usable plan."""
+    compiled, w = build_input_matmul(config, seed=seed)
+    execute(compiled, inputs={"acts": acts_for(100 + seed)})
+    assert compiled.replay is not None and compiled.replay.ok
+    return compiled, w
+
+
+class TestRecordReplay:
+    def test_first_run_records_then_replays_bit_identical(self, config):
+        compiled, w = build_input_matmul(config)
+        x1, x2 = acts_for(1), acts_for(2)
+        first = execute(compiled, inputs={"acts": x1})
+        plan = compiled.replay
+        assert plan is not None and plan.ok, plan and plan.reason
+        assert plan.replays == 0
+        assert np.array_equal(first["acc"], oracle(x1, w))
+
+        replayed = execute(compiled, inputs={"acts": x2})
+        assert plan.replays == 1  # the second run used the plan
+        reference = execute(compiled, inputs={"acts": x2}, record=False)
+        assert np.array_equal(replayed["acc"], oracle(x2, w))
+        assert np.array_equal(replayed["acc"], reference["acc"])
+        assert replayed.run.cycles == reference.run.cycles
+        assert replayed.run.instructions == reference.run.instructions
+        assert replayed.run.activity == reference.run.activity
+        assert replayed.run.skipped_cycles == reference.run.skipped_cycles
+
+    def test_replay_leaves_identical_chip_memory(self, config):
+        compiled, _ = recorded_program(config)
+        x = acts_for(3)
+        real_chip = TspChip(config)
+        execute(compiled, chip=real_chip, inputs={"acts": x}, record=False)
+        replay_chip = TspChip(config)
+        execute(compiled, chip=replay_chip, inputs={"acts": x})
+        assert compiled.replay.replays == 1
+        assert real_chip.memory_image() == replay_chip.memory_image()
+
+    def test_record_disabled_never_records(self, config):
+        compiled, w = build_input_matmul(config)
+        x = acts_for(4)
+        result = execute(compiled, inputs={"acts": x}, record=False)
+        assert compiled.replay is None
+        assert np.array_equal(result["acc"], oracle(x, w))
+
+
+class TestBatched:
+    def test_batched_matches_sequential(self, config):
+        compiled, w = recorded_program(config)
+        xs = [acts_for(10 + i) for i in range(5)]
+        results = execute_batched(
+            compiled, [{"acts": x} for x in xs]
+        )
+        assert results is not None and len(results) == len(xs)
+        for x, res in zip(xs, results):
+            reference = execute(
+                compiled, inputs={"acts": x}, record=False
+            )
+            assert np.array_equal(res["acc"], oracle(x, w))
+            assert np.array_equal(res["acc"], reference["acc"])
+            assert res.run.cycles == reference.run.cycles
+            assert res.run.activity == reference.run.activity
+
+    def test_batched_accounts_on_the_chip(self, config):
+        compiled, _ = recorded_program(config)
+        plan = compiled.replay
+        chip = TspChip(config)
+        results = execute_batched(
+            compiled, [{"acts": acts_for(20 + i)} for i in range(3)],
+            chip=chip,
+        )
+        assert results is not None
+        assert chip.activity.instructions == plan.activity.instructions * 3
+        assert (
+            chip.activity.stream_hop_bytes
+            == plan.activity.stream_hop_bytes * 3
+        )
+
+    def test_batched_empty_and_unrecorded(self, config):
+        compiled, _ = build_input_matmul(config)
+        assert execute_batched(compiled, []) == []
+        # no plan recorded yet -> the caller must fall back
+        assert (
+            execute_batched(compiled, [{"acts": acts_for(0)}]) is None
+        )
+
+
+class TestBypass:
+    """Every divergence source must force real simulation (fail-closed)."""
+
+    def test_error_model_bypasses_replay(self, config):
+        compiled, _ = recorded_program(config)
+        chip = TspChip(config)
+        chip.c2c_unit(Hemisphere.EAST).set_error_model(
+            0, LinkErrorModel(dead_after=0)
+        )
+        assert not replay_allowed(
+            compiled.replay, chip, max_cycles=10**6, warmup_barrier=False
+        )
+        assert not record_allowed(chip)
+
+    def test_dead_mem_slice_bypasses_replay(self, config):
+        compiled, _ = recorded_program(config)
+        chip = TspChip(config)
+        chip.mem_unit(Hemisphere.WEST, 0).mark_dead()
+        assert not replay_allowed(
+            compiled.replay, chip, max_cycles=10**6, warmup_barrier=False
+        )
+        assert not record_allowed(chip)
+
+    def test_injected_mem_fault_bypasses_replay(self, config):
+        compiled, _ = recorded_program(config)
+        chip = TspChip(config)
+        chip.mem_unit(Hemisphere.WEST, 0).inject_fault(0, 3)
+        assert not replay_allowed(
+            compiled.replay, chip, max_cycles=10**6, warmup_barrier=False
+        )
+
+    def test_stream_fault_bypasses_replay(self, config):
+        compiled, _ = recorded_program(config)
+        chip = TspChip(config)
+        chip.srf.inject_stream_fault(Direction.EASTWARD, 0, 0, 5)
+        assert not replay_allowed(
+            compiled.replay, chip, max_cycles=10**6, warmup_barrier=False
+        )
+
+    def test_watchdog_bypasses_replay_and_real_run_still_exact(
+        self, config
+    ):
+        compiled, w = recorded_program(config)
+        plan = compiled.replay
+        chip = TspChip(config)
+        chip.arm_watchdog(Watchdog(deadline=10**9, label="t"))
+        assert not replay_allowed(
+            plan, chip, max_cycles=10**6, warmup_barrier=False
+        )
+        x = acts_for(30)
+        result = execute(compiled, chip=chip, inputs={"acts": x})
+        assert plan.replays == 0  # bypassed, not replayed
+        assert np.array_equal(result["acc"], oracle(x, w))
+        chip.disarm_watchdog()
+        chip.scrub()
+        assert replay_allowed(
+            plan, chip, max_cycles=10**6, warmup_barrier=False
+        )
+
+    def test_external_fault_hook_flag_bypasses_until_scrub(self, config):
+        compiled, _ = recorded_program(config)
+        chip = TspChip(config)
+        chip.external_fault_hooks = True
+        assert not replay_allowed(
+            compiled.replay, chip, max_cycles=10**6, warmup_barrier=False
+        )
+        chip.scrub()
+        assert replay_allowed(
+            compiled.replay, chip, max_cycles=10**6, warmup_barrier=False
+        )
+
+    def test_plan_bound_checks(self, config):
+        compiled, _ = recorded_program(config)
+        plan = compiled.replay
+        chip = TspChip(config)
+        # tighter cycle budget than the recording -> no replay
+        assert not replay_allowed(
+            plan, chip, max_cycles=plan.cycles - 1, warmup_barrier=False
+        )
+        # warmup-barrier mismatch -> no replay
+        assert not replay_allowed(
+            plan, chip, max_cycles=10**6, warmup_barrier=True
+        )
+
+    def test_unsupported_op_fails_closed(self, config, rng):
+        """A gather program records a not-ok plan and keeps simulating."""
+        table = rng.integers(0, 200, (8, 64)).astype(np.uint8)
+        idx = rng.integers(0, 8, (3, 64)).astype(np.uint8)
+        g = StreamProgramBuilder(config)
+        out = g.gather(
+            table, g.constant_tensor("idx", idx, dtype=DType.UINT8)
+        )
+        g.write_back(out, name="o")
+        compiled = g.compile()
+        first = execute(compiled)
+        plan = compiled.replay
+        assert plan is not None and not plan.ok
+        assert plan.reason  # names the unsupported instruction
+        second = execute(compiled)  # must fall back to real simulation
+        assert np.array_equal(first["o"], second["o"])
+
+
+class TestPoolCheckout:
+    def _pool(self, config):
+        return ChipPool(
+            config, [], DynamicBatcher(), ProgramCache(), n_workers=1
+        )
+
+    def test_hardware_fault_hook_forces_real_sim(self, config):
+        compiled, _ = recorded_program(config)
+        pool = self._pool(config)
+        worker = pool.workers[0]
+        pool.attach_hardware_fault(
+            worker.hardware, "window", lambda hw: None
+        )
+        worker._checkout()
+        assert worker.chip.external_fault_hooks
+        assert not replay_allowed(
+            compiled.replay, worker.chip,
+            max_cycles=10**6, warmup_barrier=False,
+        )
+        # fault window over: the next checkout scrubs the flag away
+        pool.detach_hardware_fault("window")
+        worker._checkout()
+        assert not worker.chip.external_fault_hooks
+        assert replay_allowed(
+            compiled.replay, worker.chip,
+            max_cycles=10**6, warmup_barrier=False,
+        )
+
+    def test_one_shot_checkout_hook_forces_real_sim_once(self, config):
+        compiled, _ = recorded_program(config)
+        pool = self._pool(config)
+        worker = pool.workers[0]
+        worker.inject_at_checkout(lambda hw: None)
+        worker._checkout()
+        assert worker.chip.external_fault_hooks
+        worker._checkout()
+        assert worker.chip.external_fault_hooks is False
+        assert replay_allowed(
+            compiled.replay, worker.chip,
+            max_cycles=10**6, warmup_barrier=False,
+        )
+
+    def test_repair_probe_then_scrub_replays_exact(self, config):
+        """Mid-quarantine probes leave junk in MEM; the checkout scrub
+        restores pristine state, so a repaired chip replays bit-exact."""
+        compiled, w = recorded_program(config)
+        chip = TspChip(config)
+        probe_memory(chip)  # the repair loop's SRAM sweep
+        chip.scrub()
+        x = acts_for(40)
+        result = execute(compiled, chip=chip, inputs={"acts": x})
+        assert compiled.replay.replays == 1
+        assert np.array_equal(result["acc"], oracle(x, w))
+
+
+class TestScrubReuse:
+    def test_scrubbed_reuse_bit_exact_with_ecc(self, config):
+        """Run, scrub, re-run == fresh chip (incl. ECC check pipeline);
+        the double scrub exercises the trimmed already-clean fast path."""
+        compiled, _ = build_input_matmul(config, seed=7)
+        x, y = acts_for(50), acts_for(51)
+        reference = execute(
+            compiled, chip=TspChip(config, enable_ecc=True),
+            inputs={"acts": x}, record=False,
+        )
+        chip = TspChip(config, enable_ecc=True)
+        execute(compiled, chip=chip, inputs={"acts": y}, record=False)
+        chip.scrub()
+        chip.scrub()  # second scrub hits the untouched fast path
+        again = execute(
+            compiled, chip=chip, inputs={"acts": x}, record=False
+        )
+        assert np.array_equal(again["acc"], reference["acc"])
+        assert again.run.cycles == reference.run.cycles
+        assert again.run.activity == reference.run.activity
+
+    def test_scrub_fast_path_state_is_factory_clean(self, config):
+        compiled, _ = build_input_matmul(config, seed=8)
+        chip = TspChip(config)
+        execute(compiled, chip=chip, inputs={"acts": acts_for(60)},
+                record=False)
+        chip.scrub()
+        assert not chip.srf._touched
+        assert not chip.srf._values.any()
+        chip.scrub()  # fast path: nothing touched since the last scrub
+        assert not chip.srf._values.any()
+        assert chip.memory_image() == {}
+        assert record_allowed(chip)

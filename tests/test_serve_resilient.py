@@ -262,6 +262,22 @@ class TestQuarantineAndRepair:
             health_policy=HealthPolicy(quarantine_after=1,
                                        probes_required=1),
         )
+        # the hardware is healthy, so repair would re-arm the parked
+        # worker within a millisecond of each quarantine — far too fast
+        # to observe capacity 0 reliably.  Let the first repair through
+        # (the retry that exhausts the budget needs a serving worker)
+        # and hold the second until the parked/shed assertions are done.
+        repair_gate = threading.Event()
+        repairs = []
+        orig_scrub = server.pool.scrub_hardware
+
+        def gated_scrub(hardware):
+            repairs.append(1)
+            if len(repairs) > 1:
+                assert repair_gate.wait(timeout=30.0)
+            orig_scrub(hardware)
+
+        server.pool.scrub_hardware = gated_scrub
         try:
             future = server.submit("host", np.zeros(4), deadline_s=20.0)
             assert isinstance(future.error(timeout=30.0), RequestError)
@@ -274,6 +290,7 @@ class TestQuarantineAndRepair:
             # the fault clears; repair hands the chip back to the
             # parked worker and service resumes
             server.models["host"].fail_times = 0
+            repair_gate.set()
             assert wait_until(lambda: server.pool.capacity() == 1,
                               timeout=30.0)
             result = server.submit(
